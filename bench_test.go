@@ -1,0 +1,55 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark regenerates the corresponding experiment end to end
+// (trace generation, simulation sweep, aggregation), so `go test
+// -bench=.` is the reproduction harness. The heavyweight sweeps
+// (Figures 8 and 11) run their reduced Quick configuration here; the
+// full paper-size sweeps are `picos-bench -exp fig8` / `-exp fig11`.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, name string, quick bool) {
+	b.Helper()
+	opt := experiments.Options{Quick: quick}
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(name, opt)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s: empty result", name)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (benchmark characteristics).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", false) }
+
+// BenchmarkTable2 regenerates Table II (DM conflicts per design).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2", false) }
+
+// BenchmarkTable3 regenerates Table III (hardware resources).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", false) }
+
+// BenchmarkTable4 regenerates Table IV (latency/throughput, 3 modes).
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4", false) }
+
+// BenchmarkFig1 regenerates Figure 1 (Nanos++ speedup vs granularity).
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1", false) }
+
+// BenchmarkFig8 regenerates Figure 8 (DM design speedups, reduced sweep).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8", true) }
+
+// BenchmarkFig9 regenerates Figure 9 (MLu + FIFO/LIFO, reduced sweep).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9", true) }
+
+// BenchmarkFig10 regenerates Figure 10 (Nanos++ overhead surface).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", false) }
+
+// BenchmarkFig11 regenerates Figure 11 (scalability, reduced sweep).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11", true) }

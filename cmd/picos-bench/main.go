@@ -1,0 +1,63 @@
+// Command picos-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	picos-bench -exp table4            # one experiment
+//	picos-bench -exp all               # everything (long: full Figure 11)
+//	picos-bench -exp fig8 -quick       # reduced sweep for smoke runs
+//	picos-bench -list                  # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1..table4, fig1, fig8..fig11, or 'all')")
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	plot := flag.Bool("plot", false, "render sweep results as ASCII charts too")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	names := experiments.Names
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	opt := experiments.Options{Quick: *quick}
+	for _, name := range names {
+		start := time.Now()
+		tables, err := experiments.Run(name, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "picos-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Fprint(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "picos-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if *plot {
+				if c := t.Chart(); c != nil {
+					if err := c.Render(os.Stdout); err != nil {
+						fmt.Fprintf(os.Stderr, "picos-bench: %v\n", err)
+						os.Exit(1)
+					}
+					fmt.Println()
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

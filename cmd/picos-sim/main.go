@@ -1,0 +1,153 @@
+// Command picos-sim runs one workload through one execution engine and
+// reports makespan, speedup and accelerator statistics.
+//
+// Usage:
+//
+//	picos-sim -app cholesky -block 128 -workers 12
+//	picos-sim -app heat -block 64 -engine nanos -workers 8
+//	picos-sim -case 4 -mode full -dm p8way
+//	picos-sim -trace trace.bin -engine perfect -workers 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/hil"
+	"repro/internal/nanos"
+	"repro/internal/perfect"
+	"repro/internal/picos"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "benchmark: heat, lu, mlu, sparselu, cholesky, h264dec")
+		problem  = flag.Int("problem", apps.DefaultProblem, "problem size (matrix dim; frames for h264dec)")
+		block    = flag.Int("block", 128, "block size")
+		caseNo   = flag.Int("case", 0, "synthetic case 1..7 (instead of -app)")
+		traceIn  = flag.String("trace", "", "read a serialized trace instead of generating one")
+		engine   = flag.String("engine", "picos", "engine: picos, nanos, perfect")
+		mode     = flag.String("mode", "hw", "picos HIL mode: hw, comm, full")
+		dm       = flag.String("dm", "p8way", "DM design: 8way, 16way, p8way")
+		policy   = flag.String("ts", "fifo", "task scheduler policy: fifo, lifo")
+		workers  = flag.Int("workers", 12, "worker count")
+		nTRS     = flag.Int("trs", 1, "TRS instances")
+		nDCT     = flag.Int("dct", 1, "DCT instances")
+		verify   = flag.Bool("verify", true, "check the schedule against the dependence oracle")
+		showStat = flag.Bool("stats", false, "print accelerator statistics")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceIn, *app, *problem, *block, *caseNo)
+	if err != nil {
+		fail(err)
+	}
+	s := tr.Summarize()
+	fmt.Printf("workload %s: %d tasks, %d-%d deps/task, avg size %.3g cycles, baseline %.3g cycles\n",
+		tr.Name, s.NumTasks, s.MinDeps, s.MaxDeps, s.AvgTaskSize, float64(tr.Baseline()))
+
+	var start, finish []uint64
+	switch *engine {
+	case "picos":
+		cfg := hil.DefaultConfig()
+		cfg.Workers = *workers
+		switch *mode {
+		case "hw":
+			cfg.Mode = hil.HWOnly
+		case "comm":
+			cfg.Mode = hil.HWComm
+		case "full":
+			cfg.Mode = hil.FullSystem
+		default:
+			fail(fmt.Errorf("unknown mode %q", *mode))
+		}
+		switch *dm {
+		case "8way":
+			cfg.Picos.Design = picos.DM8Way
+		case "16way":
+			cfg.Picos.Design = picos.DM16Way
+		case "p8way":
+			cfg.Picos.Design = picos.DMP8Way
+		default:
+			fail(fmt.Errorf("unknown DM design %q", *dm))
+		}
+		if *policy == "lifo" {
+			cfg.Picos.Policy = picos.SchedLIFO
+		}
+		cfg.Picos.NumTRS = *nTRS
+		cfg.Picos.NumDCT = *nDCT
+		res, err := hil.Run(tr, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("engine picos/%s (%s, %s TS, %dx TRS, %dx DCT), %d workers\n",
+			res.Mode, cfg.Picos.Design, cfg.Picos.Policy, *nTRS, *nDCT, *workers)
+		fmt.Printf("makespan %d cycles, speedup %.2fx, L1st %d, thrTask %.0f cycles\n",
+			res.Makespan, res.Speedup, res.FirstStart, res.ThrTask)
+		if *showStat {
+			st := res.Stats
+			fmt.Printf("stats: admitted %d, deps %d, DM conflicts %d, conflict stall %d cy, "+
+				"VM stalls %d, GW blocked %d cy, wakes %d, max in-flight %d, max VM %d\n",
+				st.TasksAdmitted, st.DepsProcessed, st.DMConflicts, st.DMConflictStallCycles,
+				st.VMStallEvents, st.GWBlockedCycles, st.WakesRouted, st.MaxInFlightTasks, st.MaxVMLive)
+		}
+		start, finish = res.Start, res.Finish
+	case "nanos":
+		res, err := nanos.Run(tr, nanos.Config{Workers: *workers})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("engine nanos (software-only), %d workers\n", *workers)
+		fmt.Printf("makespan %d cycles, speedup %.2fx, lock busy %d cycles\n",
+			res.Makespan, res.Speedup, res.LockBusy)
+		start, finish = res.Start, res.Finish
+	case "perfect":
+		res, err := perfect.Run(tr, *workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("engine perfect (roofline), %d workers\n", *workers)
+		fmt.Printf("makespan %d cycles, speedup %.2fx\n", res.Makespan, res.Speedup)
+		start, finish = res.Start, res.Finish
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	if *verify {
+		if err := taskgraph.Build(tr).CheckSchedule(start, finish); err != nil {
+			fail(fmt.Errorf("schedule verification FAILED: %w", err))
+		}
+		fmt.Println("schedule verified against the dependence oracle")
+	}
+}
+
+func loadTrace(path, app string, problem, block, caseNo int) (*trace.Trace, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	case caseNo != 0:
+		return synthCase(caseNo)
+	case app != "":
+		res, err := apps.Generate(apps.App(app), problem, block)
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
+	default:
+		return nil, fmt.Errorf("one of -app, -case or -trace is required")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "picos-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,8 @@
+package main
+
+import (
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func synthCase(n int) (*trace.Trace, error) { return synth.Case(n) }

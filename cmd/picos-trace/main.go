@@ -1,0 +1,98 @@
+// Command picos-trace generates, inspects and converts task traces.
+//
+// Usage:
+//
+//	picos-trace -app cholesky -block 128 -out chol.bin   # generate
+//	picos-trace -in chol.bin                              # summarize
+//	picos-trace -case 5 -dot                              # Figure 7 graph
+//	picos-trace -app heat -block 256 -levels              # ASCII DAG levels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/synth"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "benchmark: heat, lu, mlu, sparselu, cholesky, h264dec")
+		problem = flag.Int("problem", apps.DefaultProblem, "problem size")
+		block   = flag.Int("block", 128, "block size")
+		caseNo  = flag.Int("case", 0, "synthetic case 1..7")
+		in      = flag.String("in", "", "read a serialized trace")
+		out     = flag.String("out", "", "write the trace to this file")
+		dot     = flag.Bool("dot", false, "dump the dependence DAG as Graphviz DOT")
+		levels  = flag.Bool("levels", false, "dump the DAG as ASCII levels")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *in != "":
+		var f *os.File
+		if f, err = os.Open(*in); err == nil {
+			tr, err = trace.Read(f)
+			f.Close()
+		}
+	case *caseNo != 0:
+		tr, err = synth.Case(*caseNo)
+	case *app != "":
+		var res *apps.TraceResult
+		if res, err = apps.Generate(apps.App(*app), *problem, *block); err == nil {
+			tr = res.Trace
+			fmt.Fprintf(os.Stderr, "kernels: %v\n", res.KernelCounts)
+		}
+	default:
+		err = fmt.Errorf("one of -app, -case or -in is required")
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fail(fmt.Errorf("trace invalid: %w", err))
+	}
+
+	s := tr.Summarize()
+	g := taskgraph.Build(tr)
+	fmt.Printf("%s: %d tasks, %d deps total (%d-%d per task), avg task %.3g cycles\n",
+		tr.Name, s.NumTasks, tr.NumDeps(), s.MinDeps, s.MaxDeps, s.AvgTaskSize)
+	fmt.Printf("baseline %.4g cycles, critical path %.4g cycles, max parallelism %d, depth %d, edges %d\n",
+		float64(tr.Baseline()), float64(g.CriticalPath()), g.MaxParallelism(), g.Depth(), g.NumEdges())
+
+	if *dot {
+		if err := g.WriteDOT(os.Stdout, tr.Name); err != nil {
+			fail(err)
+		}
+	}
+	if *levels {
+		if err := g.ASCIILevels(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "picos-trace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Performance Analysis of a Hardware
+// Accelerator of Dependence Management for Task-based Dataflow
+// Programming Models" (Tan et al., ISPASS 2016) as a pure-Go system: a
+// cycle-level model of the Picos task/dependence-management accelerator,
+// the trace-driven HIL evaluation platform, the software-only Nanos++
+// baseline, the Perfect roofline scheduler and the workload generators,
+// plus a harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// See README.md for a tour, DESIGN.md for the architecture and
+// EXPERIMENTS.md for paper-vs-reproduction results. The benchmarks in
+// bench_test.go regenerate each experiment: go test -bench=. -benchmem.
+package repro

@@ -1,0 +1,42 @@
+// DM design space: the Figure 8 / Table II experiment as a program —
+// run Heat with the three Dependence Memory designs and watch conflicts
+// turn into lost speedup, then check the hardware price of each design
+// (Table III).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hil"
+	"repro/internal/picos"
+	"repro/internal/resources"
+)
+
+func main() {
+	tr, err := core.AppTrace(core.Heat, 2048, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heat 2048/64: %d tasks, 5 deps each, block-aligned addresses\n\n", len(tr.Tasks))
+
+	fmt.Printf("%-10s  %10s  %12s  %10s  %10s\n", "design", "speedup", "#conflicts", "LUT%", "BRAM%")
+	for _, design := range picos.Designs {
+		cfg := hil.DefaultConfig()
+		cfg.Picos.Design = design
+		res, err := core.RunPicosDetailed(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw := resources.DM(design)
+		fmt.Printf("%-10s  %9.2fx  %12d  %9.1f%%  %9.1f%%\n",
+			design, res.Speedup, res.Stats.DMConflicts, hw.LUTPct(), hw.BRAMPct())
+	}
+
+	fmt.Println()
+	fmt.Println("block-aligned addresses share their low 6 bits, so the direct-hash")
+	fmt.Println("designs pile every block into one set; Pearson folding spreads them.")
+	fmt.Println("P+8way buys 16way-beating conflict behaviour at ~8way hardware cost —")
+	fmt.Println("the paper's \"most balanced design\".")
+}

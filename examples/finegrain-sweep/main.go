@@ -1,0 +1,44 @@
+// Fine-grain sweep: the Figure 1 story end to end — as block size
+// shrinks, available parallelism grows but per-task overhead grows too.
+// The software-only runtime peaks and collapses; the Picos accelerator
+// keeps climbing toward the roofline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hil"
+)
+
+func main() {
+	const workers = 12
+	fmt.Printf("sparselu 2048, %d workers\n", workers)
+	fmt.Printf("%9s  %8s  %12s  %14s  %8s\n",
+		"blocksize", "#tasks", "nanos++", "picos(full)", "perfect")
+	for _, block := range []int{256, 128, 64, 32} {
+		tr, err := core.AppTrace(core.SparseLu, 2048, block)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sw, err := core.RunNanos(tr, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pic, err := core.RunPicos(tr, core.PicosOptions{Workers: workers, Mode: hil.FullSystem})
+		if err != nil {
+			log.Fatal(err)
+		}
+		roof, err := core.RunPerfect(tr, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9d  %8d  %11.2fx  %13.2fx  %7.2fx\n",
+			block, len(tr.Tasks), sw.Speedup, pic.Speedup, roof.Speedup)
+	}
+	fmt.Println()
+	fmt.Println("expected shape (paper Fig. 1 + Fig. 11d): nanos++ rises, then the")
+	fmt.Println("runtime overhead outweighs the new parallelism and speedup degrades;")
+	fmt.Println("the hardware manager keeps scaling as granularity shrinks.")
+}

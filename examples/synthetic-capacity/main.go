@@ -1,0 +1,44 @@
+// Synthetic capacity: the Table IV experiment as a program — measure the
+// management pipeline's first-task latency and per-task/per-dependence
+// throughput with back-to-back 1-cycle tasks, across the three HIL
+// integration levels, and see where each level's bottleneck sits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hil"
+)
+
+func main() {
+	fmt.Println("100 tasks of 1 cycle each, issued as fast as possible, 12 workers")
+	for _, mode := range []hil.Mode{hil.HWOnly, hil.HWComm, hil.FullSystem} {
+		fmt.Printf("\n%-12s %8s  %8s  %8s\n", mode, "L1st", "thrTask", "thrDep")
+		for _, c := range []int{1, 2, 3, 4, 7} {
+			tr, err := core.SyntheticTrace(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := hil.DefaultConfig()
+			cfg.Mode = mode
+			res, err := core.RunPicosDetailed(tr, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			avg := float64(tr.NumDeps()) / float64(len(tr.Tasks))
+			thrDep := "-"
+			if avg > 0 {
+				thrDep = fmt.Sprintf("%8.0f", res.ThrTask/avg)
+			}
+			fmt.Printf("case%-8d %8d  %8.0f  %8s\n", c, res.FirstStart, res.ThrTask, thrDep)
+		}
+	}
+	fmt.Println()
+	fmt.Println("reading the rows (paper Section V-C): the HW-only pipeline does a")
+	fmt.Println("dependence every ~16 cycles; adding the AXI link flattens per-task")
+	fmt.Println("cost to ~740 cycles; the full system is bound by ARM-side task")
+	fmt.Println("creation (~2.7k cycles), under which extra dependences are nearly")
+	fmt.Println("free — the key advantage over the software-only runtime.")
+}

@@ -1,0 +1,173 @@
+package apps
+
+import "fmt"
+
+// App names a benchmark.
+type App string
+
+// The five real benchmarks of Section IV-C.
+const (
+	Heat     App = "heat"
+	Lu       App = "lu"
+	MLu      App = "mlu" // Lu with modified task-creation order (Figure 9)
+	SparseLu App = "sparselu"
+	Cholesky App = "cholesky"
+	H264Dec  App = "h264dec"
+)
+
+// Apps lists the canonical benchmarks (MLu is a variant of Lu and not a
+// separate Table I row).
+var Apps = []App{Heat, Lu, SparseLu, Cholesky, H264Dec}
+
+// tableIEntry is one row of the paper's Table I.
+type tableIEntry struct {
+	numTasks int     // #Tasks
+	avgSize  float64 // AveTSize, cycles
+	seqExec  float64 // SeqExec, cycles
+}
+
+// tableI holds the paper's Table I, keyed by app and block size. For the
+// matrix kernels the problem size is fixed at 2048; for H264dec the
+// "problem" is 10 HD frames and the block size is the macroblock grouping.
+var tableI = map[App]map[int]tableIEntry{
+	Heat: {
+		256: {64, 3.51e6, 2.25e8},
+		128: {256, 8.20e5, 2.07e8},
+		64:  {1024, 2.17e5, 2.11e8},
+		32:  {4096, 7.19e4, 2.41e8},
+	},
+	Lu: {
+		256: {36, 5.67e7, 2.04e9},
+		128: {136, 1.49e7, 2.04e9},
+		64:  {528, 4.13e6, 2.17e9},
+		32:  {2080, 1.53e6, 3.18e9},
+	},
+	SparseLu: {
+		256: {34, 2.74e7, 9.30e8},
+		128: {212, 4.36e6, 9.24e8},
+		64:  {1512, 6.47e5, 9.78e8},
+		32:  {11472, 8.28e4, 9.50e8},
+	},
+	Cholesky: {
+		256: {120, 6.63e6, 7.61e8},
+		128: {816, 9.71e5, 7.89e8},
+		64:  {5984, 1.47e5, 8.77e8},
+		32:  {45760, 2.94e4, 1.34e9},
+	},
+	H264Dec: {
+		8: {2659, 2.06e6, 5.48e9},
+		4: {9306, 5.91e5, 5.50e9},
+		2: {35894, 1.53e5, 5.48e9},
+		1: {139934, 3.94e4, 5.51e9},
+	},
+}
+
+// DefaultProblem is the matrix dimension used throughout the paper.
+const DefaultProblem = 2048
+
+// BlockSizes returns the four block sizes Table I uses for the app,
+// largest first (coarse to fine granularity).
+func BlockSizes(app App) []int {
+	if app == H264Dec {
+		return []int{8, 4, 2, 1}
+	}
+	return []int{256, 128, 64, 32}
+}
+
+// calibrate returns the target average task size for (app, bs). For block
+// sizes not in Table I it extrapolates with the kernel's O(bs^3) (matrix
+// kernels) or O(bs^2) (Heat stencil, H264 macroblock area) cost model,
+// anchored at the closest tabulated size.
+func calibrate(app App, bs int) tableIEntry {
+	if app == MLu {
+		app = Lu
+	}
+	rows := tableI[app]
+	if e, ok := rows[bs]; ok {
+		return e
+	}
+	// Anchor at block size 128 (8 for h264) and scale.
+	anchorBS := 128
+	exp := 3.0
+	switch app {
+	case Heat:
+		exp = 2.0
+	case H264Dec:
+		anchorBS, exp = 8, 2.0
+	}
+	anchor := rows[anchorBS]
+	ratio := pow(float64(bs)/float64(anchorBS), exp)
+	return tableIEntry{numTasks: 0, avgSize: anchor.avgSize * ratio, seqExec: anchor.seqExec}
+}
+
+func pow(x, e float64) float64 {
+	// Tiny positive-base power via exp/log-free repeated squaring on the
+	// common cases (e is 2 or 3 here); fall back to iterated multiply.
+	switch e {
+	case 2:
+		return x * x
+	case 3:
+		return x * x * x
+	default:
+		r := 1.0
+		for i := 0; i < int(e); i++ {
+			r *= x
+		}
+		return r
+	}
+}
+
+// scaleDurations rescales raw task weights so the mean equals the Table I
+// average task size, and returns the Table I sequential time scaled by
+// the ratio of actual to tabulated task count (1.0 when counts match, as
+// they do for Heat/Lu/Cholesky).
+func scaleDurations(app App, bs int, weights []float64) (durations []uint64, refSeq uint64) {
+	e := calibrate(app, bs)
+	n := len(weights)
+	if n == 0 {
+		return nil, 0
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	target := e.avgSize * float64(n) // total task cycles
+	scale := target / wsum
+	durations = make([]uint64, n)
+	for i, w := range weights {
+		d := uint64(w * scale)
+		if d == 0 {
+			d = 1
+		}
+		durations[i] = d
+	}
+	seq := e.seqExec
+	if e.numTasks > 0 {
+		seq *= float64(n) / float64(e.numTasks)
+	}
+	return durations, uint64(seq)
+}
+
+// Generate produces the trace for app with the given problem and block
+// size. For matrix kernels, problem is the matrix dimension (the paper
+// uses 2048) and block the block dimension; for H264dec, problem is the
+// number of frames (the paper uses 10) and block the macroblock grouping
+// (8, 4, 2 or 1).
+func Generate(app App, problem, block int) (*TraceResult, error) {
+	switch app {
+	case Heat:
+		return genHeat(problem, block)
+	case Lu:
+		return genLu(problem, block, false)
+	case MLu:
+		return genLu(problem, block, true)
+	case SparseLu:
+		return genSparseLu(problem, block)
+	case Cholesky:
+		return genCholesky(problem, block)
+	case H264Dec:
+		return genH264(problem, block)
+	default:
+		return nil, fmt.Errorf("apps: unknown app %q", app)
+	}
+}

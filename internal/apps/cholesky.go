@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// genCholesky generates the blocked left-looking Cholesky factorization
+// of Figure 2 of the paper (BAR "cholesky"), over the lower triangle of a
+// B x B block grid:
+//
+//	for k:
+//	  potrf(A[k][k])                 inout(Akk)                    1 dep
+//	  for i>k:  trsm(A[k][k],A[i][k])  in(Akk)  inout(Aik)         2 deps
+//	  for i>k:
+//	    for j in k+1..i-1: gemm       in(Aik) in(Ajk) inout(Aij)   3 deps
+//	    syrk(A[i][k],A[i][i])          in(Aik) inout(Aii)          2 deps
+//
+// Task count is B(B+1)(B+2)/6 — 120/816/5984/45760 for 2048 over
+// 256/128/64/32 — and dependences per task are 1-3, matching Table I.
+func genCholesky(problem, block int) (*TraceResult, error) {
+	if err := checkBlocking(problem, block); err != nil {
+		return nil, err
+	}
+	b := problem / block
+	blockBytes := uint64(block) * uint64(block) * 8
+	al := newAllocator(0x40000000)
+
+	// Lower-triangular block storage, allocated row-major like a packed
+	// blocked layout.
+	addr := make([][]uint64, b)
+	for i := 0; i < b; i++ {
+		addr[i] = make([]uint64, i+1)
+		for j := 0; j <= i; j++ {
+			addr[i][j] = al.block(blockBytes)
+		}
+	}
+
+	tr := &trace.Trace{Name: fmt.Sprintf("cholesky-%d-%d", problem, block)}
+	var weights []float64
+	counts := map[string]int{}
+	add := func(kernel string, w float64, deps ...trace.Dep) {
+		id := uint32(len(tr.Tasks))
+		tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps})
+		weights = append(weights, float64(jitter(uint64(w*1000), uint64(id)+0xC401, 10)))
+		counts[kernel]++
+	}
+
+	for k := 0; k < b; k++ {
+		// potrf: ~bs^3/3 flops.
+		add("potrf", 1.0/3, trace.Dep{Addr: addr[k][k], Dir: trace.InOut})
+		for i := k + 1; i < b; i++ {
+			// trsm: ~bs^3 flops.
+			add("trsm", 1.0,
+				trace.Dep{Addr: addr[k][k], Dir: trace.In},
+				trace.Dep{Addr: addr[i][k], Dir: trace.InOut})
+		}
+		for i := k + 1; i < b; i++ {
+			for j := k + 1; j < i; j++ {
+				// gemm: ~2 bs^3 flops.
+				add("gemm", 2.0,
+					trace.Dep{Addr: addr[i][k], Dir: trace.In},
+					trace.Dep{Addr: addr[j][k], Dir: trace.In},
+					trace.Dep{Addr: addr[i][j], Dir: trace.InOut})
+			}
+			// syrk: ~bs^3 flops.
+			add("syrk", 1.0,
+				trace.Dep{Addr: addr[i][k], Dir: trace.In},
+				trace.Dep{Addr: addr[i][i], Dir: trace.InOut})
+		}
+	}
+
+	durs, refSeq := scaleDurations(Cholesky, block, weights)
+	for i := range tr.Tasks {
+		tr.Tasks[i].Duration = durs[i]
+	}
+	tr.RefSeqCycles = refSeq
+	return &TraceResult{Trace: tr, KernelCounts: counts}, nil
+}

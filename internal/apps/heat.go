@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// TraceResult bundles a generated trace with generator metadata.
+type TraceResult struct {
+	Trace *trace.Trace
+	// KernelCounts maps kernel name -> number of tasks, e.g.
+	// {"potrf": 8, "trsm": 28, ...}.
+	KernelCounts map[string]int
+}
+
+// genHeat generates one sweep of the blocked Gauss-Seidel heat solver
+// (BAR "heat" with the gs kernel): the matrix is decomposed into B x B
+// blocks; the task updating block (i,j) reads its four neighbours and
+// updates itself in place:
+//
+//	#pragma omp task inout(A[i][j]) in(A[i-1][j]) in(A[i+1][j]) \
+//	                 in(A[i][j-1]) in(A[i][j+1])
+//
+// Boundary blocks reference the halo ring, so every task carries exactly
+// 5 dependences as in Table I. The in-place update creates the diagonal
+// wavefront: (i,j) RAW-depends on (i-1,j) and (i,j-1) from the current
+// sweep and WAR-feeds (i+1,j) and (i,j+1).
+func genHeat(problem, block int) (*TraceResult, error) {
+	if err := checkBlocking(problem, block); err != nil {
+		return nil, err
+	}
+	b := problem / block
+	blockBytes := uint64(block) * uint64(block) * 8
+	al := newAllocator(0x10000000)
+	// (B+2)^2 grid: ring of halo blocks around the B x B interior.
+	g := al.grid(b+2, b+2, blockBytes)
+
+	tr := &trace.Trace{Name: fmt.Sprintf("heat-%d-%d", problem, block)}
+	var weights []float64
+	for i := 1; i <= b; i++ {
+		for j := 1; j <= b; j++ {
+			id := uint32(len(tr.Tasks))
+			tr.Tasks = append(tr.Tasks, trace.Task{
+				ID: id,
+				Deps: []trace.Dep{
+					{Addr: g[i][j], Dir: trace.InOut},
+					{Addr: g[i-1][j], Dir: trace.In},
+					{Addr: g[i+1][j], Dir: trace.In},
+					{Addr: g[i][j-1], Dir: trace.In},
+					{Addr: g[i][j+1], Dir: trace.In},
+				},
+			})
+			// The stencil does identical work per block; the small jitter
+			// models cache effects seen in real instrumented traces.
+			weights = append(weights, float64(jitter(1000, uint64(id)+0xBEEF, 10)))
+		}
+	}
+	durs, refSeq := scaleDurations(Heat, block, weights)
+	for i := range tr.Tasks {
+		tr.Tasks[i].Duration = durs[i]
+	}
+	tr.RefSeqCycles = refSeq
+	return &TraceResult{Trace: tr, KernelCounts: map[string]int{"gs": len(tr.Tasks)}}, nil
+}
+
+func checkBlocking(problem, block int) error {
+	if problem <= 0 || block <= 0 {
+		return fmt.Errorf("apps: non-positive sizes %d/%d", problem, block)
+	}
+	if problem%block != 0 {
+		return fmt.Errorf("apps: block size %d does not divide problem size %d", block, problem)
+	}
+	if problem/block < 2 {
+		return fmt.Errorf("apps: need at least 2 blocks, got %d", problem/block)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// genLu generates the blocked LU factorization of the BAR "lu" benchmark.
+// The matrix is partitioned into B column panels; step k factors panel k
+// and updates every panel to its right:
+//
+//	diag(k):   #pragma omp task inout(P[k]) in(P[k-1])   (in(desc) for k=0)
+//	upd(k,j):  #pragma omp task in(P[k]) inout(P[j])     (j = k+1..B-1)
+//
+// Every task carries exactly 2 dependences, matching Table I, and the
+// task count is B(B+1)/2 (36/136/528/2080 for 2048 over 256/128/64/32).
+//
+// The update tasks of step k are all consumers of panel k. The Picos
+// prototype wakes a consumer chain starting from the LAST consumer
+// (Section III-D), so with the natural creation order (j ascending) the
+// critical-path task upd(k,k+1) — the producer of panel k+1 that diag(k+1)
+// waits for — is woken last. That is the corner case of Section V-A.
+// With modified=true (the paper's "MLu"), updates are created in
+// descending j order, so upd(k,k+1) is the last consumer and is woken
+// first, restoring near-roofline behaviour (Figure 9, left).
+func genLu(problem, block int, modified bool) (*TraceResult, error) {
+	if err := checkBlocking(problem, block); err != nil {
+		return nil, err
+	}
+	b := problem / block
+	panelBytes := uint64(problem) * uint64(block) * 8 // one column panel
+	al := newAllocator(0x20000000)
+	desc := al.block(64) // matrix descriptor, read by the first diag
+	panels := make([]uint64, b)
+	for i := range panels {
+		panels[i] = al.block(panelBytes)
+	}
+
+	name := "lu"
+	app := Lu
+	if modified {
+		name = "mlu"
+		app = MLu
+	}
+	tr := &trace.Trace{Name: fmt.Sprintf("%s-%d-%d", name, problem, block)}
+	var weights []float64
+	counts := map[string]int{}
+
+	add := func(kernel string, w float64, deps ...trace.Dep) {
+		id := uint32(len(tr.Tasks))
+		tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps})
+		weights = append(weights, float64(jitter(uint64(w*1000), uint64(id)+0xFACE, 10)))
+		counts[kernel]++
+	}
+
+	for k := 0; k < b; k++ {
+		prev := desc
+		if k > 0 {
+			prev = panels[k-1]
+		}
+		// diag: factor panel k (lu0 on the diagonal block + panel ops);
+		// ~1/3 the flops of a full panel update.
+		add("diag", 1.0/3,
+			trace.Dep{Addr: panels[k], Dir: trace.InOut},
+			trace.Dep{Addr: prev, Dir: trace.In},
+		)
+		if modified {
+			for j := b - 1; j > k; j-- {
+				add("upd", 1.0,
+					trace.Dep{Addr: panels[k], Dir: trace.In},
+					trace.Dep{Addr: panels[j], Dir: trace.InOut},
+				)
+			}
+		} else {
+			for j := k + 1; j < b; j++ {
+				add("upd", 1.0,
+					trace.Dep{Addr: panels[k], Dir: trace.In},
+					trace.Dep{Addr: panels[j], Dir: trace.InOut},
+				)
+			}
+		}
+	}
+
+	durs, refSeq := scaleDurations(app, block, weights)
+	for i := range tr.Tasks {
+		tr.Tasks[i].Duration = durs[i]
+	}
+	tr.RefSeqCycles = refSeq
+	return &TraceResult{Trace: tr, KernelCounts: counts}, nil
+}

@@ -1,0 +1,107 @@
+// Package apps generates the task traces of the five real OmpSs
+// benchmarks the paper evaluates (Section IV-C, Table I): Gauss-Seidel
+// Heat, LU, Sparse LU, Cholesky, and the H264dec video decoder. Each
+// generator runs the real blocked algorithm symbolically — the same loop
+// nests and block accesses as the BAR/StarBench sources — emitting one
+// task per kernel invocation with the kernel's dependence addresses and
+// directions. Per-task durations are calibrated so that the number of
+// tasks, dependences per task, average task size and sequential execution
+// time reproduce Table I.
+package apps
+
+// allocator hands out block base addresses the way a blocked matrix
+// allocation does: blocks are stored contiguously, so every block base is
+// aligned to the block's (power-of-two) byte size. This alignment is load-
+// bearing: it produces the address clustering that makes the direct-hash
+// DM designs conflict (Table II) while the Pearson design does not.
+type allocator struct {
+	next uint64
+}
+
+// newAllocator starts handing out addresses at base (the paper's traces
+// carry real 64-bit heap addresses; any base works).
+func newAllocator(base uint64) *allocator { return &allocator{next: base} }
+
+// alignUp rounds v up to the next multiple of a (a must be a power of 2).
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// nextPow2 returns the smallest power of two >= v (v > 0).
+func nextPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// block reserves one block of the given byte size, aligned to its
+// power-of-two rounding, and returns its base address.
+func (a *allocator) block(bytes uint64) uint64 {
+	sz := nextPow2(bytes)
+	a.next = alignUp(a.next, sz)
+	addr := a.next
+	a.next += sz
+	return addr
+}
+
+// mallocBlock reserves one block the way glibc malloc would: blocks of
+// 128KB and above come from mmap (page-aligned, so their low 6 bits are
+// zero and they cluster in one direct-hash DM set); smaller blocks come
+// from the heap with a 16-byte chunk header and 16-byte alignment, so
+// their low address bits vary. SparseLu allocates its blocks
+// individually (BOTS-style), which is why its fine-grained block sizes
+// conflict far less than Heat's contiguous layout in Table II.
+func (a *allocator) mallocBlock(bytes uint64) uint64 {
+	const mmapThreshold = 128 << 10
+	if bytes >= mmapThreshold {
+		a.next = alignUp(a.next, 4096)
+		addr := a.next
+		a.next += alignUp(bytes, 4096)
+		return addr
+	}
+	a.next += 16 // chunk header
+	a.next = alignUp(a.next, 16)
+	addr := a.next
+	a.next += bytes
+	return addr
+}
+
+// grid reserves rows x cols blocks of blockBytes each and returns their
+// base addresses as grid[r][c].
+func (a *allocator) grid(rows, cols int, blockBytes uint64) [][]uint64 {
+	g := make([][]uint64, rows)
+	for r := range g {
+		g[r] = make([]uint64, cols)
+		for c := range g[r] {
+			g[r][c] = a.block(blockBytes)
+		}
+	}
+	return g
+}
+
+// jitter deterministically perturbs a base duration by up to ±pct percent
+// using a splitmix64 hash of key, so repeated generation is reproducible
+// and no two runs of the benchmarks disagree.
+func jitter(base uint64, key uint64, pct int) uint64 {
+	if base == 0 {
+		return 1
+	}
+	h := splitmix64(key)
+	span := int64(base) * int64(pct) / 100
+	if span == 0 {
+		return base
+	}
+	off := int64(h%uint64(2*span+1)) - span
+	v := int64(base) + off
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

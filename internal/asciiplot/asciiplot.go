@@ -1,0 +1,152 @@
+// Package asciiplot renders small line charts as text, so the
+// reproduction harness can show Figure 8/9/11-style speedup-vs-workers
+// plots directly in a terminal next to the numeric tables.
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Chart is a renderable plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 56)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+// markers assigns one rune per series, in order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart. Series are drawn in order; later series
+// overwrite earlier ones where they collide.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 56
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX, minY, maxY, any := c.bounds()
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	// Y axis always starts at 0 for speedup plots unless data dips below.
+	if minY > 0 {
+		minY = 0
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, m rune) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		grid[height-1-row][col] = m
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		// Linear interpolation between consecutive points.
+		for i := 0; i+1 < len(s.Points); i++ {
+			a, b := s.Points[i], s.Points[i+1]
+			steps := width / max(1, len(s.Points)-1)
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(max(1, steps))
+				plot(a.X+(b.X-a.X)*f, a.Y+(b.Y-a.Y)*f, m)
+			}
+		}
+		for _, p := range s.Points {
+			plot(p.X, p.Y, m)
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", minY)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.1f ", minY+(maxY-minY)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "        %-8.3g%s%8.3g\n",
+		minX, strings.Repeat(" ", max(0, width-16)), maxX); err != nil {
+		return err
+	}
+	if c.XLabel != "" {
+		pad := (width - len(c.XLabel)) / 2
+		if pad < 0 {
+			pad = 0
+		}
+		if _, err := fmt.Fprintf(w, "        %s%s\n", strings.Repeat(" ", pad), c.XLabel); err != nil {
+			return err
+		}
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	_, err := fmt.Fprintf(w, "        legend: %s\n", strings.Join(legend, "   "))
+	return err
+}
+
+func (c *Chart) bounds() (minX, maxX, minY, maxY float64, any bool) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			any = true
+		}
+	}
+	return
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

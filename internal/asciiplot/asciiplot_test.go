@@ -1,0 +1,104 @@
+package asciiplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestEmptyChart(t *testing.T) {
+	out := render(t, &Chart{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestBasicRender(t *testing.T) {
+	c := &Chart{
+		Title:  "speedup",
+		XLabel: "workers",
+		Series: []Series{
+			{Label: "picos", Points: []Point{{2, 2}, {12, 11}}},
+			{Label: "nanos", Points: []Point{{2, 2}, {12, 4}}},
+		},
+	}
+	out := render(t, c)
+	for _, want := range []string{"speedup", "workers", "* picos", "o nanos", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The steeper series must appear above the shallower one at the
+	// right edge: find rows containing '*' and 'o' in the last columns.
+	lines := strings.Split(out, "\n")
+	starRow, oRow := -1, -1
+	for i, l := range lines {
+		if idx := strings.LastIndex(l, "*"); idx > 40 && starRow == -1 {
+			starRow = i
+		}
+		if idx := strings.LastIndex(l, "o"); idx > 40 && oRow == -1 {
+			oRow = i
+		}
+	}
+	if starRow == -1 || oRow == -1 || starRow >= oRow {
+		t.Fatalf("series ordering wrong (star row %d, o row %d):\n%s", starRow, oRow, out)
+	}
+}
+
+func TestAxisBounds(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Label: "s", Points: []Point{{0, 5}, {10, 20}}}},
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "20.0") {
+		t.Fatalf("max Y label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.0") {
+		t.Fatalf("zero baseline missing (speedup plots start at 0):\n%s", out)
+	}
+}
+
+func TestSinglePointSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Label: "p", Points: []Point{{1, 1}}}}}
+	out := render(t, c)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkers(t *testing.T) {
+	c := &Chart{}
+	for i := 0; i < 10; i++ {
+		c.Series = append(c.Series, Series{
+			Label:  strings.Repeat("x", i+1),
+			Points: []Point{{0, float64(i)}, {1, float64(i)}},
+		})
+	}
+	out := render(t, c)
+	// Markers wrap around after 8 series without panicking.
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	c := &Chart{
+		Width: 20, Height: 5,
+		Series: []Series{{Label: "s", Points: []Point{{0, 0}, {1, 1}}}},
+	}
+	out := render(t, c)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 5 plot rows + axis + x labels + legend.
+	if len(lines) < 8 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,154 @@
+// Package core is the public facade of the Picos reproduction: one entry
+// point to build traces (real applications or synthetic cases), run them
+// through any of the four execution engines the paper compares — the
+// Picos hardware model in its three HIL modes, the software-only Nanos++
+// model, and the Perfect (roofline) scheduler — and collect comparable
+// results.
+//
+// Quick start:
+//
+//	tr, _ := core.AppTrace(core.Cholesky, 2048, 128)
+//	res, _ := core.RunPicos(tr, core.PicosOptions{Workers: 12})
+//	fmt.Printf("speedup %.1fx\n", res.Speedup)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/hil"
+	"repro/internal/nanos"
+	"repro/internal/perfect"
+	"repro/internal/picos"
+	"repro/internal/synth"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+// Re-exported workload names.
+const (
+	Heat     = apps.Heat
+	Lu       = apps.Lu
+	MLu      = apps.MLu
+	SparseLu = apps.SparseLu
+	Cholesky = apps.Cholesky
+	H264Dec  = apps.H264Dec
+)
+
+// Re-exported DM designs.
+const (
+	DM8Way  = picos.DM8Way
+	DM16Way = picos.DM16Way
+	DMP8Way = picos.DMP8Way
+)
+
+// AppTrace generates the trace of a real benchmark (Table I workloads).
+func AppTrace(app apps.App, problem, block int) (*trace.Trace, error) {
+	res, err := apps.Generate(app, problem, block)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated trace invalid: %w", err)
+	}
+	return res.Trace, nil
+}
+
+// SyntheticTrace generates one of the paper's seven synthetic cases.
+func SyntheticTrace(caseNo int) (*trace.Trace, error) { return synth.Case(caseNo) }
+
+// Graph builds the dependence DAG of a trace (OmpSs semantics).
+func Graph(tr *trace.Trace) *taskgraph.Graph { return taskgraph.Build(tr) }
+
+// PicosOptions configures a Picos HIL run.
+type PicosOptions struct {
+	Workers int            // default 12
+	Mode    hil.Mode       // default HWOnly
+	Design  picos.DMDesign // default DMP8Way
+	LIFO    bool           // use the LIFO Task Scheduler (Figure 9)
+	NumTRS  int            // default 1
+	NumDCT  int            // default 1
+}
+
+// Result is a mode-independent run outcome.
+type Result struct {
+	Engine   string
+	Workers  int
+	Makespan uint64
+	Speedup  float64
+	Start    []uint64
+	Finish   []uint64
+}
+
+// RunPicos executes the trace on the Picos accelerator model.
+func RunPicos(tr *trace.Trace, opt PicosOptions) (*Result, error) {
+	cfg := hil.DefaultConfig()
+	if opt.Workers > 0 {
+		cfg.Workers = opt.Workers
+	}
+	cfg.Mode = opt.Mode
+	cfg.Picos.Design = opt.Design
+	if opt.LIFO {
+		cfg.Picos.Policy = picos.SchedLIFO
+	}
+	if opt.NumTRS > 0 {
+		cfg.Picos.NumTRS = opt.NumTRS
+	}
+	if opt.NumDCT > 0 {
+		cfg.Picos.NumDCT = opt.NumDCT
+	}
+	res, err := hil.Run(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Engine:   "picos/" + res.Mode.String(),
+		Workers:  res.Workers,
+		Makespan: res.Makespan,
+		Speedup:  res.Speedup,
+		Start:    res.Start,
+		Finish:   res.Finish,
+	}, nil
+}
+
+// RunPicosDetailed exposes the full HIL result (stats, probes).
+func RunPicosDetailed(tr *trace.Trace, cfg hil.Config) (*hil.Result, error) {
+	return hil.Run(tr, cfg)
+}
+
+// RunNanos executes the trace on the software-only runtime model.
+func RunNanos(tr *trace.Trace, workers int) (*Result, error) {
+	res, err := nanos.Run(tr, nanos.Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Engine:   "nanos",
+		Workers:  res.Workers,
+		Makespan: res.Makespan,
+		Speedup:  res.Speedup,
+		Start:    res.Start,
+		Finish:   res.Finish,
+	}, nil
+}
+
+// RunPerfect executes the trace on the zero-overhead roofline scheduler.
+func RunPerfect(tr *trace.Trace, workers int) (*Result, error) {
+	res, err := perfect.Run(tr, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Engine:   "perfect",
+		Workers:  res.Workers,
+		Makespan: res.Makespan,
+		Speedup:  res.Speedup,
+		Start:    res.Start,
+		Finish:   res.Finish,
+	}, nil
+}
+
+// Verify checks a result against the dependence oracle.
+func Verify(tr *trace.Trace, res *Result) error {
+	return taskgraph.Build(tr).CheckSchedule(res.Start, res.Finish)
+}

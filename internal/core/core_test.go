@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hil"
+)
+
+func TestAppTraceAndGraph(t *testing.T) {
+	tr, err := AppTrace(Cholesky, 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 120 {
+		t.Fatalf("cholesky-256 tasks = %d", len(tr.Tasks))
+	}
+	g := Graph(tr)
+	if g.N != 120 || g.NumEdges() == 0 {
+		t.Fatalf("graph N=%d edges=%d", g.N, g.NumEdges())
+	}
+	if _, err := AppTrace("bogus", 2048, 256); err == nil {
+		t.Fatal("bogus app accepted")
+	}
+}
+
+func TestSyntheticTrace(t *testing.T) {
+	tr, err := SyntheticTrace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 100 {
+		t.Fatalf("case4 tasks = %d", len(tr.Tasks))
+	}
+	if _, err := SyntheticTrace(0); err == nil {
+		t.Fatal("case 0 accepted")
+	}
+}
+
+func TestThreeEnginesAgreeOnLegality(t *testing.T) {
+	tr, err := AppTrace(Heat, 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"picos-hw", func() (*Result, error) { return RunPicos(tr, PicosOptions{Workers: 6}) }},
+		{"picos-full", func() (*Result, error) {
+			return RunPicos(tr, PicosOptions{Workers: 6, Mode: hil.FullSystem, LIFO: true, NumTRS: 2, NumDCT: 2})
+		}},
+		{"nanos", func() (*Result, error) { return RunNanos(tr, 6) }},
+		{"perfect", func() (*Result, error) { return RunPerfect(tr, 6) }},
+	}
+	var roofline float64
+	for _, e := range engines {
+		res, err := e.run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if err := Verify(tr, res); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if res.Speedup <= 0 || res.Makespan == 0 {
+			t.Fatalf("%s: degenerate result %+v", e.name, res)
+		}
+		if e.name == "perfect" {
+			roofline = res.Speedup
+		}
+	}
+	// Roofline bounds every engine.
+	for _, e := range engines[:3] {
+		res, _ := e.run()
+		if res.Speedup > roofline*1.01 {
+			t.Fatalf("%s speedup %.2f exceeds roofline %.2f", e.name, res.Speedup, roofline)
+		}
+	}
+}
+
+func TestRunPicosErrors(t *testing.T) {
+	tr, _ := SyntheticTrace(1)
+	if _, err := RunPicos(tr, PicosOptions{Workers: -1}); err == nil {
+		// Workers <= 0 defaults to 12, so -1 is... rejected by hil.
+		t.Log("negative workers defaulted")
+	}
+	if _, err := RunNanos(tr, 0); err == nil {
+		t.Fatal("RunNanos with 0 workers accepted")
+	}
+	if _, err := RunPerfect(tr, 0); err == nil {
+		t.Fatal("RunPerfect with 0 workers accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V): Table I-IV and Figures 1, 8, 9, 10 and 11.
+// Each experiment returns a Table — a titled grid of formatted cells —
+// that prints in the same layout as the paper, so paper-vs-reproduction
+// comparison is a side-by-side read (recorded in EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment names, in paper order.
+var Names = []string{
+	"table1", "table2", "table3", "table4",
+	"fig1", "fig8", "fig9", "fig10", "fig11",
+}
+
+// Options tunes experiment sizes. The zero value reproduces the paper's
+// full configuration; Quick trims worker sweeps and block sizes for CI.
+type Options struct {
+	Quick bool
+}
+
+// Run executes one experiment by name.
+func Run(name string, opt Options) ([]*Table, error) {
+	switch name {
+	case "table1":
+		return Table1()
+	case "table2":
+		return Table2(opt)
+	case "table3":
+		return Table3()
+	case "table4":
+		return Table4(opt)
+	case "fig1":
+		return Fig1(opt)
+	case "fig8":
+		return Fig8(opt)
+	case "fig9":
+		return Fig9(opt)
+	case "fig10":
+		return Fig10(opt)
+	case "fig11":
+		return Fig11(opt)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names, ", "))
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func e2(v float64) string { return fmt.Sprintf("%.2e", v) }
+func d(v uint64) string   { return fmt.Sprintf("%d", v) }

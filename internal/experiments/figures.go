@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/hil"
+	"repro/internal/nanos"
+	"repro/internal/perfect"
+	"repro/internal/picos"
+)
+
+// Fig1 regenerates Figure 1: speedup vs task granularity for the four
+// matrix kernels under the software-only runtime with 12 cores.
+func Fig1(opt Options) ([]*Table, error) {
+	workers := 12
+	t := &Table{
+		Title:  "Figure 1: speedup vs task granularity (Nanos++ software-only, 12 workers)",
+		Header: []string{"Blocksize", "heat", "lu", "sparselu", "cholesky"},
+	}
+	blockSizes := []int{256, 128, 64, 32}
+	if opt.Quick {
+		blockSizes = []int{256, 64}
+	}
+	for _, bs := range blockSizes {
+		row := []string{fmt.Sprintf("%d", bs)}
+		for _, app := range []apps.App{apps.Heat, apps.Lu, apps.SparseLu, apps.Cholesky} {
+			tr, err := appTrace(app, bs)
+			if err != nil {
+				return nil, err
+			}
+			res, err := nanos.Run(tr, nanos.Config{Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(res.Speedup))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "speedup rises with new parallelism, then falls when runtime overhead dominates")
+	return []*Table{t}, nil
+}
+
+// fig8Workloads are the four benchmarks (two block sizes each) of Fig 8.
+var fig8Workloads = []struct {
+	app apps.App
+	bs  [2]int
+}{
+	{apps.Heat, [2]int{128, 64}},
+	{apps.Cholesky, [2]int{256, 128}},
+	{apps.Lu, [2]int{64, 32}},
+	{apps.SparseLu, [2]int{128, 64}},
+}
+
+// Fig8 regenerates Figure 8: speedup of the three DM designs, HW-only
+// mode, 2..12 workers.
+func Fig8(opt Options) ([]*Table, error) {
+	workerList := []int{2, 4, 6, 8, 10, 12}
+	workloads := fig8Workloads
+	if opt.Quick {
+		workerList = []int{2, 12}
+		workloads = workloads[:2]
+	}
+	var tables []*Table
+	for _, wl := range workloads {
+		for _, bs := range wl.bs {
+			tr, err := appTrace(wl.app, bs)
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{
+				Title:  fmt.Sprintf("Figure 8: %s (%d/%d), HW-only speedup by DM design", wl.app, apps.DefaultProblem, bs),
+				Header: []string{"Workers", "DM 8way", "DM 16way", "DM P+8way"},
+			}
+			for _, w := range workerList {
+				row := []string{fmt.Sprintf("%d", w)}
+				for _, design := range picos.Designs {
+					cfg := hil.DefaultConfig()
+					cfg.Workers = w
+					cfg.Picos.Design = design
+					res, err := hil.Run(tr, cfg)
+					if err != nil {
+						return nil, fmt.Errorf("fig8 %s/%d %s w=%d: %w", wl.app, bs, design, w, err)
+					}
+					row = append(row, f2(res.Speedup))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}
+
+// Fig9 regenerates Figure 9: the Lu corner case. Left: MLu (modified
+// creation order) by DM design; right: original Lu with FIFO vs LIFO TS.
+func Fig9(opt Options) ([]*Table, error) {
+	workerList := []int{2, 4, 6, 8, 10, 12}
+	blockSizes := []int{64, 32}
+	if opt.Quick {
+		workerList = []int{2, 12}
+		blockSizes = []int{64}
+	}
+	var tables []*Table
+	for _, bs := range blockSizes {
+		mlu, err := appTrace(apps.MLu, bs)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 9 (left): MLu (%d/%d), HW-only speedup by DM design", apps.DefaultProblem, bs),
+			Header: []string{"Workers", "DM 8way", "DM 16way", "DM P+8way"},
+		}
+		for _, w := range workerList {
+			row := []string{fmt.Sprintf("%d", w)}
+			for _, design := range picos.Designs {
+				cfg := hil.DefaultConfig()
+				cfg.Workers = w
+				cfg.Picos.Design = design
+				res, err := hil.Run(mlu, cfg)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(res.Speedup))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+
+		lu, err := appTrace(apps.Lu, bs)
+		if err != nil {
+			return nil, err
+		}
+		t2 := &Table{
+			Title:  fmt.Sprintf("Figure 9 (right): Lu (%d/%d), P+8way, FIFO vs LIFO TS", apps.DefaultProblem, bs),
+			Header: []string{"Workers", "FIFO", "LIFO"},
+		}
+		for _, w := range workerList {
+			row := []string{fmt.Sprintf("%d", w)}
+			for _, policy := range []picos.SchedPolicy{picos.SchedFIFO, picos.SchedLIFO} {
+				cfg := hil.DefaultConfig()
+				cfg.Workers = w
+				cfg.Picos.Policy = policy
+				res, err := hil.Run(lu, cfg)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(res.Speedup))
+			}
+			t2.Rows = append(t2.Rows, row)
+		}
+		tables = append(tables, t2)
+	}
+	return tables, nil
+}
+
+// Fig10 regenerates Figure 10: Nanos++ per-task creation and submission
+// overhead versus thread count.
+func Fig10(opt Options) ([]*Table, error) {
+	tm := nanos.DefaultTiming()
+	t := &Table{
+		Title:  "Figure 10: Nanos++ RTS overhead for a single task (cycles)",
+		Header: []string{"Threads", "Creation", "1 DEP", "2 DEPs", "4 DEPs", "8 DEPs", "15 DEPs"},
+	}
+	threads := []int{1, 2, 4, 6, 8, 10, 12}
+	if opt.Quick {
+		threads = []int{1, 12}
+	}
+	for _, th := range threads {
+		row := []string{fmt.Sprintf("%d", th), d(tm.CreationOverhead(th))}
+		for _, nd := range []int{1, 2, 4, 8, 15} {
+			row = append(row, d(tm.SubmissionOverhead(nd, th)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig11 regenerates Figure 11: scalability of the five real benchmarks
+// under Picos Full-system vs the Perfect Simulator vs Nanos++.
+func Fig11(opt Options) ([]*Table, error) {
+	workerList := []int{2, 4, 8, 12, 16, 20, 24}
+	if opt.Quick {
+		workerList = []int{2, 8}
+	}
+	var tables []*Table
+	for _, app := range apps.Apps {
+		blockSizes := apps.BlockSizes(app)
+		if opt.Quick {
+			blockSizes = blockSizes[:1]
+			if app != apps.Heat && app != apps.Cholesky {
+				continue
+			}
+		}
+		for _, bs := range blockSizes {
+			tr, err := appTrace(app, bs)
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{
+				Title:  fmt.Sprintf("Figure 11: %s blocksize %d — speedup", app, bs),
+				Header: []string{"Workers", "Picos(Full-system)", "Perfect", "Nanos++"},
+			}
+			for _, w := range workerList {
+				cfg := hil.DefaultConfig()
+				cfg.Mode = hil.FullSystem
+				cfg.Workers = w
+				pres, err := hil.Run(tr, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("fig11 %s/%d picos w=%d: %w", app, bs, w, err)
+				}
+				perf, err := perfect.Run(tr, w)
+				if err != nil {
+					return nil, err
+				}
+				nres, err := nanos.Run(tr, nanos.Config{Workers: w})
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%d", w), f2(pres.Speedup), f2(perf.Speedup), f2(nres.Speedup),
+				})
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}

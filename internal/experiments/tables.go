@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/hil"
+	"repro/internal/picos"
+	"repro/internal/resources"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// appTrace generates and validates one benchmark trace.
+func appTrace(app apps.App, block int) (*trace.Trace, error) {
+	problem := apps.DefaultProblem
+	if app == apps.H264Dec {
+		problem = 10
+	}
+	res, err := apps.Generate(app, problem, block)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// Table1 regenerates Table I: the real-benchmark characteristics.
+func Table1() ([]*Table, error) {
+	t := &Table{
+		Title:  "Table I: real benchmarks",
+		Header: []string{"Name", "P/BlockSize", "#Tasks", "#Dep", "AveTSize", "SeqExec"},
+	}
+	for _, app := range apps.Apps {
+		for _, bs := range apps.BlockSizes(app) {
+			tr, err := appTrace(app, bs)
+			if err != nil {
+				return nil, err
+			}
+			s := tr.Summarize()
+			depRange := fmt.Sprintf("%d", s.MaxDeps)
+			if s.MinDeps != s.MaxDeps {
+				depRange = fmt.Sprintf("%d-%d", s.MinDeps, s.MaxDeps)
+			}
+			size := fmt.Sprintf("%d/%d", apps.DefaultProblem, bs)
+			if app == apps.H264Dec {
+				size = fmt.Sprintf("10f/%d", bs)
+			}
+			t.Rows = append(t.Rows, []string{
+				string(app), size, fmt.Sprintf("%d", s.NumTasks), depRange,
+				e2(s.AvgTaskSize), e2(float64(tr.Baseline())),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// table2Workloads are the benchmark/block-size pairs of Table II.
+var table2Workloads = []struct {
+	app apps.App
+	bs  int
+}{
+	{apps.Heat, 128}, {apps.Heat, 64},
+	{apps.SparseLu, 128}, {apps.SparseLu, 64},
+	{apps.Lu, 64}, {apps.Lu, 32},
+	{apps.Cholesky, 256}, {apps.Cholesky, 128},
+}
+
+// Table2 regenerates Table II: DM conflicts per design with 12 workers
+// in HW-only mode.
+func Table2(opt Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Table II: #DM conflicts in three Picos designs (12 workers, HW-only)",
+		Header: []string{"Name", "BlockSize", "DM 8way", "DM 16way", "DM P+8way"},
+	}
+	workloads := table2Workloads
+	if opt.Quick {
+		workloads = workloads[:4]
+	}
+	for _, wl := range workloads {
+		tr, err := appTrace(wl.app, wl.bs)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{string(wl.app), fmt.Sprintf("%d", wl.bs)}
+		for _, design := range picos.Designs {
+			cfg := hil.DefaultConfig()
+			cfg.Picos.Design = design
+			// Admit on TRS slots only, like the prototype: the conflict
+			// count then includes memory-capacity pressure (the paper's
+			// Heat/P+8way rows are capacity-bound).
+			cfg.Picos.Admission = picos.AdmitSlotsOnly
+			res, err := hil.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s/%d %s: %w", wl.app, wl.bs, design, err)
+			}
+			row = append(row, d(res.Stats.DMConflicts+res.Stats.VMStallEvents))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "counts are dependences that could not be stored on arrival (set conflict or VM capacity)")
+	return []*Table{t}, nil
+}
+
+// Table3 regenerates Table III: the hardware resource model.
+func Table3() ([]*Table, error) {
+	t := &Table{
+		Title:  "Table III: hardware resource consumption (XC7Z020: 53200 LUT, 106400 FF, 140 BRAM36)",
+		Header: []string{"Design", "LUTs", "FFs", "BRAM(36Kb)"},
+	}
+	row := func(r resources.Report) {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%.1f%%", r.LUTPct()),
+			fmt.Sprintf("%.2f%%", r.FFPct()),
+			fmt.Sprintf("%.1f%%", r.BRAMPct()),
+		})
+	}
+	row(resources.TM())
+	row(resources.VM(picos.DM8Way))
+	row(resources.VM(picos.DM16Way))
+	row(resources.DM(picos.DM8Way))
+	row(resources.DM(picos.DM16Way))
+	row(resources.DM(picos.DMP8Way))
+	row(resources.TRS())
+	row(resources.DCT(picos.DMP8Way))
+	row(resources.Glue())
+	row(resources.FullPicos(picos.DMP8Way, 1, 1))
+	t.Notes = append(t.Notes, "analytic model calibrated to the paper's synthesis results; see DESIGN.md")
+	return []*Table{t}, nil
+}
+
+// Table4 regenerates Table IV: latency and throughput of the synthetic
+// benchmarks under the three HIL modes, 12 workers.
+func Table4(opt Options) ([]*Table, error) {
+	modes := []hil.Mode{hil.HWOnly, hil.HWComm, hil.FullSystem}
+	header := []string{"Testcase", "Case1", "Case2", "Case3", "Case4", "Case5", "Case6", "Case7"}
+
+	t := &Table{Title: "Table IV: results of the synthetic benchmarks (12 workers)", Header: header}
+	// #d1st / avg#d row.
+	depRow := []string{"#d1st/avg#d"}
+	traces := make([]*trace.Trace, 7)
+	for c := 1; c <= 7; c++ {
+		tr, err := synth.Case(c)
+		if err != nil {
+			return nil, err
+		}
+		traces[c-1] = tr
+		avg := float64(tr.NumDeps()) / float64(len(tr.Tasks))
+		depRow = append(depRow, fmt.Sprintf("%d/%.0f", len(tr.Tasks[0].Deps), avg))
+	}
+	t.Rows = append(t.Rows, depRow)
+
+	for _, mode := range modes {
+		l1 := []string{mode.String() + " L1st"}
+		thrT := []string{mode.String() + " thrTask"}
+		thrD := []string{mode.String() + " thrDep"}
+		for c := 1; c <= 7; c++ {
+			tr := traces[c-1]
+			cfg := hil.DefaultConfig()
+			cfg.Mode = mode
+			res, err := hil.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table4 case%d %s: %w", c, mode, err)
+			}
+			l1 = append(l1, d(res.FirstStart))
+			thrT = append(thrT, fmt.Sprintf("%.0f", res.ThrTask))
+			avg := float64(tr.NumDeps()) / float64(len(tr.Tasks))
+			if avg > 0 {
+				thrD = append(thrD, fmt.Sprintf("%.0f", res.ThrTask/avg))
+			} else {
+				thrD = append(thrD, "-")
+			}
+		}
+		t.Rows = append(t.Rows, l1, thrT, thrD)
+	}
+	return []*Table{t}, nil
+}

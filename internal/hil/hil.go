@@ -1,0 +1,152 @@
+// Package hil models the paper's Hardware-In-the-Loop simulation
+// platform (Section IV-B, Figure 6): the Picos accelerator in the
+// programmable logic, driven either by PL-side workers (HW-only mode) or
+// by the ARM processing system over an AXI-Stream link whose messages
+// cost 200-300 cycles each (HW+communication and Full-system modes). In
+// Full-system mode the ARM additionally pays the Nanos++ task creation
+// and submission cost for every task before it reaches the accelerator.
+package hil
+
+import (
+	"fmt"
+
+	"repro/internal/picos"
+	"repro/internal/trace"
+)
+
+// Mode selects the platform operating mode.
+type Mode uint8
+
+const (
+	// HWOnly: all tasks preloaded into the accelerator, workers
+	// implemented in the PL; no communication cost (solid line of
+	// Figure 6).
+	HWOnly Mode = iota
+	// HWComm: HW-only plus the AXI communication cost for every new,
+	// ready and finished task message, serialized over the single
+	// stream interface.
+	HWComm
+	// FullSystem: the close-loop mode — ARM-side task creation and
+	// submission (Nanos++ master path) plus communication plus the
+	// accelerator.
+	FullSystem
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	switch m {
+	case HWOnly:
+		return "HW-only"
+	case HWComm:
+		return "HW+comm."
+	case FullSystem:
+		return "Full-system"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// CommTiming models the AXI-Stream link: per-message occupancy of the
+// interface plus in-flight latency, and a one-time lazy setup of the
+// stream queues and status registers incurred at the first transfer.
+// Calibrated so that HW+comm mode reproduces Table IV (L1st ~1172,
+// thrTask ~740).
+type CommTiming struct {
+	SendNewOcc    uint64 // interface busy cycles per new-task message
+	FetchReadyOcc uint64 // per ready-task retrieval
+	SendFinOcc    uint64 // per finished-task message
+	Flight        uint64 // additional in-flight latency per message
+	Setup         uint64 // one-time queue/status-register setup cost
+}
+
+// DefaultCommTiming returns the calibrated link cost ("around 200 to 300
+// cycles for each message").
+func DefaultCommTiming() CommTiming {
+	return CommTiming{
+		SendNewOcc:    290,
+		FetchReadyOcc: 230,
+		SendFinOcc:    220,
+		Flight:        15,
+		Setup:         460,
+	}
+}
+
+// MasterTiming models the ARM-side Nanos++ master path in Full-system
+// mode: constant task creation plus the submission cost. Submission of a
+// task with dependences pays a fixed dependence-bookkeeping entry cost
+// plus a light per-dependence marshaling cost (the heavy dependence
+// analysis is what Picos offloads); a task without dependences takes the
+// cheap no-deps path. Calibrated to Table IV Full-system rows
+// (thrTask 2729/3125/3413 for 0/1/15 deps).
+type MasterTiming struct {
+	Create       uint64 // task creation, independent of #deps
+	SubmitNoDeps uint64 // submission of a dependence-free task
+	SubmitBase   uint64 // submission entry cost when deps > 0
+	SubmitPerDep uint64 // marshaling per dependence
+}
+
+// DefaultMasterTiming returns the calibrated ARM master cost.
+func DefaultMasterTiming() MasterTiming {
+	return MasterTiming{Create: 1800, SubmitNoDeps: 620, SubmitBase: 995, SubmitPerDep: 21}
+}
+
+// SubmitCost returns the submission cost for a task with nDeps.
+func (m MasterTiming) SubmitCost(nDeps int) uint64 {
+	if nDeps == 0 {
+		return m.SubmitNoDeps
+	}
+	return m.SubmitBase + uint64(nDeps)*m.SubmitPerDep
+}
+
+// Config configures a platform run.
+type Config struct {
+	Mode    Mode
+	Workers int
+	Picos   picos.Config
+	Comm    CommTiming
+	Master  MasterTiming
+	// Watchdog aborts the run if no task starts or finishes for this
+	// many cycles (0: default 100M).
+	Watchdog uint64
+}
+
+// DefaultConfig returns a 12-worker HW-only platform around the paper's
+// baseline accelerator.
+func DefaultConfig() Config {
+	return Config{
+		Mode:    HWOnly,
+		Workers: 12,
+		Picos:   picos.DefaultConfig(),
+		Comm:    DefaultCommTiming(),
+		Master:  DefaultMasterTiming(),
+	}
+}
+
+// Result is the outcome of one platform run.
+type Result struct {
+	Mode     Mode
+	Workers  int
+	Makespan uint64 // cycle the last task finished executing
+	Baseline uint64 // sequential reference (trace.Baseline)
+	Speedup  float64
+
+	Start  []uint64 // per task, cycle execution started
+	Finish []uint64 // per task, cycle execution finished
+	Order  []uint32 // task IDs in start order
+
+	Stats picos.Stats
+	Busy  picos.BusyCycles
+
+	// Latency/throughput probes for Table IV.
+	FirstStart uint64  // L1st
+	ThrTask    float64 // cycles per additional task
+}
+
+// Run drives the trace through the platform.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	r, err := newRunner(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.run()
+}

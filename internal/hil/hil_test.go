@@ -1,0 +1,169 @@
+package hil
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/picos"
+	"repro/internal/synth"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+func mustRun(t *testing.T, tr *trace.Trace, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s, %s): %v", tr.Name, cfg.Mode, err)
+	}
+	return res
+}
+
+func verifyLegal(t *testing.T, tr *trace.Trace, res *Result) {
+	t.Helper()
+	g := taskgraph.Build(tr)
+	if err := g.CheckSchedule(res.Start, res.Finish); err != nil {
+		t.Fatalf("%s/%s: illegal schedule: %v", tr.Name, res.Mode, err)
+	}
+	if res.Stats.TasksCompleted != uint64(len(tr.Tasks)) {
+		t.Fatalf("%s/%s: completed %d of %d", tr.Name, res.Mode, res.Stats.TasksCompleted, len(tr.Tasks))
+	}
+	if res.Stats.ProtocolErrors != 0 {
+		t.Fatalf("%s/%s: %d protocol errors", tr.Name, res.Mode, res.Stats.ProtocolErrors)
+	}
+}
+
+func TestAllModesLegalOnSynthetics(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		tr, err := synth.Case(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{HWOnly, HWComm, FullSystem} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			res := mustRun(t, tr, cfg)
+			verifyLegal(t, tr, res)
+		}
+	}
+}
+
+func TestModesOrderedByOverhead(t *testing.T) {
+	// For the same workload, makespan must rank HWOnly < HWComm <
+	// FullSystem: each mode adds overhead on top of the previous one.
+	tr, err := synth.Case(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans [3]uint64
+	for i, mode := range []Mode{HWOnly, HWComm, FullSystem} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		spans[i] = mustRun(t, tr, cfg).Makespan
+	}
+	if !(spans[0] < spans[1] && spans[1] < spans[2]) {
+		t.Fatalf("makespans not ordered: HWOnly %d, HWComm %d, FullSystem %d", spans[0], spans[1], spans[2])
+	}
+}
+
+func TestRealAppLegalAllModes(t *testing.T) {
+	res, err := apps.Generate(apps.Cholesky, 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{HWOnly, HWComm, FullSystem} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.Workers = 8
+		r := mustRun(t, res.Trace, cfg)
+		verifyLegal(t, res.Trace, r)
+		if r.Speedup <= 1 {
+			t.Fatalf("%s: speedup %.2f <= 1 on 8 workers for coarse blocks", mode, r.Speedup)
+		}
+	}
+}
+
+func TestHeatWavefrontSpeedup(t *testing.T) {
+	// Heat at block 64 must scale well on 12 workers in HW-only mode
+	// (Figure 8 shows ~5.9x for P+8way).
+	res, err := apps.Generate(apps.Heat, 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	r := mustRun(t, res.Trace, cfg)
+	verifyLegal(t, res.Trace, r)
+	if r.Speedup < 3 {
+		t.Fatalf("heat-64 HW-only speedup %.2f, want > 3", r.Speedup)
+	}
+}
+
+func TestWorkerScalingMonotonic(t *testing.T) {
+	res, err := apps.Generate(apps.Cholesky, 2048, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, w := range []int{2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = w
+		r := mustRun(t, res.Trace, cfg)
+		if r.Speedup < prev*0.95 {
+			t.Fatalf("speedup dropped from %.2f to %.2f going to %d workers", prev, r.Speedup, w)
+		}
+		prev = r.Speedup
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	tr, _ := synth.Case(1)
+	if _, err := Run(tr, Config{Workers: 0, Picos: picos.DefaultConfig()}); err == nil {
+		t.Fatal("accepted 0 workers")
+	}
+	bad := DefaultConfig()
+	bad.Mode = Mode(99)
+	if _, err := Run(tr, bad); err == nil {
+		t.Fatal("accepted unknown mode")
+	}
+}
+
+func TestFirstStartAndThroughputProbes(t *testing.T) {
+	tr, _ := synth.Case(1)
+	cfg := DefaultConfig()
+	r := mustRun(t, tr, cfg)
+	if r.FirstStart == 0 {
+		t.Fatal("FirstStart = 0: latency probe broken")
+	}
+	if r.ThrTask <= 0 {
+		t.Fatal("ThrTask probe broken")
+	}
+	// HW-only first-task latency for a no-dep task is tens of cycles.
+	if r.FirstStart > 120 {
+		t.Fatalf("HW-only L1st = %d, want well under 120", r.FirstStart)
+	}
+	// HW+comm adds roughly a millisecond-scale link cost (Table IV ~1172).
+	cfg.Mode = HWComm
+	rc := mustRun(t, tr, cfg)
+	if rc.FirstStart < r.FirstStart+500 {
+		t.Fatalf("HW+comm L1st = %d, want >> HW-only %d", rc.FirstStart, r.FirstStart)
+	}
+}
+
+func TestLIFOFixesLuCornerCase(t *testing.T) {
+	// Figure 9 right: with the original Lu creation order, a LIFO TS must
+	// not be slower than FIFO (it schedules the critical-path update
+	// first); typically it is measurably faster at fine granularity.
+	res, err := apps.Generate(apps.Lu, 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := DefaultConfig()
+	lifo := DefaultConfig()
+	lifo.Picos.Policy = picos.SchedLIFO
+	rf := mustRun(t, res.Trace, fifo)
+	rl := mustRun(t, res.Trace, lifo)
+	verifyLegal(t, res.Trace, rl)
+	if rl.Speedup < rf.Speedup*0.98 {
+		t.Fatalf("LIFO speedup %.3f worse than FIFO %.3f", rl.Speedup, rf.Speedup)
+	}
+}

@@ -1,0 +1,408 @@
+package hil
+
+import (
+	"fmt"
+
+	"repro/internal/picos"
+	"repro/internal/queue"
+	"repro/internal/trace"
+)
+
+// busMsgKind labels messages crossing the AXI link.
+type busMsgKind uint8
+
+const (
+	busNew busMsgKind = iota
+	busReady
+	busFin
+)
+
+type busMsg struct {
+	kind busMsgKind
+	task uint32           // trace index (busNew)
+	rt   picos.ReadyTask  // busReady
+	h    picos.TaskHandle // busFin
+}
+
+// delivery is a message that has left the link and lands at cycle at.
+type delivery struct {
+	at  uint64
+	msg busMsg
+}
+
+// stampedTask is a created task available to the link from cycle at.
+type stampedTask struct {
+	at  uint64
+	idx uint32
+}
+
+type workerState struct {
+	active bool
+	until  uint64
+	task   picos.ReadyTask
+}
+
+type runner struct {
+	tr  *trace.Trace
+	cfg Config
+	p   *picos.Picos
+
+	workers []workerState
+
+	// ARM master state (FullSystem): next task to create and when the
+	// master core is free again. In Full-system mode the master also
+	// drives the AXI write for its own submissions, so the send occupies
+	// both the master and the link (that coupling is what makes the
+	// Full-system thrTask ~ create+submit+send, as in Table IV).
+	masterNext int
+	masterFree uint64
+
+	pendingNew queue.FIFO[stampedTask]      // created tasks awaiting the link
+	pendingFin queue.FIFO[picos.TaskHandle] // worker completions awaiting the link
+	deliveries []delivery                   // messages in flight
+
+	// Ready tasks fetched over the link but not yet running: the fetch
+	// reserves a worker (readyInFlight) so the link never over-fetches,
+	// and landed tasks wait in readyBacklog until a worker is free.
+	readyInFlight int
+	readyBacklog  queue.FIFO[picos.ReadyTask]
+
+	busFree  uint64
+	busSetup bool // lazy one-time queue setup performed
+
+	start  []uint64
+	finish []uint64
+	order  []uint32
+
+	done         int
+	lastProgress uint64
+}
+
+func newRunner(tr *trace.Trace, cfg Config) (*runner, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("hil: need at least 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.Watchdog == 0 {
+		cfg.Watchdog = 100_000_000
+	}
+	if cfg.Comm == (CommTiming{}) {
+		cfg.Comm = DefaultCommTiming()
+	}
+	if cfg.Master == (MasterTiming{}) {
+		cfg.Master = DefaultMasterTiming()
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("hil: %w", err)
+	}
+	p, err := picos.New(cfg.Picos)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		tr:      tr,
+		cfg:     cfg,
+		p:       p,
+		workers: make([]workerState, cfg.Workers),
+		start:   make([]uint64, len(tr.Tasks)),
+		finish:  make([]uint64, len(tr.Tasks)),
+	}
+	switch cfg.Mode {
+	case HWOnly:
+		for i := range tr.Tasks {
+			if err := p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps); err != nil {
+				return nil, err
+			}
+		}
+	case HWComm:
+		for i := range tr.Tasks {
+			r.pendingNew.Push(stampedTask{at: 0, idx: uint32(i)})
+		}
+	case FullSystem:
+		// Tasks are created one by one by the master in stepMaster.
+	default:
+		return nil, fmt.Errorf("hil: unknown mode %d", cfg.Mode)
+	}
+	return r, nil
+}
+
+func (r *runner) pendingWork() bool {
+	return r.pendingNew.Len() > 0 || r.pendingFin.Len() > 0 || len(r.deliveries) > 0 ||
+		r.readyBacklog.Len() > 0
+}
+
+func (r *runner) run() (*Result, error) {
+	n := len(r.tr.Tasks)
+	for r.done < n || !r.p.Idle() || r.pendingWork() {
+		now := r.p.Now()
+		r.stepWorkers(now)
+		r.stepDeliveries(now)
+		r.stepMaster(now)
+		r.stepBus(now)
+		r.dispatch(now)
+		if next, ok := r.quiescentUntil(now); ok && next > now+1 {
+			r.p.StepTo(next)
+		} else {
+			r.p.Step()
+		}
+		if r.p.Now()-r.lastProgress > r.cfg.Watchdog {
+			return nil, fmt.Errorf("hil: watchdog at cycle %d (done %d/%d, inflight %d, ready %d)",
+				r.p.Now(), r.done, n, r.p.InFlight(), r.p.ReadyCount())
+		}
+	}
+	return r.result(), nil
+}
+
+// stepWorkers retires finished executions.
+func (r *runner) stepWorkers(now uint64) {
+	for i := range r.workers {
+		w := &r.workers[i]
+		if !w.active || w.until > now {
+			continue
+		}
+		w.active = false
+		r.done++
+		r.lastProgress = now
+		if r.cfg.Mode == HWOnly {
+			r.p.NotifyFinish(w.task.Handle)
+		} else {
+			r.pendingFin.Push(w.task.Handle)
+		}
+	}
+}
+
+// stepDeliveries lands in-flight link messages.
+func (r *runner) stepDeliveries(now uint64) {
+	kept := r.deliveries[:0]
+	for _, d := range r.deliveries {
+		if d.at > now {
+			kept = append(kept, d)
+			continue
+		}
+		switch d.msg.kind {
+		case busNew:
+			task := &r.tr.Tasks[d.msg.task]
+			// Traces are validated before the run; a rejection here is a
+			// harness bug, surfaced through the drain check (submitted
+			// counter stays short).
+			_ = r.p.Submit(task.ID, task.Deps)
+		case busReady:
+			r.readyInFlight--
+			r.readyBacklog.Push(d.msg.rt)
+		case busFin:
+			r.p.NotifyFinish(d.msg.h)
+		}
+		r.lastProgress = now
+	}
+	r.deliveries = kept
+}
+
+// stepMaster runs the ARM-side Nanos++ creation/submission path: one
+// task per grant; the created descriptor becomes available to the link
+// at masterFree.
+func (r *runner) stepMaster(now uint64) {
+	if r.cfg.Mode != FullSystem {
+		return
+	}
+	if r.masterNext >= len(r.tr.Tasks) || r.masterFree > now {
+		return
+	}
+	task := &r.tr.Tasks[r.masterNext]
+	cost := task.CreateCost
+	if cost == 0 {
+		cost = r.cfg.Master.Create
+	}
+	cost += r.cfg.Master.SubmitCost(len(task.Deps))
+	// The master also performs the AXI stream write for its submission.
+	cost += r.cfg.Comm.SendNewOcc
+	r.masterFree = now + cost
+	r.pendingNew.Push(stampedTask{at: r.masterFree, idx: uint32(r.masterNext)})
+	r.masterNext++
+}
+
+// stepBus arbitrates the AXI link: ready retrievals first (keep workers
+// fed), then finished notifications (free accelerator resources), then
+// new submissions.
+func (r *runner) stepBus(now uint64) {
+	if r.cfg.Mode == HWOnly || r.busFree > now {
+		return
+	}
+	c := &r.cfg.Comm
+	if !r.busSetup {
+		if !r.busHasWork(now) {
+			return
+		}
+		// Lazy first-use setup of the stream queues and status registers
+		// (the extra ~600 cycles between Table IV's thrTask and L1st).
+		r.busSetup = true
+		r.busFree = now + c.Setup
+		return
+	}
+	if r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len() {
+		if rt, ok := r.p.PopReady(); ok {
+			r.readyInFlight++
+			r.busFree = now + c.FetchReadyOcc
+			r.deliveries = append(r.deliveries, delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busReady, rt: rt}})
+			return
+		}
+	}
+	if h, ok := r.pendingFin.Pop(); ok {
+		r.busFree = now + c.SendFinOcc
+		r.deliveries = append(r.deliveries, delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busFin, h: h}})
+		return
+	}
+	if st, ok := r.pendingNew.Peek(); ok && st.at <= now {
+		r.pendingNew.Pop()
+		// In Full-system mode the send occupancy was already paid on the
+		// master core (coupled resources); the link itself is still held
+		// for the transfer duration in both modes.
+		r.busFree = now + c.SendNewOcc
+		r.deliveries = append(r.deliveries, delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busNew, task: st.idx}})
+	}
+}
+
+// dispatch hands ready tasks to idle workers: directly from the TS in
+// HW-only mode, from the fetched backlog in the comm modes.
+func (r *runner) dispatch(now uint64) {
+	for i := range r.workers {
+		if r.workers[i].active {
+			continue
+		}
+		var rt picos.ReadyTask
+		var ok bool
+		if r.cfg.Mode == HWOnly {
+			rt, ok = r.p.PopReady()
+		} else {
+			rt, ok = r.readyBacklog.Pop()
+		}
+		if !ok {
+			return
+		}
+		r.startWorkerAt(i, rt, now)
+	}
+}
+
+func (r *runner) startWorkerAt(i int, rt picos.ReadyTask, now uint64) {
+	dur := r.tr.Tasks[rt.ID].Duration
+	w := &r.workers[i]
+	w.task, w.until, w.active = rt, now+dur, true
+	r.start[rt.ID] = now
+	r.finish[rt.ID] = now + dur
+	r.order = append(r.order, rt.ID)
+	r.lastProgress = now
+}
+
+func (r *runner) idleWorkers() int {
+	n := 0
+	for i := range r.workers {
+		if !r.workers[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// busHasWork reports whether any message is waiting for the link.
+func (r *runner) busHasWork(now uint64) bool {
+	if r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len() && r.p.ReadyCount() > 0 {
+		return true
+	}
+	if r.pendingFin.Len() > 0 {
+		return true
+	}
+	if st, ok := r.pendingNew.Peek(); ok && st.at <= now {
+		return true
+	}
+	return false
+}
+
+// busCanActNow reports whether the link could do useful work this cycle.
+func (r *runner) busCanActNow(now uint64) bool {
+	if r.cfg.Mode == HWOnly || r.busFree > now {
+		return false
+	}
+	return r.busHasWork(now)
+}
+
+// quiescentUntil reports the next cycle anything can happen, when the
+// platform is provably idle until then.
+func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
+	if !r.p.Idle() {
+		return 0, false
+	}
+	if r.idleWorkers() > 0 {
+		if r.cfg.Mode == HWOnly && r.p.ReadyCount() > 0 {
+			return 0, false
+		}
+		if r.readyBacklog.Len() > 0 {
+			return 0, false
+		}
+	}
+	if r.busCanActNow(now) {
+		return 0, false
+	}
+	next := uint64(0)
+	consider := func(t uint64) {
+		if t > now && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	for i := range r.workers {
+		if r.workers[i].active {
+			consider(r.workers[i].until)
+		}
+	}
+	for _, d := range r.deliveries {
+		consider(d.at)
+	}
+	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
+		consider(r.masterFree)
+	}
+	if st, ok := r.pendingNew.Peek(); ok {
+		consider(st.at)
+	}
+	if r.busFree > now && (r.pendingFin.Len() > 0 || r.pendingNew.Len() > 0 ||
+		(r.p.ReadyCount() > 0 && r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len())) {
+		consider(r.busFree)
+	}
+	if next == 0 {
+		return 0, false
+	}
+	return next, true
+}
+
+func (r *runner) result() *Result {
+	res := &Result{
+		Mode:     r.cfg.Mode,
+		Workers:  r.cfg.Workers,
+		Baseline: r.tr.Baseline(),
+		Start:    r.start,
+		Finish:   r.finish,
+		Order:    r.order,
+		Stats:    *r.p.Stats(),
+		Busy:     r.p.Busy(),
+	}
+	var first, lastStart uint64
+	firstSet := false
+	for _, id := range r.order {
+		s := r.start[id]
+		if !firstSet || s < first {
+			first, firstSet = s, true
+		}
+		if s > lastStart {
+			lastStart = s
+		}
+	}
+	for _, f := range r.finish {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	res.FirstStart = first
+	if len(r.order) > 1 {
+		res.ThrTask = float64(lastStart-first) / float64(len(r.order)-1)
+	}
+	if res.Makespan > 0 {
+		res.Speedup = float64(res.Baseline) / float64(res.Makespan)
+	}
+	return res
+}

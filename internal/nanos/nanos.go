@@ -1,0 +1,266 @@
+// Package nanos models the software-only Nanos++ runtime the paper
+// compares against: a master thread that creates and submits every task
+// (paying per-task and per-dependence analysis costs inside a contended
+// global runtime lock) and worker threads that pop ready tasks and
+// release dependences under the same lock. The lock-hold times grow with
+// the number of active threads (cache-line contention), which produces
+// the two signature behaviours of Figures 1 and 11: scaling saturates
+// around 8 workers, and fine-grained tasks collapse once per-task
+// overhead rivals task duration.
+package nanos
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+// Timing is the software runtime cost model, in cycles. Values are
+// calibrated against Figure 10 of the paper (task creation roughly
+// constant; submission growing with dependence count and thread count).
+type Timing struct {
+	Create        uint64  // task creation, outside the lock
+	SubmitBase    uint64  // submission + insertion, inside the lock
+	SubmitPerDep  uint64  // dependence analysis per dependence, in-lock
+	PopHold       uint64  // ready-queue pop, in-lock
+	ReleaseBase   uint64  // finish bookkeeping, in-lock
+	ReleasePerDep uint64  // dependence release per dependence, in-lock
+	Contention    float64 // per-extra-thread inflation of in-lock time
+}
+
+// DefaultTiming returns the calibrated model.
+func DefaultTiming() Timing {
+	return Timing{
+		Create:        1800,
+		SubmitBase:    700,
+		SubmitPerDep:  400,
+		PopHold:       300,
+		ReleaseBase:   500,
+		ReleasePerDep: 350,
+		Contention:    0.18,
+	}
+}
+
+// inflate applies the contention factor for a given thread count (master
+// + workers all hammer the same runtime structures).
+func (t *Timing) inflate(hold uint64, threads int) uint64 {
+	if threads <= 1 {
+		return hold
+	}
+	return uint64(float64(hold) * (1 + t.Contention*float64(threads-1)))
+}
+
+// CreationOverhead returns the Figure 10 "Creation" series: per-task
+// creation cost at a given thread count.
+func (t *Timing) CreationOverhead(threads int) uint64 { return t.Create }
+
+// SubmissionOverhead returns the Figure 10 "x DEPs" series: per-task
+// submission cost for a task with nDeps dependences at a thread count.
+func (t *Timing) SubmissionOverhead(nDeps, threads int) uint64 {
+	return t.inflate(t.SubmitBase+uint64(nDeps)*t.SubmitPerDep, threads)
+}
+
+// Config configures a software-only run.
+type Config struct {
+	Workers  int
+	Timing   Timing
+	Watchdog uint64 // safety bound on simulated cycles (0: 1e12)
+}
+
+// Result is the outcome of a software-only run.
+type Result struct {
+	Workers  int
+	Makespan uint64
+	Baseline uint64
+	Speedup  float64
+	Start    []uint64
+	Finish   []uint64
+	// LockBusy is the total cycles the runtime lock was held — the
+	// contention diagnostic behind the 8-worker knee.
+	LockBusy uint64
+}
+
+// event kinds for the discrete-event simulation.
+type evKind uint8
+
+const (
+	evMasterCreate evKind = iota // master finished creating, wants the lock
+	evWorkerIdle                 // worker wants to pop a ready task
+	evWorkerDone                 // worker finished executing a task
+)
+
+type event struct {
+	at   uint64
+	seq  uint64 // FIFO tie-break
+	kind evKind
+	who  int   // worker index
+	task int32 // evWorkerDone
+}
+
+type evHeap []event
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *evHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Run simulates the software-only runtime on the trace.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("nanos: need at least 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.Watchdog == 0 {
+		cfg.Watchdog = 1e12
+	}
+	tm := &cfg.Timing
+	g := taskgraph.Build(tr)
+	n := g.N
+	threads := cfg.Workers + 1 // master + workers
+
+	res := &Result{
+		Workers:  cfg.Workers,
+		Baseline: tr.Baseline(),
+		Start:    make([]uint64, n),
+		Finish:   make([]uint64, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	remaining := make([]int32, n) // unfinished predecessors
+	submitted := make([]bool, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = int32(len(g.Pred[i]))
+	}
+
+	var (
+		events    evHeap
+		seq       uint64
+		lockFree  uint64
+		ready     []int32 // FIFO ready queue
+		readyHead int
+		idle      []int // idle worker indices (parked, waiting for work)
+		created   int   // tasks created by the master so far
+		finished  int
+	)
+	push := func(at uint64, kind evKind, who int, task int32) {
+		seq++
+		heap.Push(&events, event{at: at, seq: seq, kind: kind, who: who, task: task})
+	}
+
+	// acquireLock serializes an in-lock section of base duration `hold`
+	// (already contention-inflated by the caller) starting no earlier
+	// than `at`; returns the section's end time.
+	acquireLock := func(at, hold uint64) uint64 {
+		if lockFree > at {
+			at = lockFree
+		}
+		lockFree = at + hold
+		res.LockBusy += hold
+		return lockFree
+	}
+
+	// The master starts creating the first task at cycle 0; workers park
+	// idle.
+	createCost := func(i int) uint64 {
+		c := tr.Tasks[i].CreateCost
+		if c == 0 {
+			c = tm.Create
+		}
+		return c
+	}
+	push(createCost(0), evMasterCreate, -1, 0)
+	for w := 0; w < cfg.Workers; w++ {
+		idle = append(idle, w)
+	}
+
+	// wakeIdle reparks an idle worker onto the ready queue at time `at`.
+	wakeIdle := func(at uint64) {
+		if len(idle) == 0 {
+			return
+		}
+		w := idle[len(idle)-1]
+		idle = idle[:len(idle)-1]
+		push(at, evWorkerIdle, w, -1)
+	}
+
+	markReady := func(t int32, at uint64) {
+		ready = append(ready, t)
+		wakeIdle(at)
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		if ev.at > cfg.Watchdog {
+			return nil, fmt.Errorf("nanos: watchdog at cycle %d (%d/%d finished)", ev.at, finished, n)
+		}
+		switch ev.kind {
+		case evMasterCreate:
+			t := int32(ev.task)
+			hold := tm.inflate(tm.SubmitBase+uint64(len(tr.Tasks[t].Deps))*tm.SubmitPerDep, threads)
+			end := acquireLock(ev.at, hold)
+			submitted[t] = true
+			created++
+			if remaining[t] == 0 {
+				markReady(t, end)
+			}
+			if created < n {
+				push(end+createCost(created), evMasterCreate, -1, int32(created))
+			}
+		case evWorkerIdle:
+			if readyHead >= len(ready) {
+				// Spurious wake-up: park again.
+				idle = append(idle, ev.who)
+				continue
+			}
+			hold := tm.inflate(tm.PopHold, threads)
+			end := acquireLock(ev.at, hold)
+			t := ready[readyHead]
+			readyHead++
+			res.Start[t] = end
+			res.Finish[t] = end + g.Durations[t]
+			push(res.Finish[t], evWorkerDone, ev.who, t)
+			// If more work remains visible, wake another idle worker.
+			if readyHead < len(ready) {
+				wakeIdle(end)
+			}
+		case evWorkerDone:
+			t := ev.task
+			hold := tm.inflate(tm.ReleaseBase+uint64(len(tr.Tasks[t].Deps))*tm.ReleasePerDep, threads)
+			end := acquireLock(ev.at, hold)
+			finished++
+			for _, s := range g.Succ[t] {
+				remaining[s]--
+				if remaining[s] == 0 && submitted[s] {
+					markReady(s, end)
+				}
+			}
+			// This worker looks for more work immediately.
+			push(end, evWorkerIdle, ev.who, -1)
+		}
+	}
+
+	if finished != n {
+		return nil, fmt.Errorf("nanos: only %d/%d tasks finished (scheduler wedge)", finished, n)
+	}
+	for _, f := range res.Finish {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	if res.Makespan > 0 {
+		res.Speedup = float64(res.Baseline) / float64(res.Makespan)
+	}
+	return res, nil
+}

@@ -1,0 +1,215 @@
+// Package paperref embeds the numbers published in the paper's
+// evaluation section, so reproduction runs can be diffed against the
+// original measurements mechanically. Every value is transcribed from
+// the paper (Tables I-IV and the headline speedups quoted in the text
+// for Figures 8 and 11); the comparison helpers classify each cell as
+// matching in value, matching in shape, or diverging.
+package paperref
+
+import (
+	"fmt"
+	"math"
+)
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow struct {
+	App       string
+	Block     int
+	Tasks     int
+	DepLo     int
+	DepHi     int
+	AvgSize   float64
+	SeqCycles float64
+}
+
+// TableI is the paper's Table I.
+var TableI = []TableIRow{
+	{"heat", 256, 64, 5, 5, 3.51e6, 2.25e8},
+	{"heat", 128, 256, 5, 5, 8.20e5, 2.07e8},
+	{"heat", 64, 1024, 5, 5, 2.17e5, 2.11e8},
+	{"heat", 32, 4096, 5, 5, 7.19e4, 2.41e8},
+	{"lu", 256, 36, 2, 2, 5.67e7, 2.04e9},
+	{"lu", 128, 136, 2, 2, 1.49e7, 2.04e9},
+	{"lu", 64, 528, 2, 2, 4.13e6, 2.17e9},
+	{"lu", 32, 2080, 2, 2, 1.53e6, 3.18e9},
+	{"sparselu", 256, 34, 1, 3, 2.74e7, 9.30e8},
+	{"sparselu", 128, 212, 1, 3, 4.36e6, 9.24e8},
+	{"sparselu", 64, 1512, 1, 3, 6.47e5, 9.78e8},
+	{"sparselu", 32, 11472, 1, 3, 8.28e4, 9.50e8},
+	{"cholesky", 256, 120, 1, 3, 6.63e6, 7.61e8},
+	{"cholesky", 128, 816, 1, 3, 9.71e5, 7.89e8},
+	{"cholesky", 64, 5984, 1, 3, 1.47e5, 8.77e8},
+	{"cholesky", 32, 45760, 1, 3, 2.94e4, 1.34e9},
+	{"h264dec", 8, 2659, 2, 6, 2.06e6, 5.48e9},
+	{"h264dec", 4, 9306, 2, 6, 5.91e5, 5.50e9},
+	{"h264dec", 2, 35894, 2, 6, 1.53e5, 5.48e9},
+	{"h264dec", 1, 139934, 2, 6, 3.94e4, 5.51e9},
+}
+
+// TableIIRow is one row of the paper's Table II (#DM conflicts with 12
+// workers).
+type TableIIRow struct {
+	App   string
+	Block int
+	DM8   int
+	DM16  int
+	DMP8  int
+}
+
+// TableII is the paper's Table II.
+var TableII = []TableIIRow{
+	{"heat", 128, 254, 252, 65},
+	{"heat", 64, 1022, 1020, 757},
+	{"sparselu", 128, 189, 166, 0},
+	{"sparselu", 64, 239, 0, 0},
+	{"lu", 64, 491, 392, 0},
+	{"lu", 32, 2039, 1937, 0},
+	{"cholesky", 256, 108, 79, 0},
+	{"cholesky", 128, 807, 792, 0},
+}
+
+// TableIIIRow is one row of the paper's Table III, as percentages of the
+// XC7Z020.
+type TableIIIRow struct {
+	Design  string
+	LUTPct  float64
+	FFPct   float64
+	BRAMPct float64
+}
+
+// TableIII is the paper's Table III.
+var TableIII = []TableIIIRow{
+	{"TM", 0.4, 0.01, 6},
+	{"VM for 8way/P+8way", 0.4, 0.01, 1},
+	{"VM for 16way", 0.4, 0.01, 2},
+	{"DM 8way", 1.1, 0.1, 9},
+	{"DM 16way", 3.1, 0.1, 17},
+	{"DM P+8way", 1.7, 0.1, 10},
+	{"TRS", 1.6, 0.6, 6},
+	{"DCT (DM P+8way)", 2.9, 0.3, 11},
+	{"GW+ARB+TS", 1.3, 0.4, 0},
+	{"Full Picos (DM P+8way)", 5.8, 1.2, 17},
+}
+
+// TableIVMode holds the paper's Table IV rows for one HIL mode, indexed
+// by case 1..7 (position 0 = Case1).
+type TableIVMode struct {
+	Mode    string
+	L1st    [7]float64
+	ThrTask [7]float64
+	ThrDep  [7]float64 // 0 where the paper prints "-"
+}
+
+// TableIV is the paper's Table IV.
+var TableIV = []TableIVMode{
+	{
+		Mode:    "HW-only",
+		L1st:    [7]float64{45, 73, 312, 72, 96, 287, 233},
+		ThrTask: [7]float64{15, 24, 243, 24, 35, 38, 178},
+		ThrDep:  [7]float64{0, 24, 16, 24, 18, 19, 16},
+	},
+	{
+		Mode:    "HW+comm.",
+		L1st:    [7]float64{1172, 1174, 1293, 1151, 1158, 1274, 1279},
+		ThrTask: [7]float64{740, 740, 734, 743, 743, 743, 743},
+		ThrDep:  [7]float64{0, 740, 49, 743, 371, 372, 68},
+	},
+	{
+		Mode:    "Full-system",
+		L1st:    [7]float64{3879, 4240, 4710, 4246, 4217, 4531, 4549},
+		ThrTask: [7]float64{2729, 3125, 3413, 3124, 3168, 3165, 3379},
+		ThrDep:  [7]float64{0, 3125, 228, 3124, 1584, 1583, 307},
+	},
+}
+
+// Fig8Anchor is a headline speedup quoted in Section V-A for the P+8way
+// design in HW-only mode.
+type Fig8Anchor struct {
+	App       string
+	Block     int
+	Workers2  float64 // speedup at 2 workers
+	Workers12 float64 // speedup at 12 workers
+}
+
+// Fig8Anchors are the two explicit numbers the text gives for Figure 8.
+var Fig8Anchors = []Fig8Anchor{
+	{"heat", 64, 2.0, 5.9},
+	{"cholesky", 128, 2.0, 11.5},
+}
+
+// Fig11Claim captures the qualitative claims of Section V-D used by the
+// shape checks: at the given block size, Nanos saturates by 8 workers
+// while Picos keeps scaling (or stays stable) to the given worker count.
+type Fig11Claim struct {
+	App          string
+	Block        int
+	PicosWorkers int     // Picos still improves (or holds) up to here
+	NanosMax     float64 // Nanos speedup never exceeds this at any count
+}
+
+// Fig11Claims transcribes the explicit numbers in Section V-D:
+// SparseLu/32 reaches 16x-24x on 16-24 workers; Cholesky/64 reaches
+// 15x-21x; Heat/32 Nanos drops to 1.6x at 8 workers while Picos holds
+// ~6.3x.
+var Fig11Claims = []Fig11Claim{
+	{"sparselu", 32, 24, 10},
+	{"cholesky", 64, 24, 12},
+	{"heat", 32, 12, 5},
+}
+
+// Verdict classifies a reproduced value against the paper's.
+type Verdict int
+
+const (
+	// Match: within the tolerance.
+	Match Verdict = iota
+	// Near: within twice the tolerance.
+	Near
+	// Diverge: outside twice the tolerance.
+	Diverge
+)
+
+// String renders the verdict marker used in reports.
+func (v Verdict) String() string {
+	switch v {
+	case Match:
+		return "ok"
+	case Near:
+		return "~"
+	default:
+		return "DIVERGES"
+	}
+}
+
+// Compare classifies got against want with relative tolerance tol. An
+// absolute slack floor keeps tiny counts (e.g. conflict counts near 0)
+// from being classified on meaningless relative error.
+func Compare(got, want, tol, absSlack float64) Verdict {
+	diff := math.Abs(got - want)
+	if diff <= absSlack {
+		return Match
+	}
+	if want == 0 {
+		if diff <= 2*absSlack {
+			return Near
+		}
+		return Diverge
+	}
+	rel := diff / math.Abs(want)
+	switch {
+	case rel <= tol:
+		return Match
+	case rel <= 2*tol:
+		return Near
+	default:
+		return Diverge
+	}
+}
+
+// Delta formats got-vs-want with a percentage.
+func Delta(got, want float64) string {
+	if want == 0 {
+		return fmt.Sprintf("%.3g vs 0", got)
+	}
+	return fmt.Sprintf("%.3g vs %.3g (%+.0f%%)", got, want, 100*(got-want)/want)
+}

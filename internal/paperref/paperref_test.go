@@ -1,0 +1,93 @@
+package paperref
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCompareBands(t *testing.T) {
+	cases := []struct {
+		got, want, tol, slack float64
+		v                     Verdict
+	}{
+		{100, 100, 0.1, 0, Match},
+		{109, 100, 0.1, 0, Match},
+		{115, 100, 0.1, 0, Near},
+		{125, 100, 0.1, 0, Diverge},
+		{3, 0, 0.1, 5, Match},    // absolute slack floor
+		{8, 0, 0.1, 5, Near},     // within twice the slack
+		{50, 0, 0.1, 5, Diverge}, // way off a zero reference
+		{0, 0, 0.1, 0, Match},
+	}
+	for i, c := range cases {
+		if got := Compare(c.got, c.want, c.tol, c.slack); got != c.v {
+			t.Errorf("case %d: Compare(%v,%v) = %v, want %v", i, c.got, c.want, got, c.v)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Match.String() != "ok" || Near.String() != "~" || Diverge.String() != "DIVERGES" {
+		t.Fatal("verdict strings changed")
+	}
+}
+
+func TestReferenceTablesComplete(t *testing.T) {
+	if len(TableI) != 20 {
+		t.Fatalf("Table I has %d rows, want 20", len(TableI))
+	}
+	if len(TableII) != 8 {
+		t.Fatalf("Table II has %d rows, want 8", len(TableII))
+	}
+	if len(TableIII) != 10 {
+		t.Fatalf("Table III has %d rows, want 10", len(TableIII))
+	}
+	if len(TableIV) != 3 {
+		t.Fatalf("Table IV has %d modes, want 3", len(TableIV))
+	}
+	// Spot checks against the paper text.
+	if TableII[1].DM8 != 1022 || TableII[1].DMP8 != 757 {
+		t.Fatal("heat/64 Table II row mistranscribed")
+	}
+	if TableIV[2].ThrTask[0] != 2729 {
+		t.Fatal("Full-system Case1 thrTask mistranscribed")
+	}
+	// Internal consistency: avg size * tasks within 25% of seq cycles.
+	for _, r := range TableI {
+		prod := r.AvgSize * float64(r.Tasks)
+		if prod < 0.7*r.SeqCycles || prod > 1.4*r.SeqCycles {
+			t.Errorf("%s/%d: avg*tasks %.3g inconsistent with seq %.3g", r.App, r.Block, prod, r.SeqCycles)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	var r Report
+	r.Add("Table X", "cell a", 100, 100, 0.1, 0)
+	r.Add("Table X", "cell b", 200, 100, 0.1, 0)
+	r.Add("Table Y", "cell c", 0, 0, 0.1, 1)
+	m, n, d := r.Counts()
+	if m != 2 || n != 0 || d != 1 {
+		t.Fatalf("counts = %d/%d/%d", m, n, d)
+	}
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### Table X", "### Table Y", "DIVERGES", "2 cells match"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if got := Delta(110, 100); !strings.Contains(got, "+10%") {
+		t.Fatalf("Delta = %q", got)
+	}
+	if got := Delta(5, 0); !strings.Contains(got, "vs 0") {
+		t.Fatalf("Delta = %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package paperref
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Line is one paper-vs-measured comparison in a report.
+type Line struct {
+	Experiment string
+	Cell       string
+	Got        float64
+	Want       float64
+	Verdict    Verdict
+}
+
+// Report accumulates comparisons and renders the EXPERIMENTS.md body.
+type Report struct {
+	Lines []Line
+}
+
+// Add records one comparison.
+func (r *Report) Add(experiment, cell string, got, want, tol, absSlack float64) {
+	r.Lines = append(r.Lines, Line{
+		Experiment: experiment,
+		Cell:       cell,
+		Got:        got,
+		Want:       want,
+		Verdict:    Compare(got, want, tol, absSlack),
+	})
+}
+
+// Counts returns how many lines matched, were near, and diverged.
+func (r *Report) Counts() (match, near, diverge int) {
+	for _, l := range r.Lines {
+		switch l.Verdict {
+		case Match:
+			match++
+		case Near:
+			near++
+		default:
+			diverge++
+		}
+	}
+	return
+}
+
+// Fprint renders the report grouped by experiment, in Markdown.
+func (r *Report) Fprint(w io.Writer) error {
+	groups := map[string][]Line{}
+	var order []string
+	for _, l := range r.Lines {
+		if _, ok := groups[l.Experiment]; !ok {
+			order = append(order, l.Experiment)
+		}
+		groups[l.Experiment] = append(groups[l.Experiment], l)
+	}
+	sort.Stable(sort.StringSlice(order))
+	for _, exp := range order {
+		if _, err := fmt.Fprintf(w, "\n### %s\n\n", exp); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "| cell | measured | paper | delta | verdict |\n|---|---|---|---|---|\n"); err != nil {
+			return err
+		}
+		for _, l := range groups[exp] {
+			delta := "-"
+			if l.Want != 0 {
+				delta = fmt.Sprintf("%+.0f%%", 100*(l.Got-l.Want)/l.Want)
+			}
+			if _, err := fmt.Fprintf(w, "| %s | %.4g | %.4g | %s | %s |\n",
+				l.Cell, l.Got, l.Want, delta, l.Verdict); err != nil {
+				return err
+			}
+		}
+	}
+	m, n, d := r.Counts()
+	_, err := fmt.Fprintf(w, "\n**Summary: %d cells match, %d near, %d diverge (of %d).**\n", m, n, d, len(r.Lines))
+	return err
+}

@@ -1,0 +1,82 @@
+package pearson
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIsPermutation(t *testing.T) {
+	seen := [256]bool{}
+	for b := 0; b < 256; b++ {
+		h := Byte(uint8(b))
+		if seen[h] {
+			t.Fatalf("value %d produced twice", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := Hash([]byte("picos"))
+	b := Hash([]byte("picos"))
+	if a != b {
+		t.Fatalf("hash not deterministic: %d != %d", a, b)
+	}
+	if Hash([]byte("picos")) == Hash([]byte("picoz")) {
+		// Not a guarantee of Pearson in general, but true for this pair
+		// with this table; acts as a regression canary for the table.
+		t.Log("warning: adjacent strings collide")
+	}
+}
+
+func TestHashEmpty(t *testing.T) {
+	if Hash(nil) != 0 {
+		t.Fatalf("empty hash = %d, want 0", Hash(nil))
+	}
+}
+
+func TestIndex64Range(t *testing.T) {
+	f := func(addr uint64) bool {
+		i := Index64(addr)
+		return i >= 0 && i < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndex64SpreadsAlignedAddresses verifies the core motivation for the
+// P+8way design: block-aligned addresses (low bits all zero) land in a
+// single set under the direct addr[5:0] index, but Pearson folding spreads
+// them over many sets.
+func TestIndex64SpreadsAlignedAddresses(t *testing.T) {
+	const blocks = 256
+	const stride = 128 * 128 * 8 // a 128x128 block of float64, paper-style
+	sets := map[int]int{}
+	direct := map[int]int{}
+	for i := 0; i < blocks; i++ {
+		addr := uint64(0x10000000) + uint64(i)*stride
+		sets[Index64(addr)]++
+		direct[int(addr&0x3F)]++
+	}
+	if len(direct) != 1 {
+		t.Fatalf("direct index should cluster aligned addresses into 1 set, got %d", len(direct))
+	}
+	if len(sets) < 32 {
+		t.Fatalf("Pearson index spread aligned addresses over only %d/64 sets", len(sets))
+	}
+	// No set should hold a wildly disproportionate share.
+	for s, n := range sets {
+		if n > blocks/4 {
+			t.Fatalf("set %d holds %d of %d addresses; hash is too skewed", s, n, blocks)
+		}
+	}
+}
+
+func TestFold32MatchesManual(t *testing.T) {
+	x := uint32(0xA1B2C3D4)
+	want := Byte(0xD4) ^ Byte(0xC3) ^ Byte(0xB2) ^ Byte(0xA1)
+	if got := Fold32(x); got != want {
+		t.Fatalf("Fold32 = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,117 @@
+// Package perfect implements the paper's Perfect Simulator: a
+// zero-overhead list scheduler that executes the trace's dependence DAG
+// on P workers, showing "the available parallelism peak" — the roofline
+// every real runtime is measured against in Figure 11.
+package perfect
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+// Result is the outcome of a roofline run.
+type Result struct {
+	Workers  int
+	Makespan uint64
+	Baseline uint64
+	Speedup  float64
+	Start    []uint64
+	Finish   []uint64
+}
+
+// runHeap orders running tasks by finish time.
+type runHeap []runItem
+
+type runItem struct {
+	finish uint64
+	task   int32
+}
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return h[i].finish < h[j].finish }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(runItem)) }
+func (h *runHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Run schedules the trace on `workers` zero-overhead workers: a task
+// starts the moment a worker is free and all its predecessors have
+// finished; ties dispatch in creation order.
+func Run(tr *trace.Trace, workers int) (*Result, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("perfect: need at least 1 worker, got %d", workers)
+	}
+	g := taskgraph.Build(tr)
+	n := g.N
+	res := &Result{
+		Workers:  workers,
+		Baseline: tr.Baseline(),
+		Start:    make([]uint64, n),
+		Finish:   make([]uint64, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	remaining := make([]int32, n)
+	ready := make([]int32, 0, n) // FIFO in becoming-ready order
+	for i := 0; i < n; i++ {
+		remaining[i] = int32(len(g.Pred[i]))
+		if remaining[i] == 0 {
+			ready = append(ready, int32(i))
+		}
+	}
+
+	running := &runHeap{}
+	now := uint64(0)
+	free := workers
+	scheduled := 0
+	readyHead := 0
+
+	for scheduled < n || running.Len() > 0 {
+		// Start everything we can at the current time.
+		for free > 0 && readyHead < len(ready) {
+			t := ready[readyHead]
+			readyHead++
+			res.Start[t] = now
+			res.Finish[t] = now + g.Durations[t]
+			heap.Push(running, runItem{finish: res.Finish[t], task: t})
+			free--
+			scheduled++
+		}
+		if running.Len() == 0 {
+			if readyHead >= len(ready) && scheduled < n {
+				return nil, fmt.Errorf("perfect: dependence cycle detected at %d/%d tasks", scheduled, n)
+			}
+			continue
+		}
+		// Advance to the next completion (batch all at the same cycle).
+		it := heap.Pop(running).(runItem)
+		now = it.finish
+		complete := func(t int32) {
+			for _, s := range g.Succ[t] {
+				remaining[s]--
+				if remaining[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+			free++
+		}
+		complete(it.task)
+		for running.Len() > 0 && (*running)[0].finish == now {
+			complete(heap.Pop(running).(runItem).task)
+		}
+	}
+
+	for _, f := range res.Finish {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	if res.Makespan > 0 {
+		res.Speedup = float64(res.Baseline) / float64(res.Makespan)
+	}
+	return res, nil
+}

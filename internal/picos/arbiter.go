@@ -1,0 +1,43 @@
+package picos
+
+// arbiter routes messages between TRSs and DCTs (and TRS-to-TRS chain
+// wakes, which the paper notes are "managed by the Arbiter module"). It
+// forwards a bounded number of messages per cycle, adding one hop of
+// latency, so long wake chains pay per-link routing time exactly like
+// the prototype.
+type arbiter struct {
+	p      *Picos
+	timing *Timing
+	in     regFIFO[arbMsg]
+	routed uint64
+}
+
+func newArbiter(p *Picos) *arbiter {
+	return &arbiter{p: p, timing: &p.cfg.Timing}
+}
+
+// route accepts a message that becomes routable at cycle `at`.
+func (a *arbiter) route(m arbMsg, at uint64) {
+	a.in.push(m, at)
+}
+
+func (a *arbiter) step(now uint64) {
+	for i := 0; i < a.timing.ArbBandwidth; i++ {
+		m, ok := a.in.pop(now)
+		if !ok {
+			return
+		}
+		a.routed++
+		at := now + a.timing.ArbHop
+		switch m.kind {
+		case arbStat:
+			a.p.trs[m.stat.task.TRS].statusQ.push(m.stat, at)
+		case arbWake:
+			a.p.trs[m.wake.task.TRS].wakeQ.push(m.wake, at)
+		case arbFin:
+			a.p.dct[m.fin.vm.DCT].finQ.push(m.fin, at)
+		}
+	}
+}
+
+func (a *arbiter) active(now uint64) bool { return !a.in.empty() }

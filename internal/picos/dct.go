@@ -1,0 +1,266 @@
+package picos
+
+// dctUnit is one Dependence Chain Tracker: it performs address matching
+// in the Dependence Memory, maintains version chains in the Version
+// Memory, and emits ready/dependent/wake packets (Sections III-A/C/D).
+type dctUnit struct {
+	id     uint8
+	p      *Picos
+	dm     *depMemory
+	vm     *versionMemory
+	timing *Timing
+
+	// Inputs.
+	newDepQ regFIFO[newDepPkt]    // from GW (N4)
+	finQ    regFIFO[finishDepPkt] // from TRS via ARB (F3)
+
+	// Head-of-line stall state for newDepQ: a dependence that cannot be
+	// stored (DM set full or VM exhausted) blocks the queue — and with
+	// it, registration of every later dependence routed here — until a
+	// release frees space. Blocking in order is what keeps wake-up
+	// semantics (and deadlock freedom) intact.
+	headStalled     bool
+	conflictCounted bool
+
+	busyUntil    uint64 // registration engine
+	busyUntilFin uint64 // release engine (overlapped in the prototype)
+	busy         uint64
+}
+
+func newDCT(id uint8, p *Picos) *dctUnit {
+	design := p.cfg.Design
+	return &dctUnit{
+		id:     id,
+		p:      p,
+		dm:     newDepMemory(design),
+		vm:     newVersionMemory(design.Capacity()),
+		timing: &p.cfg.Timing,
+	}
+}
+
+func (u *dctUnit) step(now uint64) {
+	// Release engine: frees DM ways and VM entries — including the very
+	// stalls blocking the registration path — without costing
+	// registration throughput.
+	for u.busyUntilFin <= now {
+		pkt, ok := u.finQ.pop(now)
+		if !ok {
+			break
+		}
+		u.handleFinish(pkt, now)
+	}
+	for u.busyUntil <= now {
+		if pkt, ok := u.newDepQ.peek(now); ok {
+			if u.tryNewDep(pkt, now) {
+				u.newDepQ.pop(now)
+				u.headStalled = false
+				u.conflictCounted = false
+				continue
+			}
+			// Stalled: retry next cycle.
+			u.headStalled = true
+			u.busyUntil = now + 1
+			return
+		}
+		return
+	}
+}
+
+func (u *dctUnit) consume(now, cost uint64) uint64 {
+	u.busyUntil = now + cost
+	u.busy += cost
+	return u.busyUntil
+}
+
+func (u *dctUnit) sendStatus(pkt depStatusPkt, at uint64) {
+	u.p.arb.route(arbMsg{kind: arbStat, stat: pkt}, at)
+}
+
+func (u *dctUnit) sendWake(pkt wakePkt, at uint64) {
+	u.p.arb.route(arbMsg{kind: arbWake, wake: pkt}, at)
+}
+
+// tryNewDep registers one dependence (flow N5). It returns false when
+// the dependence cannot be stored yet (DM conflict or VM capacity),
+// which stalls the queue head.
+func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) bool {
+	st := &u.p.stats
+	if ref, hit := u.dm.lookup(pkt.addr); hit {
+		e := u.dm.at(ref)
+		tailIdx := e.tail
+		tail := u.vm.at(tailIdx)
+		if pkt.dir.Writes() {
+			// New producer: open a new version behind the current one.
+			idx, ok := u.vm.alloc()
+			if !ok {
+				u.stallVM(st)
+				return false
+			}
+			nv := u.vm.at(idx)
+			nv.dm = ref
+			nv.hasProducer = true
+			nv.producer = pkt.task
+			tail.hasNext = true
+			tail.next = idx
+			e.tail = idx
+			e.count++
+			e.input = false
+			done := u.consume(now, u.timing.DCTNewDep)
+			u.sendStatus(depStatusPkt{
+				task: pkt.task, depIdx: pkt.depIdx,
+				vm: VMAddr{DCT: u.id, Idx: idx},
+			}, done+u.timing.DCTPipe)
+		} else {
+			// Consumer of the newest version.
+			tail.numConsumers++
+			done := u.consume(now, u.timing.DCTNewDep)
+			status := depStatusPkt{
+				task: pkt.task, depIdx: pkt.depIdx,
+				vm: VMAddr{DCT: u.id, Idx: tailIdx},
+			}
+			if tail.producerDone {
+				// The value already exists (or the chain is input-only).
+				status.ready = true
+			} else if u.p.cfg.Wake == WakeFirstFirst {
+				// Ablation: chains point forward; the previous tail gets
+				// a wake pointer to the new consumer.
+				if tail.chainLen == 0 {
+					tail.chainHead = pkt.task
+				} else {
+					u.sendStatus(depStatusPkt{
+						task: tail.chainTail, vm: VMAddr{DCT: u.id, Idx: tailIdx},
+						setWake: true, hasWake: true, wakeTask: pkt.task,
+					}, now+u.timing.DCTPipe)
+				}
+				tail.chainTail = pkt.task
+				tail.chainLen++
+			} else {
+				// Chain behind the previous last consumer: the paper's
+				// dependent packet carries the wake pointer, and the new
+				// consumer becomes the chain tail kept in the VM.
+				if tail.chainLen > 0 {
+					status.hasWake = true
+					status.wakeTask = tail.chainTail
+				}
+				tail.chainTail = pkt.task
+				tail.chainLen++
+			}
+			u.sendStatus(status, done+u.timing.DCTPipe)
+		}
+		st.DepsProcessed++
+		return true
+	}
+
+	// Miss: first live appearance of the address.
+	if u.vm.freeCount() == 0 {
+		u.stallVM(st)
+		return false
+	}
+	// Probe for a free way before allocating VM so a conflict does not
+	// leak a version entry.
+	idx, _ := u.vm.alloc()
+	ref, ok := u.dm.insert(pkt.addr, idx, !pkt.dir.Writes())
+	if !ok {
+		u.vm.release(idx)
+		if !u.conflictCounted {
+			st.DMConflicts++
+			u.conflictCounted = true
+		}
+		st.DMConflictStallCycles++
+		return false
+	}
+	nv := u.vm.at(idx)
+	nv.dm = ref
+	if pkt.dir.Writes() {
+		nv.hasProducer = true
+		nv.producer = pkt.task
+	} else {
+		// Input-only so far: vacuously "produced".
+		nv.producerDone = true
+		nv.numConsumers = 1
+	}
+	done := u.consume(now, u.timing.DCTNewDep)
+	u.sendStatus(depStatusPkt{
+		task: pkt.task, depIdx: pkt.depIdx,
+		vm:    VMAddr{DCT: u.id, Idx: idx},
+		ready: true,
+	}, done+u.timing.DCTPipe)
+	st.DepsProcessed++
+	if live := u.vm.live(); live > st.MaxVMLive {
+		st.MaxVMLive = live
+	}
+	return true
+}
+
+func (u *dctUnit) stallVM(st *Stats) {
+	if !u.conflictCounted {
+		st.VMStallEvents++
+		u.conflictCounted = true
+	}
+	st.VMStallCycles++
+}
+
+// handleFinish releases one dependence of a finished task (F4): mark the
+// producer done (waking the last consumer) or count a consumer finish;
+// when the version drains, wake the next version's producer and recycle
+// the entries.
+func (u *dctUnit) handleFinish(pkt finishDepPkt, now uint64) {
+	done := now + u.timing.DCTFinDep
+	u.busyUntilFin = done
+	u.busy += u.timing.DCTFinDep
+	u.p.gw.returnCredit(u.id)
+	v := u.vm.at(pkt.vm.Idx)
+	if !v.used {
+		u.p.stats.ProtocolErrors++
+		return
+	}
+	if v.hasProducer && !v.producerDone && v.producer == pkt.task {
+		v.producerDone = true
+		if v.chainLen > 0 {
+			// Wake the chain: from the last consumer under the paper's
+			// design (Figure 5, link 1), from the first under the
+			// ablation order.
+			entry := v.chainTail
+			if u.p.cfg.Wake == WakeFirstFirst {
+				entry = v.chainHead
+			}
+			u.sendWake(wakePkt{task: entry, vm: pkt.vm}, done+u.timing.DCTPipe)
+			u.p.stats.WakesRouted++
+		}
+	} else {
+		v.finished++
+	}
+	if v.complete() {
+		u.completeVersion(pkt.vm.Idx, done)
+	}
+}
+
+// completeVersion recycles a drained version: advance the DM entry to the
+// next version (waking its producer) or free the DM entry when this was
+// the last one.
+func (u *dctUnit) completeVersion(idx uint16, at uint64) {
+	v := u.vm.at(idx)
+	e := u.dm.at(v.dm)
+	if v.hasNext {
+		nv := u.vm.at(v.next)
+		u.sendWake(wakePkt{task: nv.producer, vm: VMAddr{DCT: u.id, Idx: v.next}}, at+u.timing.DCTPipe)
+		u.p.stats.WakesRouted++
+		e.head = v.next
+		e.count--
+	} else {
+		u.dm.free(v.dm)
+	}
+	u.vm.release(idx)
+}
+
+// active reports pending work. A stalled head with nothing else going on
+// does not count as active: only an external finish can unblock it.
+func (u *dctUnit) active(now uint64) bool {
+	if u.busyUntil > now || u.busyUntilFin > now || !u.finQ.empty() {
+		return true
+	}
+	if u.newDepQ.empty() {
+		return false
+	}
+	return !u.headStalled
+}

@@ -1,0 +1,147 @@
+package picos
+
+import (
+	"fmt"
+
+	"repro/internal/pearson"
+)
+
+// DMDesign selects one of the three Dependence Memory designs evaluated
+// in Section III-C / V-A of the paper.
+type DMDesign uint8
+
+const (
+	// DMP8Way keeps 8 ways but indexes with the XOR of Pearson-hashed
+	// address bytes, spreading clustered block addresses across sets.
+	// It is the paper's "most balanced design" and the zero value, so an
+	// unconfigured accelerator gets the shipping configuration.
+	DMP8Way DMDesign = iota
+	// DM8Way is a 64-set, 8-way cache-like memory indexed by the low 6
+	// bits of the dependence address ("direct hash").
+	DM8Way
+	// DM16Way doubles the associativity (and the VM) of DM8Way.
+	DM16Way
+)
+
+// String returns the paper's name for the design.
+func (d DMDesign) String() string {
+	switch d {
+	case DM8Way:
+		return "DM 8way"
+	case DM16Way:
+		return "DM 16way"
+	case DMP8Way:
+		return "DM P+8way"
+	default:
+		return fmt.Sprintf("DMDesign(%d)", uint8(d))
+	}
+}
+
+// Designs lists all three DM designs in paper order.
+var Designs = []DMDesign{DM8Way, DM16Way, DMP8Way}
+
+// dmSets is the number of sets ("64 entries" accessed by a 6-bit index,
+// Figure 4) in every design.
+const dmSets = 64
+
+// Ways returns the associativity of the design.
+func (d DMDesign) Ways() int {
+	if d == DM16Way {
+		return 16
+	}
+	return 8
+}
+
+// Capacity returns the total number of DM entries (sets x ways), which
+// also sizes the Version Memory: 512 entries for the 8-way designs, 1024
+// for the 16-way one ("the corresponding VM is also doubled from 512 to
+// 1024 entries to keep it coherent with the DM size").
+func (d DMDesign) Capacity() int { return dmSets * d.Ways() }
+
+// dmEntry is one way of the Dependence Memory: the address tag plus the
+// head/tail of the address's version chain in the VM and the number of
+// live versions (the paper's "counters for dependences that have the
+// same address").
+type dmEntry struct {
+	valid bool
+	input bool // all accesses so far are inputs (paper's I bit)
+	tag   uint64
+	head  uint16 // VM index of the oldest live version
+	tail  uint16 // VM index of the newest version
+	count uint16 // live versions
+}
+
+// dmRef locates a DM entry.
+type dmRef struct {
+	set, way int
+}
+
+// depMemory is the cache-like address-matching store of a DCT.
+type depMemory struct {
+	design DMDesign
+	ways   int
+	sets   [dmSets][]dmEntry
+}
+
+func newDepMemory(design DMDesign) *depMemory {
+	m := &depMemory{design: design, ways: design.Ways()}
+	for s := range m.sets {
+		m.sets[s] = make([]dmEntry, m.ways)
+	}
+	return m
+}
+
+// index computes the set for an address: the low 6 bits for the direct-
+// hash designs, the Pearson fold for P+8way (Figure 4).
+func (m *depMemory) index(addr uint64) int {
+	if m.design == DMP8Way {
+		return pearson.Index64(addr)
+	}
+	return int(addr & (dmSets - 1))
+}
+
+// lookup performs the DM compare operation: it returns the entry holding
+// addr if present.
+func (m *depMemory) lookup(addr uint64) (dmRef, bool) {
+	s := m.index(addr)
+	for w := 0; w < m.ways; w++ {
+		if m.sets[s][w].valid && m.sets[s][w].tag == addr {
+			return dmRef{s, w}, true
+		}
+	}
+	return dmRef{}, false
+}
+
+// insert claims a free way for addr. It fails when the set is full — a
+// DM conflict, the central performance hazard of Section V-A. Way 0 has
+// the highest priority, as in Figure 4's pseudo code.
+func (m *depMemory) insert(addr uint64, head uint16, input bool) (dmRef, bool) {
+	s := m.index(addr)
+	for w := 0; w < m.ways; w++ {
+		e := &m.sets[s][w]
+		if !e.valid {
+			*e = dmEntry{valid: true, input: input, tag: addr, head: head, tail: head, count: 1}
+			return dmRef{s, w}, true
+		}
+	}
+	return dmRef{}, false
+}
+
+// at returns the entry for a ref.
+func (m *depMemory) at(r dmRef) *dmEntry { return &m.sets[r.set][r.way] }
+
+// free invalidates the entry.
+func (m *depMemory) free(r dmRef) { m.sets[r.set][r.way] = dmEntry{} }
+
+// live returns the number of valid entries (used by drain checks).
+func (m *depMemory) live() int {
+	n := 0
+	for s := range m.sets {
+		for w := range m.sets[s] {
+			if m.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package picos
+
+import "repro/internal/trace"
+
+// submittedTask is a task sitting in the Gateway's new-task queue.
+type submittedTask struct {
+	id   uint32
+	deps []trace.Dep
+}
+
+// gateway is the first interface between Picos and the cores: it fetches
+// new tasks and finished tasks and dispatches them to TRSs and DCTs
+// (flows N1-N4 and F1-F2). Its admission rule is the paper's corrected
+// operational workflow: a new task is only taken when a TRS slot is free
+// — and, to keep a partially registered task from wedging the version
+// store, when every DCT retains VM headroom for a full task's worth of
+// dependences.
+type gateway struct {
+	p      *Picos
+	timing *Timing
+
+	newQ regFIFO[submittedTask] // from the cores (N1)
+	finQ regFIFO[TaskHandle]    // from the workers (F1)
+
+	// vmCredits is the hardware-style flow control that implements the
+	// paper's corrected operational workflow: each DCT grants credits for
+	// (capacity - reserve) dependences; the GW debits one credit per
+	// dependence at admission and the DCT returns it when the release is
+	// processed. Since a live VM entry always has at least one unfinished
+	// participant holding a credit, the version store can never be
+	// exhausted by admitted work.
+	vmCredits []int
+
+	rrTRS        int    // round-robin TRS allocation pointer
+	busyUntil    uint64 // new-task engine
+	busyUntilFin uint64 // finished-task engine (independent datapath)
+	busy         uint64
+	blocked      bool // admission-blocked on the head of newQ
+}
+
+func newGateway(p *Picos) *gateway {
+	return &gateway{p: p, timing: &p.cfg.Timing}
+}
+
+// initCredits sizes the credit pools once the DCTs exist.
+func (g *gateway) initCredits() {
+	g.vmCredits = make([]int, len(g.p.dct))
+	for i := range g.vmCredits {
+		g.vmCredits[i] = g.p.cfg.Design.Capacity() - g.p.cfg.VMReserve
+	}
+}
+
+// returnCredit is called by a DCT when it has processed one release.
+func (g *gateway) returnCredit(dct uint8) { g.vmCredits[dct]++ }
+
+func (g *gateway) step(now uint64) {
+	// Finished-task engine: drains completions independently of the
+	// new-task path so retiring work never throttles admission.
+	for g.busyUntilFin <= now {
+		h, ok := g.finQ.pop(now)
+		if !ok {
+			break
+		}
+		done := now + g.timing.GWFinTask
+		g.busyUntilFin = done
+		g.busy += g.timing.GWFinTask
+		g.p.trs[h.TRS].finTaskQ.push(finishedTaskPkt{slot: h.Slot}, done+g.timing.GWFinPipe)
+	}
+	for g.busyUntil <= now {
+		t, ok := g.newQ.peek(now)
+		if !ok {
+			g.blocked = false
+			return
+		}
+		trsID, slot, admitted := g.admit(t.deps)
+		if !admitted {
+			g.blocked = true
+			g.p.stats.GWBlockedCycles++
+			g.busyUntil = now + 1
+			return
+		}
+		g.blocked = false
+		g.newQ.pop(now)
+		cost := g.timing.GWNewTask + uint64(len(t.deps))*g.timing.GWPerDep
+		g.busyUntil = now + cost
+		g.busy += cost
+
+		handle := TaskHandle{TRS: trsID, Slot: slot}
+		g.p.trs[trsID].newQ.push(newTaskPkt{slot: slot, id: t.id, numDeps: uint8(len(t.deps))},
+			now+g.timing.GWNewTask+g.timing.GWPipe)
+		for i, d := range t.deps {
+			at := now + g.timing.GWNewTask + uint64(i+1)*g.timing.GWPerDep + g.timing.GWPipe
+			g.p.dct[g.p.dctOf(d.Addr)].newDepQ.push(newDepPkt{
+				task:   handle,
+				depIdx: uint8(i),
+				addr:   d.Addr,
+				dir:    d.Dir,
+			}, at)
+		}
+		g.p.stats.TasksAdmitted++
+		if inFlight := g.p.InFlight(); inFlight > g.p.stats.MaxInFlightTasks {
+			g.p.stats.MaxInFlightTasks = inFlight
+		}
+	}
+}
+
+// admit implements N2: find a TRS with a free slot (round-robin across
+// instances) and, under AdmitCredits, reserve VM credits for every
+// dependence.
+func (g *gateway) admit(deps []trace.Dep) (uint8, uint16, bool) {
+	credits := g.p.cfg.Admission == AdmitCredits
+	var need [256]int
+	if credits {
+		for _, d := range deps {
+			need[g.p.dctOf(d.Addr)]++
+		}
+		for i := range g.p.dct {
+			if need[i] > g.vmCredits[i] {
+				return 0, 0, false
+			}
+		}
+	}
+	n := len(g.p.trs)
+	for i := 0; i < n; i++ {
+		u := g.p.trs[(g.rrTRS+i)%n]
+		if slot, ok := u.allocSlot(); ok {
+			g.rrTRS = (g.rrTRS + i + 1) % n
+			if credits {
+				for j := range g.p.dct {
+					g.vmCredits[j] -= need[j]
+				}
+			}
+			return u.id, slot, true
+		}
+	}
+	return 0, 0, false
+}
+
+// active: the GW has work it can still make progress on by itself.
+func (g *gateway) active(now uint64) bool {
+	if g.busyUntil > now || g.busyUntilFin > now || !g.finQ.empty() {
+		return true
+	}
+	if g.newQ.empty() {
+		return false
+	}
+	// A blocked head only unblocks via external finish notifications.
+	return !g.blocked
+}

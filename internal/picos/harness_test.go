@@ -1,0 +1,118 @@
+package picos
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+// runResult records the schedule a test run produced.
+type runResult struct {
+	p      *Picos
+	start  []uint64
+	finish []uint64
+	order  []uint32 // task IDs in execution start order
+}
+
+// runTrace drives a Picos instance through a complete trace with the
+// given number of workers, in HW-only style: all tasks submitted up
+// front, finished tasks notified as workers complete. It fails the test
+// on watchdog expiry (no forward progress).
+func runTrace(t *testing.T, tr *trace.Trace, cfg Config, workers int) *runResult {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Tasks {
+		p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps)
+	}
+	r := &runResult{
+		p:      p,
+		start:  make([]uint64, len(tr.Tasks)),
+		finish: make([]uint64, len(tr.Tasks)),
+	}
+	type worker struct {
+		until  uint64
+		task   ReadyTask
+		active bool
+	}
+	ws := make([]worker, workers)
+	done := 0
+	lastProgress := uint64(0)
+	const watchdog = 50_000_000
+	for done < len(tr.Tasks) || !p.Idle() {
+		now := p.Now()
+		for i := range ws {
+			if ws[i].active && ws[i].until <= now {
+				p.NotifyFinish(ws[i].task.Handle)
+				ws[i].active = false
+				done++
+				lastProgress = now
+			}
+		}
+		for i := range ws {
+			if ws[i].active {
+				continue
+			}
+			rt, ok := p.PopReady()
+			if !ok {
+				break
+			}
+			dur := tr.Tasks[rt.ID].Duration
+			ws[i] = worker{until: now + dur, task: rt, active: true}
+			r.start[rt.ID] = now
+			r.finish[rt.ID] = now + dur
+			r.order = append(r.order, rt.ID)
+			lastProgress = now
+		}
+		// Fast-forward across idle stretches: nothing changes until the
+		// next worker completes.
+		if p.Idle() && p.ReadyCount() == 0 {
+			next := uint64(0)
+			for i := range ws {
+				if ws[i].active && (next == 0 || ws[i].until < next) {
+					next = ws[i].until
+				}
+			}
+			if next > now+1 {
+				p.StepTo(next)
+				continue
+			}
+		}
+		p.Step()
+		if p.Now()-lastProgress > watchdog {
+			t.Fatalf("watchdog: no progress since cycle %d (now %d, done %d/%d, inflight %d, ready %d)",
+				lastProgress, p.Now(), done, len(tr.Tasks), p.InFlight(), p.ReadyCount())
+		}
+	}
+	return r
+}
+
+// verify checks the run against the dependence oracle and the drain
+// invariants.
+func (r *runResult) verify(t *testing.T, tr *trace.Trace) {
+	t.Helper()
+	g := taskgraph.Build(tr)
+	if err := g.CheckSchedule(r.start, r.finish); err != nil {
+		t.Fatalf("illegal schedule: %v", err)
+	}
+	if err := r.p.Drained(); err != nil {
+		t.Fatalf("drain check: %v", err)
+	}
+	if len(r.order) != len(tr.Tasks) {
+		t.Fatalf("executed %d tasks, trace has %d", len(r.order), len(tr.Tasks))
+	}
+}
+
+// makespan returns the finish time of the last task.
+func (r *runResult) makespan() uint64 {
+	var m uint64
+	for _, f := range r.finish {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}

@@ -1,0 +1,205 @@
+package picos
+
+import (
+	"testing"
+
+	"repro/internal/pearson"
+)
+
+func TestRegFIFOVisibility(t *testing.T) {
+	var q regFIFO[int]
+	q.push(7, 5)
+	if _, ok := q.pop(4); ok {
+		t.Fatal("element visible before its cycle")
+	}
+	if v, ok := q.pop(5); !ok || v != 7 {
+		t.Fatalf("pop(5) = %d,%v", v, ok)
+	}
+	// Order preserved even with equal stamps.
+	q.push(1, 10)
+	q.push(2, 10)
+	if v, _ := q.pop(10); v != 1 {
+		t.Fatal("FIFO order violated")
+	}
+	if v, ok := q.peek(10); !ok || v != 2 {
+		t.Fatalf("peek = %d,%v", v, ok)
+	}
+	if q.len() != 1 || q.empty() {
+		t.Fatal("len/empty wrong")
+	}
+	if q.highwater < 2 {
+		t.Fatalf("highwater = %d", q.highwater)
+	}
+}
+
+func TestDMDesignGeometry(t *testing.T) {
+	if DM8Way.Ways() != 8 || DM16Way.Ways() != 16 || DMP8Way.Ways() != 8 {
+		t.Fatal("way counts wrong")
+	}
+	if DM8Way.Capacity() != 512 || DM16Way.Capacity() != 1024 || DMP8Way.Capacity() != 512 {
+		t.Fatal("capacities wrong (paper: VM 512 for 8-way designs, 1024 for 16-way)")
+	}
+}
+
+func TestDepMemoryIndexing(t *testing.T) {
+	direct := newDepMemory(DM8Way)
+	p8 := newDepMemory(DMP8Way)
+	addr := uint64(0xABCD40)
+	if direct.index(addr) != int(addr&63) {
+		t.Fatal("direct index must be addr[5:0]")
+	}
+	if p8.index(addr) != pearson.Index64(addr) {
+		t.Fatal("P+8way index must be the Pearson fold")
+	}
+}
+
+func TestDepMemoryInsertLookupFree(t *testing.T) {
+	m := newDepMemory(DM8Way)
+	// Fill one set with 8 aligned addresses.
+	refs := make([]dmRef, 8)
+	for i := 0; i < 8; i++ {
+		addr := uint64(0x1000 + i*64) // same low 6 bits? 0x1000+0,64,... all &63==0
+		ref, ok := m.insert(addr, uint16(i), false)
+		if !ok {
+			t.Fatalf("insert %d rejected before set full", i)
+		}
+		refs[i] = ref
+	}
+	if _, ok := m.insert(0x1000+8*64, 8, false); ok {
+		t.Fatal("9th insert into a full 8-way set succeeded")
+	}
+	// Lookup finds entries; priorities: way 0 first.
+	if ref, ok := m.lookup(0x1000); !ok || ref.way != 0 {
+		t.Fatalf("lookup = %+v, %v", ref, ok)
+	}
+	if m.live() != 8 {
+		t.Fatalf("live = %d", m.live())
+	}
+	// Free way 3 and reinsert: must land in way 3 (first free way).
+	m.free(refs[3])
+	ref, ok := m.insert(0x9000, 99, true)
+	if !ok || ref.way != 3 {
+		t.Fatalf("reinsert = %+v, %v; want way 3", ref, ok)
+	}
+	e := m.at(ref)
+	if !e.input || e.tag != 0x9000 || e.head != 99 || e.tail != 99 || e.count != 1 {
+		t.Fatalf("entry state %+v", e)
+	}
+}
+
+func TestVersionMemoryLifecycle(t *testing.T) {
+	m := newVersionMemory(4)
+	if m.freeCount() != 4 || m.live() != 0 {
+		t.Fatal("fresh VM state wrong")
+	}
+	idxs := make([]uint16, 4)
+	for i := range idxs {
+		idx, ok := m.alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		idxs[i] = idx
+		if !m.at(idx).used {
+			t.Fatal("allocated entry not marked used")
+		}
+	}
+	if _, ok := m.alloc(); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	m.release(idxs[1])
+	if m.freeCount() != 1 || m.live() != 3 {
+		t.Fatalf("free=%d live=%d after release", m.freeCount(), m.live())
+	}
+	idx, ok := m.alloc()
+	if !ok || idx != idxs[1] {
+		t.Fatalf("realloc = %d,%v; want recycled %d", idx, ok, idxs[1])
+	}
+}
+
+func TestVMEntryComplete(t *testing.T) {
+	v := vmEntry{used: true, hasProducer: true}
+	if v.complete() {
+		t.Fatal("incomplete producer reported complete")
+	}
+	v.producerDone = true
+	if !v.complete() {
+		t.Fatal("producer-only version with no consumers should be complete")
+	}
+	v.numConsumers = 2
+	if v.complete() {
+		t.Fatal("unfinished consumers reported complete")
+	}
+	v.finished = 2
+	if !v.complete() {
+		t.Fatal("drained version not complete")
+	}
+}
+
+func TestTaskMemoryLifecycle(t *testing.T) {
+	m := newTaskMemory()
+	if m.freeCount() != tmSlots {
+		t.Fatalf("fresh TM free = %d", m.freeCount())
+	}
+	slots := map[uint16]bool{}
+	for i := 0; i < tmSlots; i++ {
+		s, ok := m.alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if slots[s] {
+			t.Fatalf("slot %d handed out twice", s)
+		}
+		slots[s] = true
+	}
+	if _, ok := m.alloc(); ok {
+		t.Fatal("alloc beyond 256 slots succeeded")
+	}
+	m.release(7)
+	if m.live() != tmSlots-1 {
+		t.Fatalf("live = %d", m.live())
+	}
+}
+
+func TestFindDepByVM(t *testing.T) {
+	e := tmEntry{used: true, numDeps: 3}
+	e.deps[0] = tmDep{registered: true, vm: VMAddr{DCT: 0, Idx: 5}}
+	e.deps[1] = tmDep{registered: true, vm: VMAddr{DCT: 1, Idx: 5}}
+	e.deps[2] = tmDep{registered: false, vm: VMAddr{DCT: 0, Idx: 9}}
+	if i, ok := e.findDepByVM(VMAddr{DCT: 1, Idx: 5}); !ok || i != 1 {
+		t.Fatalf("findDepByVM = %d,%v", i, ok)
+	}
+	// Unregistered entries must not match.
+	if _, ok := e.findDepByVM(VMAddr{DCT: 0, Idx: 9}); ok {
+		t.Fatal("matched an unregistered dependence")
+	}
+	if _, ok := e.findDepByVM(VMAddr{DCT: 3, Idx: 1}); ok {
+		t.Fatal("matched a nonexistent dependence")
+	}
+}
+
+func TestDCTPartitioningStable(t *testing.T) {
+	p, err := New(Config{NumDCT: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 4096; addr += 37 {
+		a := p.dctOf(addr)
+		b := p.dctOf(addr)
+		if a != b {
+			t.Fatal("dctOf not deterministic")
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("dctOf out of range: %d", a)
+		}
+	}
+	// Reasonable spread across instances.
+	counts := make([]int, 4)
+	for i := 0; i < 1000; i++ {
+		counts[p.dctOf(uint64(i)*131072+0x10000000)]++
+	}
+	for i, c := range counts {
+		if c < 100 {
+			t.Fatalf("DCT %d got only %d of 1000 addresses", i, c)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package picos
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Config selects a Picos build: the DM design, the number of TRS/DCT
+// instances (1 each in the paper's prototype; 4 in the "future
+// architecture" of Figure 3a), the scheduling policy of the TS and the
+// calibrated operation timing.
+type Config struct {
+	Design DMDesign
+	NumTRS int
+	NumDCT int
+	Policy SchedPolicy
+	Timing Timing
+	// VMReserve is the per-DCT VM headroom the GW requires before
+	// admitting a task under AdmitCredits. Defaults to MaxDeps+1.
+	VMReserve int
+	// Admission selects the GW admission policy.
+	Admission AdmissionPolicy
+	// Wake selects the consumer-chain wake order (ablation for the Lu
+	// corner case of Section V-A).
+	Wake WakeOrder
+}
+
+// WakeOrder selects how a producer-consumer chain is woken when the
+// producer finishes.
+type WakeOrder uint8
+
+const (
+	// WakeLastFirst is the prototype's behaviour (Figure 5): the DCT
+	// keeps only the newest consumer; older consumers chain through TMX
+	// wake pointers and wake last-to-first. Cheap in VM state, but it
+	// can postpone critical-path consumers (the Lu corner case).
+	WakeLastFirst WakeOrder = iota
+	// WakeFirstFirst wakes consumers in registration order: the DCT
+	// keeps the chain head in the VM and each consumer's TMX entry
+	// points forward to the next. Same hardware cost, opposite bias.
+	WakeFirstFirst
+)
+
+// String names the wake order.
+func (w WakeOrder) String() string {
+	if w == WakeFirstFirst {
+		return "first-first"
+	}
+	return "last-first"
+}
+
+// AdmissionPolicy selects how the Gateway throttles new tasks.
+type AdmissionPolicy uint8
+
+const (
+	// AdmitCredits (default) reserves VM credits per dependence at
+	// admission, so the version store can never be exhausted — the
+	// strictest reading of the corrected operational workflow.
+	AdmitCredits AdmissionPolicy = iota
+	// AdmitSlotsOnly admits whenever a TRS slot is free, like the
+	// prototype: dependences that cannot be stored stall in order at the
+	// DCT (safe — stalls only ever delay younger tasks — but the memory-
+	// capacity pressure becomes visible as conflicts, as in Table II's
+	// Heat rows).
+	AdmitSlotsOnly
+)
+
+// DefaultConfig returns the paper's baseline prototype: one TRS, one DCT
+// with the Pearson 8-way DM, FIFO scheduling, calibrated timing.
+func DefaultConfig() Config {
+	return Config{
+		Design:    DMP8Way,
+		NumTRS:    1,
+		NumDCT:    1,
+		Policy:    SchedFIFO,
+		Timing:    DefaultTiming(),
+		VMReserve: trace.MaxDeps + 1,
+	}
+}
+
+// Picos is the accelerator model. Drive it by pushing tasks with Submit,
+// advancing time with Step, pulling ready tasks with PopReady and
+// returning finished tasks with NotifyFinish — exactly the four
+// interactions the HIL platform has with the prototype.
+type Picos struct {
+	cfg Config
+	now uint64
+
+	gw  *gateway
+	trs []*trsUnit
+	dct []*dctUnit
+	arb *arbiter
+	ts  *tsUnit
+
+	stats Stats
+}
+
+// New builds an accelerator from cfg. Zero-valued fields get defaults.
+func New(cfg Config) (*Picos, error) {
+	if cfg.NumTRS == 0 {
+		cfg.NumTRS = 1
+	}
+	if cfg.NumDCT == 0 {
+		cfg.NumDCT = 1
+	}
+	if cfg.NumTRS < 1 || cfg.NumTRS > 255 || cfg.NumDCT < 1 || cfg.NumDCT > 255 {
+		return nil, fmt.Errorf("picos: instance counts must be 1..255, got %d TRS / %d DCT", cfg.NumTRS, cfg.NumDCT)
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.VMReserve == 0 {
+		cfg.VMReserve = trace.MaxDeps + 1
+	}
+	p := &Picos{cfg: cfg}
+	p.gw = newGateway(p)
+	p.arb = newArbiter(p)
+	p.ts = newTS(p)
+	for i := 0; i < cfg.NumTRS; i++ {
+		p.trs = append(p.trs, newTRS(uint8(i), p))
+	}
+	for i := 0; i < cfg.NumDCT; i++ {
+		p.dct = append(p.dct, newDCT(uint8(i), p))
+	}
+	p.gw.initCredits()
+	return p, nil
+}
+
+// Config returns the configuration the accelerator was built with.
+func (p *Picos) Config() Config { return p.cfg }
+
+// Now returns the current cycle.
+func (p *Picos) Now() uint64 { return p.now }
+
+// Step advances the model by one cycle. Unit evaluation order is
+// irrelevant because every channel is a registered FIFO.
+func (p *Picos) Step() {
+	now := p.now
+	for _, d := range p.dct {
+		d.step(now)
+	}
+	for _, t := range p.trs {
+		t.step(now)
+	}
+	p.ts.step(now)
+	p.arb.step(now)
+	p.gw.step(now)
+	p.now++
+}
+
+// StepTo advances the clock without evaluating units; callers use it to
+// fast-forward across provably idle stretches (Idle() must be true).
+func (p *Picos) StepTo(cycle uint64) {
+	if cycle > p.now {
+		p.now = cycle
+	}
+}
+
+// Submit pushes a new task into the GW's new-task queue (N1). The queue
+// models the memory-mapped submission buffer and does not reject tasks
+// for capacity; admission control happens at the GW. It fails only for
+// tasks the hardware cannot represent: more than MaxDeps dependences
+// (the TMX holds 15) or duplicate addresses within one task.
+func (p *Picos) Submit(id uint32, deps []trace.Dep) error {
+	if len(deps) > trace.MaxDeps {
+		return fmt.Errorf("picos: task %d has %d dependences; the TMX holds %d", id, len(deps), trace.MaxDeps)
+	}
+	for i := 0; i < len(deps); i++ {
+		for j := i + 1; j < len(deps); j++ {
+			if deps[i].Addr == deps[j].Addr {
+				return fmt.Errorf("picos: task %d repeats dependence address %#x", id, deps[i].Addr)
+			}
+		}
+	}
+	p.gw.newQ.push(submittedTask{id: id, deps: deps}, p.now+1)
+	p.stats.TasksSubmitted++
+	return nil
+}
+
+// NotifyFinish returns a finished task to the GW (F1).
+func (p *Picos) NotifyFinish(h TaskHandle) {
+	p.gw.finQ.push(h, p.now+1)
+}
+
+// PopReady hands one ready task to a worker, if any is dispatchable.
+func (p *Picos) PopReady() (ReadyTask, bool) {
+	return p.ts.popReady(p.now)
+}
+
+// ReadyCount returns the number of tasks currently held by the TS.
+func (p *Picos) ReadyCount() int { return p.ts.readyLen() }
+
+// InFlight returns the number of tasks resident in TM0 slots.
+func (p *Picos) InFlight() int {
+	n := 0
+	for _, t := range p.trs {
+		n += t.tm.live()
+	}
+	return n
+}
+
+// Idle reports that stepping without external input cannot change state:
+// every unit is quiescent and every queue is empty, except for
+// admission-blocked or conflict-stalled heads that only an external
+// finish can release.
+func (p *Picos) Idle() bool {
+	now := p.now
+	if p.gw.active(now) || p.arb.active(now) || p.ts.active(now) {
+		return false
+	}
+	for _, t := range p.trs {
+		if t.active(now) {
+			return false
+		}
+	}
+	for _, d := range p.dct {
+		if d.active(now) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the run counters.
+func (p *Picos) Stats() *Stats { return &p.stats }
+
+// Drained verifies the leak-freedom invariant at the end of a run: all
+// submitted tasks completed, every TM slot is free, every VM entry
+// recycled, every DM entry invalid, and no protocol errors occurred.
+func (p *Picos) Drained() error {
+	if p.stats.ProtocolErrors != 0 {
+		return fmt.Errorf("picos: %d protocol errors", p.stats.ProtocolErrors)
+	}
+	if p.stats.TasksCompleted != p.stats.TasksSubmitted {
+		return fmt.Errorf("picos: %d tasks submitted but %d completed",
+			p.stats.TasksSubmitted, p.stats.TasksCompleted)
+	}
+	for i, t := range p.trs {
+		if live := t.tm.live(); live != 0 {
+			return fmt.Errorf("picos: TRS%d leaks %d TM slots", i, live)
+		}
+	}
+	for i, d := range p.dct {
+		if live := d.vm.live(); live != 0 {
+			return fmt.Errorf("picos: DCT%d leaks %d VM entries", i, live)
+		}
+		if live := d.dm.live(); live != 0 {
+			return fmt.Errorf("picos: DCT%d leaks %d DM entries", i, live)
+		}
+	}
+	if p.ts.readyLen() != 0 {
+		return fmt.Errorf("picos: TS still holds %d ready tasks", p.ts.readyLen())
+	}
+	return nil
+}
+
+// dctOf partitions addresses across DCT instances. The same address must
+// always map to the same DCT so its whole version chain lives together.
+func (p *Picos) dctOf(addr uint64) int {
+	if len(p.dct) == 1 {
+		return 0
+	}
+	h := addr
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(len(p.dct)))
+}

@@ -1,0 +1,73 @@
+package picos
+
+// Timing holds the per-operation cycle costs of the model. Each unit has
+// an occupancy cost (how long the unit is busy with one operation, which
+// sets throughput) and, for the task/dependence pipelines, a latency-only
+// "pipe" extension (extra stages a packet traverses without blocking the
+// next operation). The defaults are calibrated so the synthetic
+// benchmarks reproduce Table IV of the paper: first-task latencies of
+// 45/73/312 cycles for Case1/2/3 and steady-state throughputs of
+// 15/24/~243 cycles per task, with per-dependence throughput of 16-24
+// cycles.
+type Timing struct {
+	// Gateway. The new-task and finished-task paths are independent
+	// engines (separate datapaths in the prototype), so draining
+	// finished tasks does not steal new-task throughput.
+	GWNewTask uint64 // occupancy per new task fetched and dispatched
+	GWPerDep  uint64 // occupancy per dependence forwarded to a DCT
+	GWFinTask uint64 // occupancy per finished task forwarded to a TRS
+	GWPipe    uint64 // extra latency through the GW new-task pipeline
+	GWFinPipe uint64 // extra latency through the GW finished-task path
+
+	// Task Reservation Station.
+	TRSNewTask   uint64 // occupancy to write a new task into TM0
+	TRSStatus    uint64 // occupancy per dependence status (ready/dependent)
+	TRSWake      uint64 // occupancy per wake message (chain propagation)
+	TRSFinBase   uint64 // occupancy to start a finish walk (TM0 read)
+	TRSFinPerDep uint64 // occupancy per finish packet sent during the walk
+	TRSPipe      uint64 // extra latency for packets leaving the TRS
+
+	// Dependence Chain Tracker. Registration (DM compare + VM update)
+	// and release (VM read, chain advance) run on independent engines:
+	// releases are short read-modify-writes that the prototype overlaps
+	// with the registration pipeline.
+	DCTNewDep uint64 // occupancy per new dependence (DM compare + VM update)
+	DCTFinDep uint64 // occupancy per release (VM read/update, chain advance)
+	DCTPipe   uint64 // extra latency for packets leaving the DCT
+
+	// Arbiter.
+	ArbHop       uint64 // latency added per routed message
+	ArbBandwidth int    // messages routed per cycle
+
+	// Task Scheduler.
+	TSDispatch uint64 // occupancy per ready task queued/dispatched
+	TSPipe     uint64 // extra latency until a ready task is visible
+}
+
+// DefaultTiming returns the calibrated Table IV timing.
+func DefaultTiming() Timing {
+	return Timing{
+		GWNewTask: 15,
+		GWPerDep:  8,
+		GWFinTask: 3,
+		GWPipe:    8,
+		GWFinPipe: 1,
+
+		TRSNewTask:   10,
+		TRSStatus:    3,
+		TRSWake:      3,
+		TRSFinBase:   4,
+		TRSFinPerDep: 2,
+		TRSPipe:      1,
+
+		DCTNewDep: 16,
+		DCTFinDep: 4,
+		DCTPipe:   1,
+
+		ArbHop:       1,
+		ArbBandwidth: 2,
+
+		TSDispatch: 4,
+		TSPipe:     1,
+	}
+}

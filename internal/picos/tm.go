@@ -1,0 +1,84 @@
+package picos
+
+import "repro/internal/trace"
+
+// tmSlots is the number of TM0 entries per TRS: "TM0 has 256 entries ...
+// these enable it to manage up to 256 in-flight tasks".
+const tmSlots = 256
+
+// tmDep is one TMX dependence record of an in-flight task: the VM entry
+// backing the dependence, its readiness, and the optional chain-wake
+// pointer installed by a dependent packet (wake wakeTask's dependence on
+// the same VM entry once this one wakes).
+type tmDep struct {
+	registered bool
+	ready      bool
+	vm         VMAddr
+	hasWake    bool
+	wakeTask   TaskHandle
+}
+
+// tmEntry is one TM0 entry plus its TMX rows: Task.ID, #Num.Dep.,
+// #Ready Dep. and the consumer sections (Section III-A).
+type tmEntry struct {
+	used      bool
+	id        uint32
+	numDeps   uint8
+	readyDeps uint8
+	sent      bool // handed to the TS
+	deps      [trace.MaxDeps]tmDep
+}
+
+// taskMemory is the TM of one TRS: a fixed pool of task slots with a
+// free list, supporting the paper's four actions (read/write via at,
+// New Entry Request via alloc, Finished Entry Request via release).
+type taskMemory struct {
+	entries [tmSlots]tmEntry
+	free    []uint16
+}
+
+func newTaskMemory() *taskMemory {
+	m := &taskMemory{free: make([]uint16, 0, tmSlots)}
+	for i := tmSlots - 1; i >= 0; i-- {
+		m.free = append(m.free, uint16(i))
+	}
+	return m
+}
+
+// alloc claims a free slot.
+func (m *taskMemory) alloc() (uint16, bool) {
+	if len(m.free) == 0 {
+		return 0, false
+	}
+	s := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.entries[s] = tmEntry{used: true}
+	return s, true
+}
+
+// release recycles a slot.
+func (m *taskMemory) release(s uint16) {
+	m.entries[s] = tmEntry{}
+	m.free = append(m.free, s)
+}
+
+// at returns the slot.
+func (m *taskMemory) at(s uint16) *tmEntry { return &m.entries[s] }
+
+// freeCount returns the number of free slots.
+func (m *taskMemory) freeCount() int { return len(m.free) }
+
+// live returns the number of slots in use.
+func (m *taskMemory) live() int { return tmSlots - len(m.free) }
+
+// findDepByVM returns the index of the task's dependence backed by vm.
+// The TMX scan is how the TRS resolves wake packets, which carry only
+// (task, VM address).
+func (e *tmEntry) findDepByVM(vm VMAddr) (int, bool) {
+	for i := 0; i < int(e.numDeps); i++ {
+		if e.deps[i].registered && e.deps[i].vm == vm {
+			return i, true
+		}
+	}
+	return 0, false
+}

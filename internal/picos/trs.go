@@ -1,0 +1,149 @@
+package picos
+
+// trsUnit is one Task Reservation Station: it stores in-flight tasks in
+// its Task Memory, tracks dependence readiness, propagates consumer wake
+// chains and drives the deletion of finished tasks (Section III-A/B).
+type trsUnit struct {
+	id     uint8
+	p      *Picos
+	tm     *taskMemory
+	timing *Timing
+
+	// Inputs.
+	newQ     regFIFO[newTaskPkt]      // from GW (N3)
+	statusQ  regFIFO[depStatusPkt]    // from DCT via ARB (N5)
+	wakeQ    regFIFO[wakePkt]         // from DCT/TRS via ARB (F4, chain links)
+	finTaskQ regFIFO[finishedTaskPkt] // from GW (F2)
+
+	busyUntil uint64
+	busy      uint64 // accumulated busy cycles (stats)
+}
+
+func newTRS(id uint8, p *Picos) *trsUnit {
+	return &trsUnit{id: id, p: p, tm: newTaskMemory(), timing: &p.cfg.Timing}
+}
+
+// allocSlot services the GW's New Entry Request.
+func (u *trsUnit) allocSlot() (uint16, bool) { return u.tm.alloc() }
+
+func (u *trsUnit) step(now uint64) {
+	for u.busyUntil <= now {
+		if pkt, ok := u.newQ.pop(now); ok {
+			u.handleNewTask(pkt, now)
+			continue
+		}
+		if pkt, ok := u.statusQ.pop(now); ok {
+			u.handleStatus(pkt, now)
+			continue
+		}
+		if pkt, ok := u.wakeQ.pop(now); ok {
+			u.handleWake(pkt, now)
+			continue
+		}
+		if pkt, ok := u.finTaskQ.pop(now); ok {
+			u.handleFinishedTask(pkt, now)
+			continue
+		}
+		return
+	}
+}
+
+func (u *trsUnit) consume(now, cost uint64) uint64 {
+	u.busyUntil = now + cost
+	u.busy += cost
+	return u.busyUntil
+}
+
+// handleNewTask saves the task in its TM0 slot; a task without
+// dependences is ready immediately (N6).
+func (u *trsUnit) handleNewTask(pkt newTaskPkt, now uint64) {
+	done := u.consume(now, u.timing.TRSNewTask)
+	e := u.tm.at(pkt.slot)
+	e.id = pkt.id
+	e.numDeps = pkt.numDeps
+	u.maybeReady(pkt.slot, e, done)
+}
+
+// handleStatus records a ready or dependent packet for one dependence,
+// or updates the wake pointer of an existing one (setWake).
+func (u *trsUnit) handleStatus(pkt depStatusPkt, now uint64) {
+	done := u.consume(now, u.timing.TRSStatus)
+	e := u.tm.at(pkt.task.Slot)
+	if pkt.setWake {
+		idx, ok := e.findDepByVM(pkt.vm)
+		if !ok || e.deps[idx].ready {
+			u.p.stats.ProtocolErrors++
+			return
+		}
+		e.deps[idx].hasWake = true
+		e.deps[idx].wakeTask = pkt.wakeTask
+		return
+	}
+	d := &e.deps[pkt.depIdx]
+	d.registered = true
+	d.vm = pkt.vm
+	if pkt.ready {
+		d.ready = true
+		e.readyDeps++
+	} else {
+		d.hasWake = pkt.hasWake
+		d.wakeTask = pkt.wakeTask
+	}
+	u.maybeReady(pkt.task.Slot, e, done)
+}
+
+// handleWake marks a waiting dependence ready and forwards the chain
+// wake to the previous consumer, if any (links 2..n of Figure 5).
+func (u *trsUnit) handleWake(pkt wakePkt, now uint64) {
+	done := u.consume(now, u.timing.TRSWake)
+	e := u.tm.at(pkt.task.Slot)
+	idx, ok := e.findDepByVM(pkt.vm)
+	if !ok || e.deps[idx].ready {
+		// A wake must always target a registered, waiting dependence;
+		// anything else is a protocol bug worth surfacing in stats.
+		u.p.stats.ProtocolErrors++
+		return
+	}
+	d := &e.deps[idx]
+	d.ready = true
+	e.readyDeps++
+	if d.hasWake {
+		u.p.arb.route(arbMsg{kind: arbWake, wake: wakePkt{task: d.wakeTask, vm: pkt.vm}}, done+u.timing.TRSPipe)
+	}
+	u.maybeReady(pkt.task.Slot, e, done)
+}
+
+// maybeReady sends the task to the TS once every dependence is ready.
+func (u *trsUnit) maybeReady(slot uint16, e *tmEntry, at uint64) {
+	if e.sent || e.readyDeps != e.numDeps {
+		return
+	}
+	e.sent = true
+	u.p.ts.inQ.push(readyTaskPkt{task: TaskHandle{TRS: u.id, Slot: slot}, id: e.id}, at+u.timing.TRSPipe)
+}
+
+// handleFinishedTask performs the finish walk (F3): read TM0, emit one
+// finish packet per dependence to the owning DCTs, then recycle the slot.
+func (u *trsUnit) handleFinishedTask(pkt finishedTaskPkt, now uint64) {
+	e := u.tm.at(pkt.slot)
+	n := uint64(e.numDeps)
+	u.consume(now, u.timing.TRSFinBase+n*u.timing.TRSFinPerDep)
+	h := TaskHandle{TRS: u.id, Slot: pkt.slot}
+	for i := 0; i < int(e.numDeps); i++ {
+		d := &e.deps[i]
+		at := now + u.timing.TRSFinBase + uint64(i+1)*u.timing.TRSFinPerDep + u.timing.TRSPipe
+		u.p.arb.route(arbMsg{kind: arbFin, fin: finishDepPkt{task: h, vm: d.vm}}, at)
+	}
+	// The slot is recycled only after the whole walk (N2 can then reuse
+	// it without racing the in-flight finish packets: every VM entry that
+	// still references this handle belongs to packets already ordered
+	// ahead of any reuse).
+	u.tm.release(pkt.slot)
+	u.p.stats.TasksCompleted++
+}
+
+// active reports whether the unit has pending input or is mid-operation.
+func (u *trsUnit) active(now uint64) bool {
+	return u.busyUntil > now ||
+		!u.newQ.empty() || !u.statusQ.empty() || !u.wakeQ.empty() || !u.finTaskQ.empty()
+}

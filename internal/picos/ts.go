@@ -1,0 +1,85 @@
+package picos
+
+import "repro/internal/queue"
+
+// SchedPolicy selects how the Task Scheduler orders ready tasks. The
+// prototype uses a FIFO queue by default; Figure 9 evaluates a LIFO as a
+// way out of the Lu wake-order corner case.
+type SchedPolicy uint8
+
+const (
+	// SchedFIFO dispatches ready tasks in arrival order (the default).
+	SchedFIFO SchedPolicy = iota
+	// SchedLIFO dispatches the most recently readied task first.
+	SchedLIFO
+)
+
+// String names the policy.
+func (s SchedPolicy) String() string {
+	if s == SchedLIFO {
+		return "LIFO"
+	}
+	return "FIFO"
+}
+
+// tsUnit is the Task Scheduler: the second interface between Picos and
+// the cores. It stores ready tasks and hands them to idle workers.
+type tsUnit struct {
+	p      *Picos
+	timing *Timing
+	policy SchedPolicy
+
+	inQ regFIFO[readyTaskPkt]
+
+	fifo queue.FIFO[stamped[ReadyTask]]
+	lifo queue.Stack[stamped[ReadyTask]]
+
+	busyUntil uint64
+	busy      uint64
+}
+
+func newTS(p *Picos) *tsUnit {
+	return &tsUnit{p: p, timing: &p.cfg.Timing, policy: p.cfg.Policy}
+}
+
+func (u *tsUnit) step(now uint64) {
+	for u.busyUntil <= now {
+		pkt, ok := u.inQ.pop(now)
+		if !ok {
+			return
+		}
+		done := now + u.timing.TSDispatch
+		u.busyUntil = done
+		u.busy += u.timing.TSDispatch
+		item := stamped[ReadyTask]{at: done + u.timing.TSPipe, v: ReadyTask{Handle: pkt.task, ID: pkt.id}}
+		if u.policy == SchedLIFO {
+			u.lifo.Push(item)
+		} else {
+			u.fifo.Push(item)
+		}
+	}
+}
+
+// popReady hands one dispatchable task to a worker, honouring the
+// scheduling policy.
+func (u *tsUnit) popReady(now uint64) (ReadyTask, bool) {
+	if u.policy == SchedLIFO {
+		if it, ok := u.lifo.Peek(); ok && it.at <= now {
+			u.lifo.Pop()
+			return it.v, true
+		}
+		return ReadyTask{}, false
+	}
+	if it, ok := u.fifo.Peek(); ok && it.at <= now {
+		u.fifo.Pop()
+		return it.v, true
+	}
+	return ReadyTask{}, false
+}
+
+// readyLen returns the number of tasks in the ready store.
+func (u *tsUnit) readyLen() int { return u.fifo.Len() + u.lifo.Len() }
+
+func (u *tsUnit) active(now uint64) bool {
+	return u.busyUntil > now || !u.inQ.empty()
+}

@@ -1,0 +1,158 @@
+// Package queue provides small, allocation-friendly FIFO and LIFO
+// containers used throughout the simulator: hardware FIFOs between Picos
+// units, ready-task queues in the Task Scheduler, and event queues in the
+// software-runtime model.
+package queue
+
+// FIFO is a growable ring-buffer queue. The zero value is ready to use.
+// If a capacity limit is set, Push reports failure once Len() == limit,
+// which is how hardware backpressure is modelled.
+type FIFO[T any] struct {
+	buf   []T
+	head  int
+	size  int
+	limit int // 0 means unbounded
+}
+
+// NewFIFO returns a FIFO with the given capacity limit. limit <= 0 means
+// unbounded.
+func NewFIFO[T any](limit int) *FIFO[T] {
+	if limit < 0 {
+		limit = 0
+	}
+	return &FIFO[T]{limit: limit}
+}
+
+// Limit returns the capacity limit (0 = unbounded).
+func (q *FIFO[T]) Limit() int { return q.limit }
+
+// Len returns the number of queued elements.
+func (q *FIFO[T]) Len() int { return q.size }
+
+// Empty reports whether the queue holds no elements.
+func (q *FIFO[T]) Empty() bool { return q.size == 0 }
+
+// Full reports whether the queue is at its capacity limit.
+func (q *FIFO[T]) Full() bool { return q.limit > 0 && q.size == q.limit }
+
+// Push appends v and reports whether it was accepted. It fails only when
+// the queue is Full.
+func (q *FIFO[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	return true
+}
+
+// Pop removes and returns the oldest element. ok is false when empty.
+func (q *FIFO[T]) Pop() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // avoid retaining references
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *FIFO[T]) Peek() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// Reset drops all elements but keeps the backing storage.
+func (q *FIFO[T]) Reset() {
+	var zero T
+	for i := range q.buf {
+		q.buf[i] = zero
+	}
+	q.head, q.size = 0, 0
+}
+
+func (q *FIFO[T]) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	if q.limit > 0 && n > q.limit {
+		n = q.limit
+	}
+	nb := make([]T, n)
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Stack is a LIFO used by the Task Scheduler's alternative policy
+// (Figure 9 of the paper). The zero value is ready to use.
+type Stack[T any] struct {
+	buf   []T
+	limit int
+}
+
+// NewStack returns a Stack with the given capacity limit (<=0: unbounded).
+func NewStack[T any](limit int) *Stack[T] {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Stack[T]{limit: limit}
+}
+
+// Len returns the number of stacked elements.
+func (s *Stack[T]) Len() int { return len(s.buf) }
+
+// Empty reports whether the stack holds no elements.
+func (s *Stack[T]) Empty() bool { return len(s.buf) == 0 }
+
+// Full reports whether the stack is at its capacity limit.
+func (s *Stack[T]) Full() bool { return s.limit > 0 && len(s.buf) == s.limit }
+
+// Push adds v and reports whether it was accepted.
+func (s *Stack[T]) Push(v T) bool {
+	if s.Full() {
+		return false
+	}
+	s.buf = append(s.buf, v)
+	return true
+}
+
+// Pop removes and returns the most recently pushed element.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	if len(s.buf) == 0 {
+		return v, false
+	}
+	v = s.buf[len(s.buf)-1]
+	var zero T
+	s.buf[len(s.buf)-1] = zero
+	s.buf = s.buf[:len(s.buf)-1]
+	return v, true
+}
+
+// Peek returns the most recently pushed element without removing it.
+func (s *Stack[T]) Peek() (v T, ok bool) {
+	if len(s.buf) == 0 {
+		return v, false
+	}
+	return s.buf[len(s.buf)-1], true
+}
+
+// Reset drops all elements but keeps the backing storage.
+func (s *Stack[T]) Reset() {
+	var zero T
+	for i := range s.buf {
+		s.buf[i] = zero
+	}
+	s.buf = s.buf[:0]
+}

@@ -1,0 +1,140 @@
+// Package resources is an analytic hardware-cost model of the Picos
+// prototype on the Zynq XC7Z020, reproducing Table III of the paper
+// without running synthesis. Memories are costed from their geometry
+// (entries x width x banks mapped onto 36Kb BRAMs); logic is costed from
+// comparator/mux structure (per-way tag comparators, priority encoders,
+// the Pearson hash tables) plus per-module control constants calibrated
+// against the paper's synthesis results. The model exists so the design
+// trade-off the paper discusses — "we could have decided to increase the
+// 16way into a 32way doubling the size ... but this would lead to a
+// double increase of the resource usage" — can be explored
+// parametrically (see the ablation benchmarks).
+package resources
+
+import "repro/internal/picos"
+
+// XC7Z020 device capacity (Zedboard), from the Zynq-7000 TRM.
+const (
+	ZynqLUTs   = 53200
+	ZynqFFs    = 106400
+	ZynqBRAM36 = 140
+)
+
+// Report is the absolute resource usage of one block.
+type Report struct {
+	Name string
+	LUTs int
+	FFs  int
+	BRAM int // 36Kb blocks
+}
+
+// Add accumulates another block into the report.
+func (r Report) Add(o Report) Report {
+	return Report{Name: r.Name, LUTs: r.LUTs + o.LUTs, FFs: r.FFs + o.FFs, BRAM: r.BRAM + o.BRAM}
+}
+
+// LUTPct returns LUT usage as a percentage of the device.
+func (r Report) LUTPct() float64 { return 100 * float64(r.LUTs) / ZynqLUTs }
+
+// FFPct returns FF usage as a percentage of the device.
+func (r Report) FFPct() float64 { return 100 * float64(r.FFs) / ZynqFFs }
+
+// BRAMPct returns BRAM usage as a percentage of the device.
+func (r Report) BRAMPct() float64 { return 100 * float64(r.BRAM) / ZynqBRAM36 }
+
+const bramBits = 36 * 1024
+
+// bramBlocks maps `banks` independent memories of entries x width bits
+// each onto 36Kb BRAMs (each bank needs at least one block).
+func bramBlocks(entries, widthBits, banks int) int {
+	perBank := (entries*widthBits + bramBits - 1) / bramBits
+	if perBank < 1 {
+		perBank = 1
+	}
+	return banks * perBank
+}
+
+// TM models the Task Memory: TM0 (256 tasks x ~64b, double-banked for the
+// two TRS access FSMs) plus five TMX banks of 256 entries x 3 dependence
+// records (~48b each).
+func TM() Report {
+	return Report{
+		Name: "TM",
+		LUTs: 210,
+		FFs:  11,
+		BRAM: bramBlocks(256, 64, 2) + bramBlocks(256, 3*48, 5),
+	}
+}
+
+// VM models the Version Memory: 512 entries for the 8-way designs, 1024
+// for 16-way ("doubled ... to keep it coherent with the DM size"), 80
+// bits per version record.
+func VM(design picos.DMDesign) Report {
+	return Report{
+		Name: "VM for " + design.String(),
+		LUTs: 210,
+		FFs:  11,
+		BRAM: bramBlocks(design.Capacity(), 80, 1),
+	}
+}
+
+// DM models the Dependence Memory: one 64-entry tag bank per way (read in
+// parallel for the single-cycle compare), data banks shared two ways per
+// bank, and for the Pearson design the four 256x8 hash tables. Logic is
+// the per-way 64-bit tag comparators plus a priority encoder that grows
+// quadratically with associativity, plus the hash XOR tree.
+func DM(design picos.DMDesign) Report {
+	ways := design.Ways()
+	r := Report{Name: design.String()}
+	r.BRAM = bramBlocks(64, 84, ways) + bramBlocks(64, 84, ways/2)
+	r.LUTs = ways*64 + ways*ways*2
+	r.FFs = 106
+	if design == picos.DMP8Way {
+		r.BRAM += 2 // four 256x8 Pearson tables packed into two blocks
+		r.LUTs += 265
+	}
+	return r
+}
+
+// TRS models one Task Reservation Station module (control plus its TM).
+func TRS() Report {
+	tm := TM()
+	return Report{Name: "TRS", LUTs: tm.LUTs + 640, FFs: tm.FFs + 609, BRAM: tm.BRAM}
+}
+
+// DCT models one Dependence Chain Tracker module (control plus DM + VM).
+func DCT(design picos.DMDesign) Report {
+	dm := DM(design)
+	vm := VM(design)
+	return Report{
+		Name: "DCT (" + design.String() + ")",
+		LUTs: dm.LUTs + vm.LUTs + 430,
+		FFs:  dm.FFs + vm.FFs + 193,
+		BRAM: dm.BRAM + vm.BRAM,
+	}
+}
+
+// Glue models GW + ARB + TS, which "are designed simply and their costs
+// are trivial" — no BRAM.
+func Glue() Report {
+	return Report{Name: "GW+ARB+TS", LUTs: 690, FFs: 400, BRAM: 0}
+}
+
+// FullPicos models the complete accelerator with n TRS and n DCT
+// instances (n=1 is the paper's prototype; the Arbiter cost grows with
+// the crossbar size).
+func FullPicos(design picos.DMDesign, nTRS, nDCT int) Report {
+	r := Report{Name: "Full Picos (" + design.String() + ")"}
+	for i := 0; i < nTRS; i++ {
+		r = r.Add(TRS())
+	}
+	for i := 0; i < nDCT; i++ {
+		r = r.Add(DCT(design))
+	}
+	glue := Glue()
+	// Crossbar growth: each extra port adds routing muxes.
+	extraPorts := (nTRS - 1) + (nDCT - 1)
+	glue.LUTs += extraPorts * 180
+	glue.FFs += extraPorts * 90
+	return r.Add(glue)
+}

@@ -1,0 +1,93 @@
+package resources
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/picos"
+)
+
+// TestTableIIIPercentages checks the model against the paper's Table III
+// within tight tolerances (the model was calibrated against it; this is
+// a regression net).
+func TestTableIIIPercentages(t *testing.T) {
+	check := func(name string, got, want, tolPts float64) {
+		t.Helper()
+		if math.Abs(got-want) > tolPts {
+			t.Errorf("%s: %.2f%%, paper %.2f%% (tolerance %.1f points)", name, got, want, tolPts)
+		}
+	}
+	check("TM BRAM", TM().BRAMPct(), 6, 1.5)
+	check("VM8 BRAM", VM(picos.DM8Way).BRAMPct(), 1, 1.0)
+	check("VM16 BRAM", VM(picos.DM16Way).BRAMPct(), 2, 1.0)
+	check("DM8 BRAM", DM(picos.DM8Way).BRAMPct(), 9, 1.5)
+	check("DM16 BRAM", DM(picos.DM16Way).BRAMPct(), 17, 1.5)
+	check("DMP8 BRAM", DM(picos.DMP8Way).BRAMPct(), 10, 1.5)
+	check("TRS BRAM", TRS().BRAMPct(), 6, 1.5)
+	check("DCT BRAM", DCT(picos.DMP8Way).BRAMPct(), 11, 1.5)
+	check("Full BRAM", FullPicos(picos.DMP8Way, 1, 1).BRAMPct(), 17, 2.0)
+
+	check("DM8 LUT", DM(picos.DM8Way).LUTPct(), 1.1, 0.3)
+	check("DM16 LUT", DM(picos.DM16Way).LUTPct(), 3.1, 0.5)
+	check("DMP8 LUT", DM(picos.DMP8Way).LUTPct(), 1.7, 0.3)
+	check("TRS LUT", TRS().LUTPct(), 1.6, 0.3)
+	check("DCT LUT", DCT(picos.DMP8Way).LUTPct(), 2.9, 0.4)
+	check("Glue LUT", Glue().LUTPct(), 1.3, 0.3)
+	check("Full LUT", FullPicos(picos.DMP8Way, 1, 1).LUTPct(), 5.8, 0.6)
+
+	check("TRS FF", TRS().FFPct(), 0.6, 0.2)
+	check("DCT FF", DCT(picos.DMP8Way).FFPct(), 0.3, 0.2)
+	check("Full FF", FullPicos(picos.DMP8Way, 1, 1).FFPct(), 1.2, 0.3)
+}
+
+// TestDesignRelationships checks the structural claims of Section V-B.
+func TestDesignRelationships(t *testing.T) {
+	dm8, dm16, dmp8 := DM(picos.DM8Way), DM(picos.DM16Way), DM(picos.DMP8Way)
+	// "The size from DM 8way to 16way is doubled."
+	if dm16.BRAM != 2*dm8.BRAM {
+		t.Errorf("16way BRAM %d != 2x 8way %d", dm16.BRAM, dm8.BRAM)
+	}
+	// "Resource consumption of DM 8way and P+8way are very close."
+	if dmp8.BRAM-dm8.BRAM > 3 {
+		t.Errorf("P+8way BRAM %d much larger than 8way %d", dmp8.BRAM, dm8.BRAM)
+	}
+	// P+8way costs more LUTs than 8way (hash tables) but less than 16way.
+	if !(dm8.LUTs < dmp8.LUTs && dmp8.LUTs < dm16.LUTs) {
+		t.Errorf("LUT ordering broken: %d, %d, %d", dm8.LUTs, dmp8.LUTs, dm16.LUTs)
+	}
+}
+
+// TestFullIsSumOfParts: the full accelerator must be the sum of its
+// modules.
+func TestFullIsSumOfParts(t *testing.T) {
+	full := FullPicos(picos.DMP8Way, 1, 1)
+	sum := TRS().Add(DCT(picos.DMP8Way)).Add(Glue())
+	if full.LUTs != sum.LUTs || full.FFs != sum.FFs || full.BRAM != sum.BRAM {
+		t.Errorf("full %+v != sum %+v", full, sum)
+	}
+}
+
+// TestScalingToFutureArchitecture: the 4-instance design of Figure 3a
+// must fit the XC7Z020's BRAM budget tightly or exceed it — the paper's
+// motivation for starting with one instance on the Zedboard.
+func TestScalingToFutureArchitecture(t *testing.T) {
+	four := FullPicos(picos.DMP8Way, 4, 4)
+	one := FullPicos(picos.DMP8Way, 1, 1)
+	if four.BRAM <= 3*one.BRAM {
+		t.Errorf("4-instance BRAM %d should be ~4x single %d", four.BRAM, one.BRAM)
+	}
+	if four.LUTs <= one.LUTs {
+		t.Error("4-instance LUTs must exceed single instance")
+	}
+}
+
+// Test32WayAblation: the trade-off quoted in Section V-B — a 32-way DM
+// would double resources again.
+func Test32WayAblation(t *testing.T) {
+	// The model only has the three named designs; the 16->8 doubling and
+	// the quoted 32-way projection follow from the bramBlocks geometry:
+	// each doubling of ways doubles the tag/data banks.
+	if got := bramBlocks(64, 84, 32) + bramBlocks(64, 84, 16); got != 2*(bramBlocks(64, 84, 16)+bramBlocks(64, 84, 8)) {
+		t.Errorf("32-way projection %d is not double the 16-way geometry", got)
+	}
+}

@@ -1,0 +1,175 @@
+// Package synth generates the seven synthetic benchmarks of Section IV-C
+// used to measure the processing capacity of the Picos prototype
+// (Table IV): each test case is a sequence of 100 tasks, issued as fast
+// as possible and of length 1 cycle, so the management pipeline — not the
+// work — is the bottleneck.
+//
+//	Case1: independent tasks, 0 dependences
+//	Case2: independent tasks, 1 dependence each (all distinct addresses)
+//	Case3: independent tasks, 15 dependences each (all distinct)
+//	Case4: one chain of 100 inout dependences on a single address
+//	Case5: 10 sets of consumers reading the same producer output
+//	Case6: 10 rounds of producers feeding one 11-dependence consumer
+//	Case7: 10 sets of mixed producer/consumer tasks, 11 deps each
+//
+// The #d1st/avg#d row of Table IV (0/0, 1/1, 15/15, 1/1, 2/2, 11/2,
+// 11/11) is reproduced by construction; see each generator.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// NumTasks is the length of every synthetic test case.
+const NumTasks = 100
+
+// TaskLen is the execution length of every synthetic task in cycles.
+const TaskLen = 1
+
+// Case generates synthetic test case n (1..7).
+func Case(n int) (*trace.Trace, error) {
+	switch n {
+	case 1:
+		return caseIndependent(1, 0), nil
+	case 2:
+		return caseIndependent(2, 1), nil
+	case 3:
+		return caseIndependent(3, 15), nil
+	case 4:
+		return case4(), nil
+	case 5:
+		return case5(), nil
+	case 6:
+		return case6(), nil
+	case 7:
+		return case7(), nil
+	default:
+		return nil, fmt.Errorf("synth: no such case %d (want 1..7)", n)
+	}
+}
+
+// Cases generates all seven cases in order.
+func Cases() []*trace.Trace {
+	out := make([]*trace.Trace, 7)
+	for i := 1; i <= 7; i++ {
+		tr, err := Case(i)
+		if err != nil {
+			panic(err) // unreachable: all 1..7 are valid
+		}
+		out[i-1] = tr
+	}
+	return out
+}
+
+func newTrace(n int) *trace.Trace {
+	return &trace.Trace{Name: fmt.Sprintf("case%d", n)}
+}
+
+func addTask(tr *trace.Trace, deps ...trace.Dep) {
+	tr.Tasks = append(tr.Tasks, trace.Task{
+		ID:       uint32(len(tr.Tasks)),
+		Duration: TaskLen,
+		Deps:     deps,
+	})
+}
+
+// addrOf maps a (space, index) pair to a distinct, cache-line-spread
+// address so that the synthetic cases do not artificially conflict in
+// the DM sets.
+func addrOf(space, idx int) uint64 {
+	return 0x60000000 + uint64(space)<<20 + uint64(idx)*64
+}
+
+// caseIndependent builds Case1/2/3: every task has nDeps inout deps on
+// addresses never used by any other task, so all tasks are independent.
+func caseIndependent(caseNo, nDeps int) *trace.Trace {
+	tr := newTrace(caseNo)
+	for t := 0; t < NumTasks; t++ {
+		deps := make([]trace.Dep, nDeps)
+		for d := 0; d < nDeps; d++ {
+			deps[d] = trace.Dep{Addr: addrOf(t+1, d), Dir: trace.InOut}
+		}
+		addTask(tr, deps...)
+	}
+	return tr
+}
+
+// case4 builds the single producer-producer chain of Figure 7a: 100
+// tasks, each inout on the same address A, so task i depends on task i-1.
+func case4() *trace.Trace {
+	tr := newTrace(4)
+	a := addrOf(0, 0)
+	for t := 0; t < NumTasks; t++ {
+		addTask(tr, trace.Dep{Addr: a, Dir: trace.InOut})
+	}
+	return tr
+}
+
+// case5 builds Figure 7b: 10 sets; in each set one producer writes A_s
+// and 9 consumers read it. Every task also carries a private inout dep so
+// that both the first task and the average have 2 dependences (Table IV
+// row #d1st/avg#d = 2/2).
+func case5() *trace.Trace {
+	tr := newTrace(5)
+	for s := 0; s < 10; s++ {
+		shared := addrOf(100+s, 0)
+		addTask(tr,
+			trace.Dep{Addr: shared, Dir: trace.Out},
+			trace.Dep{Addr: addrOf(100+s, 1), Dir: trace.InOut})
+		for c := 0; c < 9; c++ {
+			addTask(tr,
+				trace.Dep{Addr: shared, Dir: trace.In},
+				trace.Dep{Addr: addrOf(100+s, 2+c), Dir: trace.InOut})
+		}
+	}
+	return tr
+}
+
+// case6 builds Figure 7c: 10 rounds; each round starts with a consumer
+// task carrying 11 dependences — reads of the 9 producer outputs of the
+// previous round plus a read of the round input and an inout on its own
+// accumulator — followed by 9 single-dependence producers. Round 0's
+// consumer reads addresses nobody wrote, so it is ready immediately; the
+// first task of the trace therefore has 11 dependences and the average is
+// (10*11 + 90*1)/100 = 2, matching Table IV's 11/2.
+func case6() *trace.Trace {
+	tr := newTrace(6)
+	for s := 0; s < 10; s++ {
+		deps := make([]trace.Dep, 0, 11)
+		for p := 0; p < 9; p++ {
+			deps = append(deps, trace.Dep{Addr: addrOf(200+s-1, p), Dir: trace.In})
+		}
+		deps = append(deps,
+			trace.Dep{Addr: addrOf(300+s, 0), Dir: trace.In},
+			trace.Dep{Addr: addrOf(300+s, 1), Dir: trace.InOut})
+		addTask(tr, deps...)
+		for p := 0; p < 9; p++ {
+			addTask(tr, trace.Dep{Addr: addrOf(200+s, p), Dir: trace.Out})
+		}
+	}
+	return tr
+}
+
+// case7 builds Figure 7d: 10 sets of 10 tasks, every task carrying 11
+// dependences over the set's 11 shared addresses with alternating
+// directions, creating interleaved producer-consumer and producer-
+// producer chains (11/11 in Table IV).
+func case7() *trace.Trace {
+	tr := newTrace(7)
+	for s := 0; s < 10; s++ {
+		for t := 0; t < 10; t++ {
+			deps := make([]trace.Dep, 0, 11)
+			for d := 0; d < 11; d++ {
+				dir := trace.In
+				if (t+d)%2 == 0 {
+					dir = trace.InOut
+				}
+				deps = append(deps, trace.Dep{Addr: addrOf(400+s, d), Dir: dir})
+			}
+			addTask(tr, deps...)
+		}
+	}
+	return tr
+}

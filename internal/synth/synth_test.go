@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+func getCase(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	tr, err := Case(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("case%d invalid: %v", n, err)
+	}
+	return tr
+}
+
+// TestTableIVDepRow checks the #d1st/avg#d row of Table IV:
+// 0/0, 1/1, 15/15, 1/1, 2/2, 11/2, 11/11.
+func TestTableIVDepRow(t *testing.T) {
+	want := []struct {
+		d1st int
+		avg  float64
+	}{
+		{0, 0}, {1, 1}, {15, 15}, {1, 1}, {2, 2}, {11, 2}, {11, 11},
+	}
+	for n := 1; n <= 7; n++ {
+		tr := getCase(t, n)
+		if len(tr.Tasks) != NumTasks {
+			t.Errorf("case%d: %d tasks, want %d", n, len(tr.Tasks), NumTasks)
+		}
+		d1 := len(tr.Tasks[0].Deps)
+		avg := float64(tr.NumDeps()) / float64(len(tr.Tasks))
+		if d1 != want[n-1].d1st {
+			t.Errorf("case%d: first task has %d deps, want %d", n, d1, want[n-1].d1st)
+		}
+		if avg != want[n-1].avg {
+			t.Errorf("case%d: avg deps %.2f, want %.2f", n, avg, want[n-1].avg)
+		}
+		for i := range tr.Tasks {
+			if tr.Tasks[i].Duration != TaskLen {
+				t.Fatalf("case%d task %d duration %d, want %d", n, i, tr.Tasks[i].Duration, TaskLen)
+			}
+		}
+	}
+}
+
+func TestIndependentCasesHaveNoEdges(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := taskgraph.Build(getCase(t, n))
+		if g.NumEdges() != 0 {
+			t.Errorf("case%d: %d edges, want 0", n, g.NumEdges())
+		}
+		if g.MaxParallelism() != NumTasks {
+			t.Errorf("case%d: parallelism %d, want %d", n, g.MaxParallelism(), NumTasks)
+		}
+	}
+}
+
+func TestCase4IsAChain(t *testing.T) {
+	g := taskgraph.Build(getCase(t, 4))
+	if g.Depth() != NumTasks {
+		t.Fatalf("case4 depth %d, want %d", g.Depth(), NumTasks)
+	}
+	if g.MaxParallelism() != 1 {
+		t.Fatalf("case4 parallelism %d, want 1", g.MaxParallelism())
+	}
+	if g.NumEdges() != NumTasks-1 {
+		t.Fatalf("case4 edges %d, want %d", g.NumEdges(), NumTasks-1)
+	}
+}
+
+func TestCase5FanOut(t *testing.T) {
+	g := taskgraph.Build(getCase(t, 5))
+	// Every set: producer (task 10s) feeds 9 consumers.
+	for s := 0; s < 10; s++ {
+		p := 10 * s
+		if len(g.Succ[p]) != 9 {
+			t.Fatalf("set %d: producer has %d successors, want 9", s, len(g.Succ[p]))
+		}
+		for c := p + 1; c < p+10; c++ {
+			if len(g.Pred[c]) != 1 || int(g.Pred[c][0]) != p {
+				t.Fatalf("consumer %d preds = %v, want [%d]", c, g.Pred[c], p)
+			}
+		}
+	}
+}
+
+func TestCase6FanIn(t *testing.T) {
+	g := taskgraph.Build(getCase(t, 6))
+	// Round 0 consumer is a root; later consumers collect the 9 producers
+	// of the previous round.
+	if len(g.Pred[0]) != 0 {
+		t.Fatalf("round-0 consumer has preds %v", g.Pred[0])
+	}
+	for s := 1; s < 10; s++ {
+		c := 10 * s
+		if len(g.Pred[c]) != 9 {
+			t.Fatalf("round %d consumer has %d preds, want 9", s, len(g.Pred[c]))
+		}
+	}
+}
+
+func TestCase7MixedChains(t *testing.T) {
+	tr := getCase(t, 7)
+	g := taskgraph.Build(tr)
+	// Within a set, tasks sharing addresses with alternating directions
+	// must serialize heavily: depth per set should be close to the set
+	// size, and sets are mutually independent (different address spaces).
+	if g.Depth() < 8 {
+		t.Fatalf("case7 depth %d, want >= 8 within a set", g.Depth())
+	}
+	// Tasks in different sets share no addresses: no cross-set edge.
+	for i := 0; i < g.N; i++ {
+		for _, s := range g.Succ[i] {
+			if i/10 != int(s)/10 {
+				t.Fatalf("cross-set edge %d -> %d", i, s)
+			}
+		}
+	}
+}
+
+func TestCaseErrors(t *testing.T) {
+	if _, err := Case(0); err == nil {
+		t.Fatal("Case(0) accepted")
+	}
+	if _, err := Case(8); err == nil {
+		t.Fatal("Case(8) accepted")
+	}
+}
+
+func TestCasesReturnsAllSeven(t *testing.T) {
+	cs := Cases()
+	if len(cs) != 7 {
+		t.Fatalf("Cases() returned %d traces", len(cs))
+	}
+	for i, tr := range cs {
+		if tr == nil || len(tr.Tasks) != NumTasks {
+			t.Fatalf("case %d malformed", i+1)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the dependence DAG in Graphviz DOT format, one node
+// per task labelled with its ID, mirroring the dependence-graph figures
+// of the paper (Figure 2, Figure 7).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < g.N; i++ {
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%d\"];\n", i, i); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.N; i++ {
+		for _, s := range g.Succ[i] {
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", i, s); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// ASCIILevels renders a compact textual view of the DAG: one line per
+// level listing task IDs. This is the console-friendly stand-in for the
+// paper's dependence-graph drawings.
+func (g *Graph) ASCIILevels(w io.Writer) error {
+	lv := g.Levels()
+	depth := 0
+	for _, l := range lv {
+		if l+1 > depth {
+			depth = l + 1
+		}
+	}
+	byLevel := make([][]int, depth)
+	for i, l := range lv {
+		byLevel[l] = append(byLevel[l], i)
+	}
+	for l, tasks := range byLevel {
+		if _, err := fmt.Fprintf(w, "L%-3d:", l); err != nil {
+			return err
+		}
+		const maxShown = 16
+		for i, t := range tasks {
+			if i == maxShown {
+				if _, err := fmt.Fprintf(w, " ... (+%d)", len(tasks)-maxShown); err != nil {
+					return err
+				}
+				break
+			}
+			if _, err := fmt.Fprintf(w, " %d", t); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

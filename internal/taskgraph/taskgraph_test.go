@@ -1,0 +1,275 @@
+package taskgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// mk builds a trace from a compact spec: each task is a list of deps.
+func mk(durations []uint64, deps [][]trace.Dep) *trace.Trace {
+	tr := &trace.Trace{Name: "test"}
+	for i := range deps {
+		d := uint64(1)
+		if i < len(durations) {
+			d = durations[i]
+		}
+		tr.Tasks = append(tr.Tasks, trace.Task{ID: uint32(i), Duration: d, Deps: deps[i]})
+	}
+	return tr
+}
+
+func edge(g *Graph, from, to int) bool {
+	for _, s := range g.Succ[from] {
+		if int(s) == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRAW(t *testing.T) {
+	// writer -> reader
+	g := Build(mk(nil, [][]trace.Dep{
+		{{Addr: 1, Dir: trace.Out}},
+		{{Addr: 1, Dir: trace.In}},
+	}))
+	if !edge(g, 0, 1) {
+		t.Fatal("missing RAW edge")
+	}
+	if len(g.Pred[0]) != 0 {
+		t.Fatal("writer should have no predecessors")
+	}
+}
+
+func TestWAW(t *testing.T) {
+	g := Build(mk(nil, [][]trace.Dep{
+		{{Addr: 1, Dir: trace.Out}},
+		{{Addr: 1, Dir: trace.Out}},
+	}))
+	if !edge(g, 0, 1) {
+		t.Fatal("missing WAW edge")
+	}
+}
+
+func TestWAR(t *testing.T) {
+	g := Build(mk(nil, [][]trace.Dep{
+		{{Addr: 1, Dir: trace.Out}},
+		{{Addr: 1, Dir: trace.In}},
+		{{Addr: 1, Dir: trace.Out}},
+	}))
+	if !edge(g, 1, 2) {
+		t.Fatal("missing WAR edge reader->writer")
+	}
+	if !edge(g, 0, 2) {
+		t.Fatal("missing WAW edge writer->writer")
+	}
+}
+
+func TestReadersIndependent(t *testing.T) {
+	// Multiple readers with no prior writer are all roots and mutually
+	// independent (the DM "input" flag situation).
+	g := Build(mk(nil, [][]trace.Dep{
+		{{Addr: 7, Dir: trace.In}},
+		{{Addr: 7, Dir: trace.In}},
+		{{Addr: 7, Dir: trace.In}},
+	}))
+	if g.NumEdges() != 0 {
+		t.Fatalf("readers-only graph has %d edges, want 0", g.NumEdges())
+	}
+	if len(g.Roots()) != 3 {
+		t.Fatalf("roots = %v", g.Roots())
+	}
+}
+
+func TestInOutChain(t *testing.T) {
+	// Case4 of the paper: a single chain of inout deps.
+	deps := make([][]trace.Dep, 5)
+	for i := range deps {
+		deps[i] = []trace.Dep{{Addr: 0xA, Dir: trace.InOut}}
+	}
+	g := Build(mk(nil, deps))
+	for i := 0; i < 4; i++ {
+		if !edge(g, i, i+1) {
+			t.Fatalf("missing chain edge %d->%d", i, i+1)
+		}
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("chain has %d edges, want 4", g.NumEdges())
+	}
+	if g.Depth() != 5 {
+		t.Fatalf("depth = %d, want 5", g.Depth())
+	}
+	if g.MaxParallelism() != 1 {
+		t.Fatalf("max parallelism = %d, want 1", g.MaxParallelism())
+	}
+}
+
+func TestProducerConsumerFan(t *testing.T) {
+	// Case5-style: one producer, N consumers, then a new producer (WAR).
+	deps := [][]trace.Dep{
+		{{Addr: 0xA, Dir: trace.Out}},
+	}
+	for i := 0; i < 4; i++ {
+		deps = append(deps, []trace.Dep{{Addr: 0xA, Dir: trace.In}})
+	}
+	deps = append(deps, []trace.Dep{{Addr: 0xA, Dir: trace.Out}})
+	g := Build(mk(nil, deps))
+	for c := 1; c <= 4; c++ {
+		if !edge(g, 0, c) {
+			t.Fatalf("missing RAW edge 0->%d", c)
+		}
+		if !edge(g, c, 5) {
+			t.Fatalf("missing WAR edge %d->5", c)
+		}
+	}
+	if g.MaxParallelism() != 4 {
+		t.Fatalf("max parallelism = %d, want 4", g.MaxParallelism())
+	}
+}
+
+func TestDedupedEdges(t *testing.T) {
+	// Two deps on different addrs, both last-written by task 0: only one
+	// edge 0->1.
+	g := Build(mk(nil, [][]trace.Dep{
+		{{Addr: 1, Dir: trace.Out}, {Addr: 2, Dir: trace.Out}},
+		{{Addr: 1, Dir: trace.In}, {Addr: 2, Dir: trace.In}},
+	}))
+	if len(g.Pred[1]) != 1 {
+		t.Fatalf("pred[1] = %v, want exactly one edge", g.Pred[1])
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	// 0 (10) -> 1 (5) and 0 -> 2 (20); CP = 30.
+	g := Build(mk([]uint64{10, 5, 20}, [][]trace.Dep{
+		{{Addr: 1, Dir: trace.Out}},
+		{{Addr: 1, Dir: trace.In}},
+		{{Addr: 1, Dir: trace.In}},
+	}))
+	if cp := g.CriticalPath(); cp != 30 {
+		t.Fatalf("critical path = %d, want 30", cp)
+	}
+}
+
+func TestCheckSchedule(t *testing.T) {
+	g := Build(mk([]uint64{10, 5}, [][]trace.Dep{
+		{{Addr: 1, Dir: trace.Out}},
+		{{Addr: 1, Dir: trace.In}},
+	}))
+	// Legal: task 1 starts after task 0 finishes.
+	if err := g.CheckSchedule([]uint64{0, 10}, []uint64{10, 15}); err != nil {
+		t.Fatalf("legal schedule rejected: %v", err)
+	}
+	// Illegal: task 1 starts early.
+	if err := g.CheckSchedule([]uint64{0, 9}, []uint64{10, 14}); err == nil {
+		t.Fatal("illegal schedule accepted")
+	}
+	// Illegal: finish before start.
+	if err := g.CheckSchedule([]uint64{0, 10}, []uint64{10, 9}); err == nil {
+		t.Fatal("time-reversed schedule accepted")
+	}
+	// Wrong length.
+	if err := g.CheckSchedule([]uint64{0}, []uint64{10}); err == nil {
+		t.Fatal("short schedule accepted")
+	}
+}
+
+func TestLevelsAndDot(t *testing.T) {
+	g := Build(mk(nil, [][]trace.Dep{
+		{{Addr: 1, Dir: trace.Out}},
+		{{Addr: 1, Dir: trace.InOut}},
+		{{Addr: 1, Dir: trace.In}},
+	}))
+	lv := g.Levels()
+	if lv[0] != 0 || lv[1] != 1 || lv[2] != 2 {
+		t.Fatalf("levels = %v", lv)
+	}
+	var dot bytes.Buffer
+	if err := g.WriteDOT(&dot, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "t0 -> t1") {
+		t.Fatalf("dot output missing edge: %s", dot.String())
+	}
+	var ascii bytes.Buffer
+	if err := g.ASCIILevels(&ascii); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "L0") {
+		t.Fatal("ascii output missing level header")
+	}
+}
+
+// randomTrace builds a random trace over a small address pool so that
+// dependences are plentiful.
+func randomTrace(seed int64, n int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Name: "rand"}
+	for i := 0; i < n; i++ {
+		task := trace.Task{ID: uint32(i), Duration: uint64(rng.Intn(50) + 1)}
+		nd := rng.Intn(4)
+		used := map[uint64]bool{}
+		for d := 0; d < nd; d++ {
+			addr := uint64(rng.Intn(8))*64 + 0x1000
+			if used[addr] {
+				continue
+			}
+			used[addr] = true
+			task.Deps = append(task.Deps, trace.Dep{Addr: addr, Dir: trace.Direction(rng.Intn(3))})
+		}
+		tr.Tasks = append(tr.Tasks, task)
+	}
+	return tr
+}
+
+func TestGraphInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 60)
+		g := Build(tr)
+		// Edges only point forward (creation order is topological).
+		for i := 0; i < g.N; i++ {
+			for _, p := range g.Pred[i] {
+				if int(p) >= i {
+					return false
+				}
+			}
+		}
+		// Succ and Pred are mirror images.
+		fwd := map[[2]int32]bool{}
+		for i := 0; i < g.N; i++ {
+			for _, s := range g.Succ[i] {
+				fwd[[2]int32{int32(i), s}] = true
+			}
+		}
+		cnt := 0
+		for i := 0; i < g.N; i++ {
+			for _, p := range g.Pred[i] {
+				if !fwd[[2]int32{p, int32(i)}] {
+					return false
+				}
+				cnt++
+			}
+		}
+		if cnt != len(fwd) {
+			return false
+		}
+		// Critical path >= max single duration and <= sum of durations.
+		var maxDur, sum uint64
+		for _, d := range g.Durations {
+			if d > maxDur {
+				maxDur = d
+			}
+			sum += d
+		}
+		cp := g.CriticalPath()
+		return cp >= maxDur && cp <= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format (little-endian):
+//
+//	magic   [4]byte  "PTR1"
+//	nameLen uint16   + name bytes
+//	serial  uint64
+//	refseq  uint64
+//	nTasks  uint32
+//	per task:
+//	  id       uint32
+//	  duration uint64
+//	  create   uint64
+//	  nDeps    uint8
+//	  per dep: addr uint64, dir uint8
+//
+// The format is deliberately simple: the paper's traces carry exactly the
+// same fields (task identification, dependence address and direction,
+// task creation latency and execution time in cycles).
+
+var magic = [4]byte{'P', 'T', 'R', '1'}
+
+// WriteTo serializes the trace. It returns the number of bytes written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	name := []byte(t.Name)
+	if len(name) > 0xFFFF {
+		return n, fmt.Errorf("trace: name too long (%d bytes)", len(name))
+	}
+	if err := write(uint16(len(name))); err != nil {
+		return n, err
+	}
+	if len(name) > 0 {
+		if _, err := bw.Write(name); err != nil {
+			return n, err
+		}
+		n += int64(len(name))
+	}
+	if err := write(t.SerialCycles); err != nil {
+		return n, err
+	}
+	if err := write(t.RefSeqCycles); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Tasks))); err != nil {
+		return n, err
+	}
+	for i := range t.Tasks {
+		task := &t.Tasks[i]
+		if len(task.Deps) > 255 {
+			return n, fmt.Errorf("trace: task %d has %d deps (>255)", i, len(task.Deps))
+		}
+		if err := write(task.ID); err != nil {
+			return n, err
+		}
+		if err := write(task.Duration); err != nil {
+			return n, err
+		}
+		if err := write(task.CreateCost); err != nil {
+			return n, err
+		}
+		if err := write(uint8(len(task.Deps))); err != nil {
+			return n, err
+		}
+		for _, d := range task.Deps {
+			if err := write(d.Addr); err != nil {
+				return n, err
+			}
+			if err := write(uint8(d.Dir)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a trace previously written with WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: string(name)}
+	if err := binary.Read(br, binary.LittleEndian, &t.SerialCycles); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &t.RefSeqCycles); err != nil {
+		return nil, err
+	}
+	var nTasks uint32
+	if err := binary.Read(br, binary.LittleEndian, &nTasks); err != nil {
+		return nil, err
+	}
+	const maxTasks = 1 << 28 // sanity bound against corrupt input
+	if nTasks > maxTasks {
+		return nil, fmt.Errorf("trace: implausible task count %d", nTasks)
+	}
+	t.Tasks = make([]Task, nTasks)
+	for i := range t.Tasks {
+		task := &t.Tasks[i]
+		if err := binary.Read(br, binary.LittleEndian, &task.ID); err != nil {
+			return nil, fmt.Errorf("trace: task %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &task.Duration); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &task.CreateCost); err != nil {
+			return nil, err
+		}
+		var nDeps uint8
+		if err := binary.Read(br, binary.LittleEndian, &nDeps); err != nil {
+			return nil, err
+		}
+		if nDeps > 0 {
+			task.Deps = make([]Dep, nDeps)
+			for j := range task.Deps {
+				if err := binary.Read(br, binary.LittleEndian, &task.Deps[j].Addr); err != nil {
+					return nil, err
+				}
+				var dir uint8
+				if err := binary.Read(br, binary.LittleEndian, &dir); err != nil {
+					return nil, err
+				}
+				if dir > uint8(InOut) {
+					return nil, fmt.Errorf("trace: task %d dep %d: bad direction %d", i, j, dir)
+				}
+				task.Deps[j].Dir = Direction(dir)
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,199 @@
+// Package trace defines the task-trace format that feeds every simulator
+// in this repository, mirroring the traces the paper captured on its
+// 12-core Xeon and replayed on the Zedboard HIL platform (Section IV-A):
+// per task, an identifier, the list of dependence addresses with their
+// directions (input / output / inout), the execution time in cycles, and
+// the task-creation latency in cycles.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Direction is the access direction of a dependence, matching the OmpSs
+// clauses input(...), output(...), inout(...).
+type Direction uint8
+
+const (
+	// In marks a read-only dependence (OmpSs "input").
+	In Direction = iota
+	// Out marks a write-only dependence (OmpSs "output").
+	Out
+	// InOut marks a read-write dependence (OmpSs "inout").
+	InOut
+)
+
+// String returns the OmpSs clause name for the direction.
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// Reads reports whether the direction implies a read of the address.
+func (d Direction) Reads() bool { return d == In || d == InOut }
+
+// Writes reports whether the direction implies a write of the address.
+func (d Direction) Writes() bool { return d == Out || d == InOut }
+
+// Dep is one dependence of a task: a memory address plus its direction.
+type Dep struct {
+	Addr uint64
+	Dir  Direction
+}
+
+// MaxDeps is the number of dependences a single task may carry. The
+// prototype's TMX memories hold 5 entries of 3 dependences each, i.e. 15
+// dependences per task, "enough for real applications currently
+// programmed with OmpSs" (Section III-A).
+const MaxDeps = 15
+
+// Task is one entry of a trace.
+type Task struct {
+	// ID is the task identifier (the paper's Task.ID). IDs are unique
+	// within a trace and equal the task's position in creation order.
+	ID uint32
+	// Deps lists the task's dependences in declaration order.
+	Deps []Dep
+	// Duration is the task's execution time in cycles, as instrumented
+	// from the sequential run.
+	Duration uint64
+	// CreateCost is the task-creation latency in cycles on the master
+	// (used by the Full-system mode and the software-only runtime).
+	// Zero means "use the runtime model's default".
+	CreateCost uint64
+}
+
+// Trace is an ordered stream of tasks in creation order.
+type Trace struct {
+	// Name identifies the workload, e.g. "cholesky-2048-128" or "case4".
+	Name string
+	// Tasks in creation (sequential program) order.
+	Tasks []Task
+	// SerialCycles is extra sequential (non-task) work in the original
+	// program, added to the sum of task durations when computing the
+	// sequential execution time. Usually zero for the paper's kernels.
+	SerialCycles uint64
+	// RefSeqCycles, when non-zero, is the measured sequential execution
+	// time of the original (untasked) program, the paper's Table I
+	// "SeqExec" column. It can differ from the sum of task durations
+	// because tasking adds per-block overhead. Speedups are computed
+	// against Baseline().
+	RefSeqCycles uint64
+}
+
+// Baseline returns the sequential-execution reference used for speedups:
+// RefSeqCycles when set, otherwise SeqCycles().
+func (t *Trace) Baseline() uint64 {
+	if t.RefSeqCycles != 0 {
+		return t.RefSeqCycles
+	}
+	return t.SeqCycles()
+}
+
+// SeqCycles returns the sequential execution time in cycles: the sum of
+// all task durations plus any serial work. Speedups in this repository
+// are computed against this value, as in the paper ("Speedup shown in
+// this paper is computed against the sequential execution time").
+func (t *Trace) SeqCycles() uint64 {
+	total := t.SerialCycles
+	for i := range t.Tasks {
+		total += t.Tasks[i].Duration
+	}
+	return total
+}
+
+// NumDeps returns the total number of dependences across all tasks.
+func (t *Trace) NumDeps() int {
+	n := 0
+	for i := range t.Tasks {
+		n += len(t.Tasks[i].Deps)
+	}
+	return n
+}
+
+// Summary holds the Table I columns for a trace.
+type Summary struct {
+	Name        string
+	NumTasks    int
+	MinDeps     int
+	MaxDeps     int
+	AvgTaskSize float64
+	SeqCycles   uint64
+}
+
+// Summarize computes the Table I characteristics of the trace.
+func (t *Trace) Summarize() Summary {
+	s := Summary{Name: t.Name, NumTasks: len(t.Tasks), SeqCycles: t.SeqCycles()}
+	if len(t.Tasks) == 0 {
+		return s
+	}
+	s.MinDeps = len(t.Tasks[0].Deps)
+	var durSum uint64
+	for i := range t.Tasks {
+		nd := len(t.Tasks[i].Deps)
+		if nd < s.MinDeps {
+			s.MinDeps = nd
+		}
+		if nd > s.MaxDeps {
+			s.MaxDeps = nd
+		}
+		durSum += t.Tasks[i].Duration
+	}
+	s.AvgTaskSize = float64(durSum) / float64(len(t.Tasks))
+	return s
+}
+
+// Validation errors.
+var (
+	ErrTooManyDeps  = errors.New("trace: task exceeds 15 dependences")
+	ErrDupAddr      = errors.New("trace: duplicate dependence address within one task")
+	ErrBadID        = errors.New("trace: task ID does not match creation order")
+	ErrZeroDuration = errors.New("trace: task has zero duration")
+)
+
+// Validate checks the structural invariants every simulator relies on:
+// IDs equal creation order, at most MaxDeps dependences per task, no
+// duplicate address within a single task's dependence list (the hardware
+// assumes distinct addresses; OmpSs expresses read+write of the same
+// datum as a single inout), and non-zero durations.
+func (t *Trace) Validate() error {
+	for i := range t.Tasks {
+		task := &t.Tasks[i]
+		if task.ID != uint32(i) {
+			return fmt.Errorf("%w: task %d has ID %d", ErrBadID, i, task.ID)
+		}
+		if len(task.Deps) > MaxDeps {
+			return fmt.Errorf("%w: task %d has %d", ErrTooManyDeps, i, len(task.Deps))
+		}
+		if task.Duration == 0 {
+			return fmt.Errorf("%w: task %d", ErrZeroDuration, i)
+		}
+		for a := 0; a < len(task.Deps); a++ {
+			for b := a + 1; b < len(task.Deps); b++ {
+				if task.Deps[a].Addr == task.Deps[b].Addr {
+					return fmt.Errorf("%w: task %d addr %#x", ErrDupAddr, i, task.Deps[a].Addr)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Name: t.Name, SerialCycles: t.SerialCycles, RefSeqCycles: t.RefSeqCycles, Tasks: make([]Task, len(t.Tasks))}
+	for i := range t.Tasks {
+		c.Tasks[i] = t.Tasks[i]
+		c.Tasks[i].Deps = append([]Dep(nil), t.Tasks[i].Deps...)
+	}
+	return c
+}

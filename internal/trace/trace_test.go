@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "sample",
+		Tasks: []Task{
+			{ID: 0, Duration: 100, Deps: []Dep{{Addr: 0x1000, Dir: InOut}}},
+			{ID: 1, Duration: 200, CreateCost: 50, Deps: []Dep{{Addr: 0x1000, Dir: In}, {Addr: 0x2000, Dir: Out}}},
+			{ID: 2, Duration: 300},
+		},
+		SerialCycles: 42,
+	}
+}
+
+func TestDirectionSemantics(t *testing.T) {
+	cases := []struct {
+		d      Direction
+		reads  bool
+		writes bool
+		str    string
+	}{
+		{In, true, false, "in"},
+		{Out, false, true, "out"},
+		{InOut, true, true, "inout"},
+	}
+	for _, c := range cases {
+		if c.d.Reads() != c.reads || c.d.Writes() != c.writes || c.d.String() != c.str {
+			t.Fatalf("direction %v: reads=%v writes=%v str=%q", c.d, c.d.Reads(), c.d.Writes(), c.d.String())
+		}
+	}
+}
+
+func TestSeqCyclesAndSummary(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.SeqCycles(); got != 100+200+300+42 {
+		t.Fatalf("SeqCycles = %d", got)
+	}
+	s := tr.Summarize()
+	if s.NumTasks != 3 || s.MinDeps != 0 || s.MaxDeps != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.AvgTaskSize != 200 {
+		t.Fatalf("avg task size = %v, want 200", s.AvgTaskSize)
+	}
+	if tr.NumDeps() != 3 {
+		t.Fatalf("NumDeps = %d, want 3", tr.NumDeps())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tr := sampleTrace()
+	tr.Tasks[1].ID = 7
+	if err := tr.Validate(); !errors.Is(err, ErrBadID) {
+		t.Fatalf("want ErrBadID, got %v", err)
+	}
+
+	tr = sampleTrace()
+	tr.Tasks[0].Duration = 0
+	if err := tr.Validate(); !errors.Is(err, ErrZeroDuration) {
+		t.Fatalf("want ErrZeroDuration, got %v", err)
+	}
+
+	tr = sampleTrace()
+	tr.Tasks[1].Deps = []Dep{{Addr: 5, Dir: In}, {Addr: 5, Dir: Out}}
+	if err := tr.Validate(); !errors.Is(err, ErrDupAddr) {
+		t.Fatalf("want ErrDupAddr, got %v", err)
+	}
+
+	tr = sampleTrace()
+	deps := make([]Dep, MaxDeps+1)
+	for i := range deps {
+		deps[i] = Dep{Addr: uint64(i), Dir: In}
+	}
+	tr.Tasks[0].Deps = deps
+	if err := tr.Validate(); !errors.Is(err, ErrTooManyDeps) {
+		t.Fatalf("want ErrTooManyDeps, got %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := sampleTrace()
+	c := tr.Clone()
+	c.Tasks[0].Deps[0].Addr = 0xDEAD
+	c.Tasks[2].Duration = 1
+	if tr.Tasks[0].Deps[0].Addr == 0xDEAD || tr.Tasks[2].Duration == 1 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.SerialCycles != tr.SerialCycles || len(got.Tasks) != len(tr.Tasks) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Tasks {
+		a, b := tr.Tasks[i], got.Tasks[i]
+		if a.ID != b.ID || a.Duration != b.Duration || a.CreateCost != b.CreateCost || len(a.Deps) != len(b.Deps) {
+			t.Fatalf("task %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Deps {
+			if a.Deps[j] != b.Deps[j] {
+				t.Fatalf("task %d dep %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: serialize/deserialize is the identity on random traces.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "prop"}
+		for i := 0; i < int(n); i++ {
+			task := Task{
+				ID:         uint32(i),
+				Duration:   uint64(rng.Intn(1000) + 1),
+				CreateCost: uint64(rng.Intn(100)),
+			}
+			for d := rng.Intn(5); d > 0; d-- {
+				task.Deps = append(task.Deps, Dep{
+					Addr: rng.Uint64(),
+					Dir:  Direction(rng.Intn(3)),
+				})
+			}
+			tr.Tasks = append(tr.Tasks, task)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Tasks) != len(tr.Tasks) {
+			return false
+		}
+		for i := range tr.Tasks {
+			if got.Tasks[i].Duration != tr.Tasks[i].Duration ||
+				len(got.Tasks[i].Deps) != len(tr.Tasks[i].Deps) {
+				return false
+			}
+			for j := range tr.Tasks[i].Deps {
+				if got.Tasks[i].Deps[j] != tr.Tasks[i].Deps[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Read accepted empty input")
+	}
+	// Truncated valid prefix.
+	var buf bytes.Buffer
+	if _, err := sampleTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-4])); err == nil {
+		t.Fatal("Read accepted truncated input")
+	}
+	// Bad direction byte.
+	b2 := append([]byte(nil), b...)
+	b2[len(b2)-1] = 99 // last byte is a direction in sampleTrace layout? ensure error or ok
+	if _, err := Read(bytes.NewReader(b2)); err == nil {
+		// The last byte of sampleTrace is task 2's dep count (0), so
+		// flipping it makes the stream truncated instead; either way the
+		// reader must not succeed.
+		t.Fatal("Read accepted corrupted input")
+	}
+}
