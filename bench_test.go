@@ -11,6 +11,9 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 func benchExperiment(b *testing.B, name string, quick bool) {
@@ -53,3 +56,35 @@ func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", false) }
 
 // BenchmarkFig11 regenerates Figure 11 (scalability, reduced sweep).
 func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11", true) }
+
+// sweepGrid is the BenchmarkSweep workload: a 21-point
+// {engine x synthetic case} matrix, all-management traces so the
+// benchmark measures the sweep executor rather than task execution.
+func sweepGrid() []sim.Spec {
+	return sim.Grid{
+		Engines:   []string{"picos-hw", "picos-comm", "nanos"},
+		Workloads: []string{"case1", "case2", "case3", "case4", "case5", "case6", "case7"},
+	}.Expand()
+}
+
+func benchSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	specs := sweepGrid()
+	for i := 0; i < b.N; i++ {
+		items := sim.Sweep(specs, parallelism)
+		for _, it := range items {
+			if it.Err != "" {
+				b.Fatalf("spec %d: %s", it.Index, it.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepSequential runs the grid one spec at a time — the
+// pre-refactor baseline of hand-rolled experiment loops.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid across the bounded worker
+// pool (GOMAXPROCS goroutines); the ratio to Sequential is the sweep
+// executor's throughput gain.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }

@@ -1,4 +1,7 @@
 // Command picos-bench regenerates the paper's tables and figures.
+// Experiments are registry entries in internal/experiments; their
+// simulation matrices run through the sim engine registry on a
+// parallel worker pool.
 //
 // Usage:
 //

@@ -1,149 +1,143 @@
 // Command picos-sim runs one workload through one execution engine and
-// reports makespan, speedup and accelerator statistics.
+// reports makespan, speedup and accelerator statistics. Engines and
+// workloads are resolved through the sim registry; -json emits the
+// machine-readable result.
 //
 // Usage:
 //
 //	picos-sim -app cholesky -block 128 -workers 12
 //	picos-sim -app heat -block 64 -engine nanos -workers 8
-//	picos-sim -case 4 -mode full -dm p8way
+//	picos-sim -case 4 -engine picos-full -dm p8way
 //	picos-sim -trace trace.bin -engine perfect -workers 24
+//	picos-sim -app sparselu -block 64 -engine picos-full -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/apps"
-	"repro/internal/hil"
-	"repro/internal/nanos"
-	"repro/internal/perfect"
-	"repro/internal/picos"
-	"repro/internal/taskgraph"
-	"repro/internal/trace"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
 	var (
 		app      = flag.String("app", "", "benchmark: heat, lu, mlu, sparselu, cholesky, h264dec")
-		problem  = flag.Int("problem", apps.DefaultProblem, "problem size (matrix dim; frames for h264dec)")
+		problem  = flag.Int("problem", 0, "problem size (matrix dim; frames for h264dec; 0: paper default)")
 		block    = flag.Int("block", 128, "block size")
 		caseNo   = flag.Int("case", 0, "synthetic case 1..7 (instead of -app)")
 		traceIn  = flag.String("trace", "", "read a serialized trace instead of generating one")
-		engine   = flag.String("engine", "picos", "engine: picos, nanos, perfect")
-		mode     = flag.String("mode", "hw", "picos HIL mode: hw, comm, full")
-		dm       = flag.String("dm", "p8way", "DM design: 8way, 16way, p8way")
-		policy   = flag.String("ts", "fifo", "task scheduler policy: fifo, lifo")
-		workers  = flag.Int("workers", 12, "worker count")
-		nTRS     = flag.Int("trs", 1, "TRS instances")
-		nDCT     = flag.Int("dct", 1, "DCT instances")
+		engine   = flag.String("engine", "picos-hw", "engine: "+strings.Join(sim.Engines(), ", "))
+		mode     = flag.String("mode", "", "legacy picos HIL mode alias: hw, comm, full (use -engine picos-<mode>)")
+		dm       = flag.String("dm", "", "DM design: 8way, 16way, p8way (default p8way)")
+		policy   = flag.String("ts", "", "task scheduler policy: fifo (default), lifo")
+		workers  = flag.Int("workers", sim.DefaultWorkers, "worker count")
+		nTRS     = flag.Int("trs", 0, "TRS instances (default 1)")
+		nDCT     = flag.Int("dct", 0, "DCT instances (default 1)")
 		verify   = flag.Bool("verify", true, "check the schedule against the dependence oracle")
 		showStat = flag.Bool("stats", false, "print accelerator statistics")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
+		schedule = flag.Bool("schedule", false, "include the per-task schedule in the JSON output")
 	)
 	flag.Parse()
 
-	tr, err := loadTrace(*traceIn, *app, *problem, *block, *caseNo)
+	// Back-compat: "-engine picos -mode full" style invocations map onto
+	// the registry names picos-hw / picos-comm / picos-full. -mode only
+	// ever applied to the picos engine; combined with anything else it is
+	// a contradiction, not something to silently override.
+	eng := *engine
+	switch {
+	case eng == "picos" || (*mode != "" && eng == "picos-hw"):
+		m := *mode
+		if m == "" {
+			m = "hw"
+		}
+		eng = "picos-" + m
+	case *mode != "":
+		fail(fmt.Errorf("-mode %s only applies to the picos engine (use -engine picos-%s)", *mode, *mode))
+	}
+	spec := sim.Spec{
+		Engine:   eng,
+		Workload: workloadName(*traceIn, *app, *caseNo),
+		Problem:  *problem,
+		Block:    *block,
+		Workers:  *workers,
+		Design:   *dm,
+		Policy:   *policy,
+		NumTRS:   *nTRS,
+		NumDCT:   *nDCT,
+	}
+	if spec.Workload == "" {
+		fail(fmt.Errorf("one of -app, -case or -trace is required"))
+	}
+
+	tr, err := sim.BuildWorkload(spec)
 	if err != nil {
 		fail(err)
 	}
+	res, err := sim.RunTrace(tr, spec)
+	if err != nil {
+		fail(err)
+	}
+	verified := false
+	if *verify {
+		if err := sim.Verify(tr, res); err != nil {
+			fail(fmt.Errorf("schedule verification FAILED: %w", err))
+		}
+		verified = true
+	}
+
+	if *jsonOut {
+		if !*schedule {
+			res.StripSchedule()
+		}
+		out := struct {
+			Spec     sim.Spec    `json:"spec"`
+			Result   *sim.Result `json:"result"`
+			Verified bool        `json:"verified"`
+		}{spec, res, verified}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	s := tr.Summarize()
 	fmt.Printf("workload %s: %d tasks, %d-%d deps/task, avg size %.3g cycles, baseline %.3g cycles\n",
 		tr.Name, s.NumTasks, s.MinDeps, s.MaxDeps, s.AvgTaskSize, float64(tr.Baseline()))
-
-	var start, finish []uint64
-	switch *engine {
-	case "picos":
-		cfg := hil.DefaultConfig()
-		cfg.Workers = *workers
-		switch *mode {
-		case "hw":
-			cfg.Mode = hil.HWOnly
-		case "comm":
-			cfg.Mode = hil.HWComm
-		case "full":
-			cfg.Mode = hil.FullSystem
-		default:
-			fail(fmt.Errorf("unknown mode %q", *mode))
-		}
-		switch *dm {
-		case "8way":
-			cfg.Picos.Design = picos.DM8Way
-		case "16way":
-			cfg.Picos.Design = picos.DM16Way
-		case "p8way":
-			cfg.Picos.Design = picos.DMP8Way
-		default:
-			fail(fmt.Errorf("unknown DM design %q", *dm))
-		}
-		if *policy == "lifo" {
-			cfg.Picos.Policy = picos.SchedLIFO
-		}
-		cfg.Picos.NumTRS = *nTRS
-		cfg.Picos.NumDCT = *nDCT
-		res, err := hil.Run(tr, cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("engine picos/%s (%s, %s TS, %dx TRS, %dx DCT), %d workers\n",
-			res.Mode, cfg.Picos.Design, cfg.Picos.Policy, *nTRS, *nDCT, *workers)
-		fmt.Printf("makespan %d cycles, speedup %.2fx, L1st %d, thrTask %.0f cycles\n",
-			res.Makespan, res.Speedup, res.FirstStart, res.ThrTask)
-		if *showStat {
-			st := res.Stats
-			fmt.Printf("stats: admitted %d, deps %d, DM conflicts %d, conflict stall %d cy, "+
-				"VM stalls %d, GW blocked %d cy, wakes %d, max in-flight %d, max VM %d\n",
-				st.TasksAdmitted, st.DepsProcessed, st.DMConflicts, st.DMConflictStallCycles,
-				st.VMStallEvents, st.GWBlockedCycles, st.WakesRouted, st.MaxInFlightTasks, st.MaxVMLive)
-		}
-		start, finish = res.Start, res.Finish
-	case "nanos":
-		res, err := nanos.Run(tr, nanos.Config{Workers: *workers})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("engine nanos (software-only), %d workers\n", *workers)
-		fmt.Printf("makespan %d cycles, speedup %.2fx, lock busy %d cycles\n",
-			res.Makespan, res.Speedup, res.LockBusy)
-		start, finish = res.Start, res.Finish
-	case "perfect":
-		res, err := perfect.Run(tr, *workers)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("engine perfect (roofline), %d workers\n", *workers)
-		fmt.Printf("makespan %d cycles, speedup %.2fx\n", res.Makespan, res.Speedup)
-		start, finish = res.Start, res.Finish
-	default:
-		fail(fmt.Errorf("unknown engine %q", *engine))
+	fmt.Printf("engine %s, %d workers\n", res.Engine, res.Workers)
+	fmt.Printf("makespan %d cycles, speedup %.2fx, L1st %d, thrTask %.0f cycles\n",
+		res.Makespan, res.Speedup, res.FirstStart, res.ThrTask)
+	if res.LockBusy > 0 {
+		fmt.Printf("runtime lock busy %d cycles\n", res.LockBusy)
 	}
-
-	if *verify {
-		if err := taskgraph.Build(tr).CheckSchedule(start, finish); err != nil {
-			fail(fmt.Errorf("schedule verification FAILED: %w", err))
-		}
+	if *showStat && res.Stats != nil {
+		st := res.Stats
+		fmt.Printf("stats: admitted %d, deps %d, DM conflicts %d, conflict stall %d cy, "+
+			"VM stalls %d, GW blocked %d cy, wakes %d, max in-flight %d, max VM %d\n",
+			st.TasksAdmitted, st.DepsProcessed, st.DMConflicts, st.DMConflictStallCycles,
+			st.VMStallEvents, st.GWBlockedCycles, st.WakesRouted, st.MaxInFlightTasks, st.MaxVMLive)
+	}
+	if verified {
 		fmt.Println("schedule verified against the dependence oracle")
 	}
 }
 
-func loadTrace(path, app string, problem, block, caseNo int) (*trace.Trace, error) {
+// workloadName maps the trace-source flags onto one registry name.
+func workloadName(tracePath, app string, caseNo int) string {
 	switch {
-	case path != "":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return trace.Read(f)
+	case tracePath != "":
+		return sim.TracePrefix + tracePath
 	case caseNo != 0:
-		return synthCase(caseNo)
-	case app != "":
-		res, err := apps.Generate(apps.App(app), problem, block)
-		if err != nil {
-			return nil, err
-		}
-		return res.Trace, nil
+		return fmt.Sprintf("case%d", caseNo)
 	default:
-		return nil, fmt.Errorf("one of -app, -case or -trace is required")
+		return app
 	}
 }
 

@@ -1,4 +1,6 @@
 // Command picos-trace generates, inspects and converts task traces.
+// Workloads are resolved through the sim registry, so every name that
+// picos-sim accepts works here too.
 //
 // Usage:
 //
@@ -6,57 +8,79 @@
 //	picos-trace -in chol.bin                              # summarize
 //	picos-trace -case 5 -dot                              # Figure 7 graph
 //	picos-trace -app heat -block 256 -levels              # ASCII DAG levels
+//	picos-trace -workload case3                           # registry name directly
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/synth"
+	"repro/internal/sim"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "", "benchmark: heat, lu, mlu, sparselu, cholesky, h264dec")
-		problem = flag.Int("problem", apps.DefaultProblem, "problem size")
-		block   = flag.Int("block", 128, "block size")
-		caseNo  = flag.Int("case", 0, "synthetic case 1..7")
-		in      = flag.String("in", "", "read a serialized trace")
-		out     = flag.String("out", "", "write the trace to this file")
-		dot     = flag.Bool("dot", false, "dump the dependence DAG as Graphviz DOT")
-		levels  = flag.Bool("levels", false, "dump the DAG as ASCII levels")
+		app      = flag.String("app", "", "benchmark: heat, lu, mlu, sparselu, cholesky, h264dec")
+		problem  = flag.Int("problem", 0, "problem size (0: paper default)")
+		block    = flag.Int("block", 128, "block size")
+		caseNo   = flag.Int("case", 0, "synthetic case 1..7")
+		workload = flag.String("workload", "", "workload registry name (alternative to -app/-case; see -list)")
+		in       = flag.String("in", "", "read a serialized trace")
+		out      = flag.String("out", "", "write the trace to this file")
+		dot      = flag.Bool("dot", false, "dump the dependence DAG as Graphviz DOT")
+		levels   = flag.Bool("levels", false, "dump the DAG as ASCII levels")
+		list     = flag.Bool("list", false, "list registered workload names and exit")
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Println(strings.Join(sim.Workloads(), "\n"))
+		return
+	}
+
 	var tr *trace.Trace
-	var err error
+	name := *workload
 	switch {
+	case name != "":
 	case *in != "":
-		var f *os.File
-		if f, err = os.Open(*in); err == nil {
-			tr, err = trace.Read(f)
-			f.Close()
-		}
+		name = sim.TracePrefix + *in
 	case *caseNo != 0:
-		tr, err = synth.Case(*caseNo)
+		name = fmt.Sprintf("case%d", *caseNo)
 	case *app != "":
-		var res *apps.TraceResult
-		if res, err = apps.Generate(apps.App(*app), *problem, *block); err == nil {
-			tr = res.Trace
-			fmt.Fprintf(os.Stderr, "kernels: %v\n", res.KernelCounts)
+		// Real benchmarks bypass the registry so the generator's
+		// per-kernel counts stay visible — this tool's job is inspecting
+		// how a trace was built.
+		p := *problem
+		if p == 0 {
+			p = apps.DefaultProblem
+			if apps.App(*app) == apps.H264Dec {
+				p = 10
+			}
+		}
+		res, err := apps.Generate(apps.App(*app), p, *block)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "kernels: %v\n", res.KernelCounts)
+		tr = res.Trace
+		if err := tr.Validate(); err != nil {
+			fail(fmt.Errorf("trace invalid: %w", err))
 		}
 	default:
-		err = fmt.Errorf("one of -app, -case or -in is required")
+		fail(fmt.Errorf("one of -app, -case, -workload or -in is required"))
 	}
-	if err != nil {
-		fail(err)
-	}
-	if err := tr.Validate(); err != nil {
-		fail(fmt.Errorf("trace invalid: %w", err))
+	if tr == nil {
+		// BuildWorkload validates the trace before returning it.
+		var err error
+		tr, err = sim.BuildWorkload(sim.Spec{Workload: name, Problem: *problem, Block: *block})
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	s := tr.Summarize()

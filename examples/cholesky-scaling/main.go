@@ -1,39 +1,51 @@
 // Cholesky scaling: the Figure 11b experiment as a program — compare the
 // Picos Full-system prototype, the software-only Nanos++ runtime and the
 // Perfect roofline on blocked Cholesky as workers scale from 2 to 24.
+// The whole {engine x block x workers} matrix is one sim.Grid, executed
+// in parallel across a bounded goroutine pool.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/hil"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
-	for _, block := range []int{128, 64} {
-		tr, err := core.AppTrace(core.Cholesky, 2048, block)
+	engines := []string{"picos-full", "perfect", "nanos"}
+	workers := []int{2, 4, 8, 12, 16, 24}
+	blocks := []int{128, 64}
+
+	grid := sim.Grid{
+		Base:    sim.Spec{Workload: "cholesky"},
+		Engines: engines,
+		Blocks:  blocks,
+		Workers: workers,
+	}
+	specs := grid.Expand() // engines vary slowest, blocks fastest
+	items := sim.Sweep(specs, 0)
+	at := func(e, b, w int) *sim.Result {
+		it := items[(e*len(workers)+w)*len(blocks)+b]
+		if it.Err != "" {
+			log.Fatalf("%s cholesky/%d w=%d: %s", engines[e], blocks[b], workers[w], it.Err)
+		}
+		return it.Result
+	}
+
+	for bi, block := range blocks {
+		tr, err := sim.BuildWorkload(sim.Spec{Workload: "cholesky", Block: block})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("cholesky 2048/%d: %d tasks, avg %.3g cycles each\n",
 			block, len(tr.Tasks), tr.Summarize().AvgTaskSize)
 		fmt.Printf("%8s  %18s  %8s  %8s\n", "workers", "picos(full-system)", "perfect", "nanos++")
-		for _, w := range []int{2, 4, 8, 12, 16, 24} {
-			pic, err := core.RunPicos(tr, core.PicosOptions{Workers: w, Mode: hil.FullSystem})
-			if err != nil {
-				log.Fatal(err)
-			}
-			roof, err := core.RunPerfect(tr, w)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sw, err := core.RunNanos(tr, w)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%8d  %18.2f  %8.2f  %8.2f\n", w, pic.Speedup, roof.Speedup, sw.Speedup)
+		for wi, w := range workers {
+			fmt.Printf("%8d  %18.2f  %8.2f  %8.2f\n", w,
+				at(0, bi, wi).Speedup, at(1, bi, wi).Speedup, at(2, bi, wi).Speedup)
 		}
 		fmt.Println()
 	}

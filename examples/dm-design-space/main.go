@@ -8,24 +8,27 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/hil"
 	"repro/internal/picos"
 	"repro/internal/resources"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
-	tr, err := core.AppTrace(core.Heat, 2048, 64)
+	tr, err := sim.BuildWorkload(sim.Spec{Workload: "heat", Block: 64})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("heat 2048/64: %d tasks, 5 deps each, block-aligned addresses\n\n", len(tr.Tasks))
 
 	fmt.Printf("%-10s  %10s  %12s  %10s  %10s\n", "design", "speedup", "#conflicts", "LUT%", "BRAM%")
-	for _, design := range picos.Designs {
-		cfg := hil.DefaultConfig()
-		cfg.Picos.Design = design
-		res, err := core.RunPicosDetailed(tr, cfg)
+	for _, name := range []string{"8way", "16way", "p8way"} {
+		res, err := sim.Run(sim.Spec{Engine: "picos-hw", Workload: "heat", Block: 64, Design: name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		design, err := picos.ParseDesign(name)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,41 +1,48 @@
 // Fine-grain sweep: the Figure 1 story end to end — as block size
 // shrinks, available parallelism grows but per-task overhead grows too.
 // The software-only runtime peaks and collapses; the Picos accelerator
-// keeps climbing toward the roofline.
+// keeps climbing toward the roofline. One sim.Grid covers the whole
+// {engine x blocksize} matrix, run in parallel.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/hil"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
 	const workers = 12
+	engines := []string{"nanos", "picos-full", "perfect"}
+	blocks := []int{256, 128, 64, 32}
+
+	grid := sim.Grid{
+		Base:    sim.Spec{Workload: "sparselu", Workers: workers},
+		Engines: engines,
+		Blocks:  blocks,
+	}
+	items := sim.Sweep(grid.Expand(), 0)
+	at := func(e, b int) *sim.Result {
+		it := items[e*len(blocks)+b]
+		if it.Err != "" {
+			log.Fatalf("%s sparselu/%d: %s", engines[e], blocks[b], it.Err)
+		}
+		return it.Result
+	}
+
 	fmt.Printf("sparselu 2048, %d workers\n", workers)
 	fmt.Printf("%9s  %8s  %12s  %14s  %8s\n",
 		"blocksize", "#tasks", "nanos++", "picos(full)", "perfect")
-	for _, block := range []int{256, 128, 64, 32} {
-		tr, err := core.AppTrace(core.SparseLu, 2048, block)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sw, err := core.RunNanos(tr, workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pic, err := core.RunPicos(tr, core.PicosOptions{Workers: workers, Mode: hil.FullSystem})
-		if err != nil {
-			log.Fatal(err)
-		}
-		roof, err := core.RunPerfect(tr, workers)
+	for bi, block := range blocks {
+		tr, err := sim.BuildWorkload(sim.Spec{Workload: "sparselu", Block: block})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%9d  %8d  %11.2fx  %13.2fx  %7.2fx\n",
-			block, len(tr.Tasks), sw.Speedup, pic.Speedup, roof.Speedup)
+			block, len(tr.Tasks), at(0, bi).Speedup, at(1, bi).Speedup, at(2, bi).Speedup)
 	}
 	fmt.Println()
 	fmt.Println("expected shape (paper Fig. 1 + Fig. 11d): nanos++ rises, then the")

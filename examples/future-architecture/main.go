@@ -10,26 +10,31 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/picos"
 	"repro/internal/resources"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
-	tr, err := core.AppTrace(core.H264Dec, 10, 1)
+	tr, err := sim.BuildWorkload(sim.Spec{Workload: "h264dec", Block: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("h264dec 10 frames, 1x1 macroblocks: %d tasks, avg %.3g cycles\n\n",
 		len(tr.Tasks), tr.Summarize().AvgTaskSize)
 
-	roof, err := core.RunPerfect(tr, 24)
+	roof, err := sim.Run(sim.Spec{Engine: "perfect", Workload: "h264dec", Block: 1, Workers: 24})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%10s  %8s  %10s  %8s  %8s\n", "instances", "speedup", "vs perfect", "LUT%", "BRAM%")
 	for _, n := range []int{1, 2, 4} {
-		res, err := core.RunPicos(tr, core.PicosOptions{Workers: 24, NumTRS: n, NumDCT: n})
+		res, err := sim.Run(sim.Spec{
+			Engine: "picos-hw", Workload: "h264dec", Block: 1,
+			Workers: 24, NumTRS: n, NumDCT: n,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,14 +1,17 @@
 // Quickstart: build a tiny task graph by hand, run it through the Picos
-// accelerator model, and verify the schedule against the dependence
-// oracle — the 30-second tour of the public API.
+// accelerator model via the sim engine registry, and verify the schedule
+// against the dependence oracle — the 30-second tour of the public API.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/taskgraph"
 	"repro/internal/trace"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
@@ -32,23 +35,26 @@ func main() {
 	}
 
 	// The dependence oracle shows what parallelism exists.
-	g := core.Graph(tr)
+	g := taskgraph.Build(tr)
 	fmt.Printf("tasks: %d, dependence edges: %d, critical path: %d cycles, max parallelism: %d\n",
 		g.N, g.NumEdges(), g.CriticalPath(), g.MaxParallelism())
 
-	// Run on the accelerator model with 4 workers (HW-only mode).
-	res, err := core.RunPicos(tr, core.PicosOptions{Workers: 4})
+	// Run on the accelerator model with 4 workers (HW-only mode). A
+	// hand-built trace goes through RunTrace; registered workloads go
+	// through sim.Run(Spec{Workload: ...}).
+	res, err := sim.RunTrace(tr, sim.Spec{Engine: "picos-hw", Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := core.Verify(tr, res); err != nil {
+	if err := sim.Verify(tr, res); err != nil {
 		log.Fatalf("schedule violates dependences: %v", err)
 	}
 	fmt.Printf("%s: makespan %d cycles, speedup %.2fx (verified)\n",
 		res.Engine, res.Makespan, res.Speedup)
 
-	// Compare with the zero-overhead roofline.
-	roof, err := core.RunPerfect(tr, 4)
+	// Compare with the zero-overhead roofline — same trace, different
+	// registry name.
+	roof, err := sim.RunTrace(tr, sim.Spec{Engine: "perfect", Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,22 +8,22 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/hil"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
 	fmt.Println("100 tasks of 1 cycle each, issued as fast as possible, 12 workers")
-	for _, mode := range []hil.Mode{hil.HWOnly, hil.HWComm, hil.FullSystem} {
-		fmt.Printf("\n%-12s %8s  %8s  %8s\n", mode, "L1st", "thrTask", "thrDep")
+	for _, eng := range []string{"picos-hw", "picos-comm", "picos-full"} {
+		fmt.Printf("\n%-12s %8s  %8s  %8s\n", eng, "L1st", "thrTask", "thrDep")
 		for _, c := range []int{1, 2, 3, 4, 7} {
-			tr, err := core.SyntheticTrace(c)
+			workload := fmt.Sprintf("case%d", c)
+			tr, err := sim.BuildWorkload(sim.Spec{Workload: workload})
 			if err != nil {
 				log.Fatal(err)
 			}
-			cfg := hil.DefaultConfig()
-			cfg.Mode = mode
-			res, err := core.RunPicosDetailed(tr, cfg)
+			res, err := sim.Run(sim.Spec{Engine: eng, Workload: workload})
 			if err != nil {
 				log.Fatal(err)
 			}

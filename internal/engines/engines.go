@@ -1,0 +1,15 @@
+// Package engines registers every built-in execution engine with the
+// sim registry, database/sql-driver style: blank-import it from any
+// binary or test that resolves engines by name.
+//
+//	import _ "repro/internal/engines"
+package engines
+
+import (
+	// Each engine package registers itself with repro/internal/sim in
+	// its init: hil contributes picos-hw, picos-comm and picos-full;
+	// nanos and perfect contribute their single engines.
+	_ "repro/internal/hil"
+	_ "repro/internal/nanos"
+	_ "repro/internal/perfect"
+)

@@ -1,14 +1,20 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section V): Table I-IV and Figures 1, 8, 9, 10 and 11.
-// Each experiment returns a Table — a titled grid of formatted cells —
-// that prints in the same layout as the paper, so paper-vs-reproduction
-// comparison is a side-by-side read (recorded in EXPERIMENTS.md).
+// Each experiment is a registry entry — a named function returning
+// Tables, titled grids of formatted cells that print in the same layout
+// as the paper, so paper-vs-reproduction comparison is a side-by-side
+// read (recorded in EXPERIMENTS.md). All simulation goes through the
+// sim engine registry; the worker sweeps run in parallel via sim.Sweep.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
 )
 
 // Table is a printable experiment result.
@@ -75,42 +81,57 @@ func (t *Table) Fprint(w io.Writer) error {
 	return err
 }
 
-// Experiment names, in paper order.
-var Names = []string{
-	"table1", "table2", "table3", "table4",
-	"fig1", "fig8", "fig9", "fig10", "fig11",
-}
-
 // Options tunes experiment sizes. The zero value reproduces the paper's
 // full configuration; Quick trims worker sweeps and block sizes for CI.
 type Options struct {
 	Quick bool
 }
 
-// Run executes one experiment by name.
+// ExperimentFunc regenerates one experiment.
+type ExperimentFunc func(Options) ([]*Table, error)
+
+// Names lists the experiments in paper order. Every name is backed by a
+// registry entry (registered from tables.go and figures.go).
+var Names = []string{
+	"table1", "table2", "table3", "table4",
+	"fig1", "fig8", "fig9", "fig10", "fig11",
+}
+
+var registry = map[string]ExperimentFunc{}
+
+// Register adds an experiment to the registry; like sim.Register it
+// panics on a duplicate name, which is an init-time programming error.
+func Register(name string, fn ExperimentFunc) {
+	if name == "" {
+		panic("experiments: Register called with an empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic("experiments: duplicate experiment registration: " + name)
+	}
+	registry[name] = fn
+}
+
+// Run executes one experiment by registry name.
 func Run(name string, opt Options) ([]*Table, error) {
-	switch name {
-	case "table1":
-		return Table1()
-	case "table2":
-		return Table2(opt)
-	case "table3":
-		return Table3()
-	case "table4":
-		return Table4(opt)
-	case "fig1":
-		return Fig1(opt)
-	case "fig8":
-		return Fig8(opt)
-	case "fig9":
-		return Fig9(opt)
-	case "fig10":
-		return Fig10(opt)
-	case "fig11":
-		return Fig11(opt)
-	default:
+	fn, ok := registry[name]
+	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names, ", "))
 	}
+	return fn(opt)
+}
+
+// sweep expands nothing — it executes prebuilt specs on the sim worker
+// pool and returns the results in spec order, failing on the first
+// errored grid point.
+func sweep(specs []sim.Spec) ([]*sim.Result, error) {
+	out := make([]*sim.Result, len(specs))
+	for _, it := range sim.Sweep(specs, 0) {
+		if it.Err != "" {
+			return nil, fmt.Errorf("experiments: %s on %s: %s", it.Spec.Engine, it.Spec.Workload, it.Err)
+		}
+		out[it.Index] = it.Result
+	}
+	return out, nil
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -13,6 +13,33 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestNamesMatchRegistry: the paper-ordered Names list and the registry
+// must agree exactly — a Register without a Names entry (or vice versa)
+// is a wiring bug.
+func TestNamesMatchRegistry(t *testing.T) {
+	if len(Names) != len(registry) {
+		t.Fatalf("Names has %d entries, registry %d", len(Names), len(registry))
+	}
+	for _, name := range Names {
+		if _, ok := registry[name]; !ok {
+			t.Errorf("%s listed in Names but not registered", name)
+		}
+	}
+}
+
+func TestRegisterGuards(t *testing.T) {
+	for _, bad := range []string{"", "table1"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", bad)
+				}
+			}()
+			Register(bad, func(Options) ([]*Table, error) { return nil, nil })
+		}()
+	}
+}
+
 func TestAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick experiment sweep still simulates; skipped in -short")

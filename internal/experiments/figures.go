@@ -4,16 +4,21 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
-	"repro/internal/hil"
 	"repro/internal/nanos"
-	"repro/internal/perfect"
-	"repro/internal/picos"
+	"repro/internal/sim"
 )
+
+func init() {
+	Register("fig1", Fig1)
+	Register("fig8", Fig8)
+	Register("fig9", Fig9)
+	Register("fig10", Fig10)
+	Register("fig11", Fig11)
+}
 
 // Fig1 regenerates Figure 1: speedup vs task granularity for the four
 // matrix kernels under the software-only runtime with 12 cores.
 func Fig1(opt Options) ([]*Table, error) {
-	workers := 12
 	t := &Table{
 		Title:  "Figure 1: speedup vs task granularity (Nanos++ software-only, 12 workers)",
 		Header: []string{"Blocksize", "heat", "lu", "sparselu", "cholesky"},
@@ -22,18 +27,21 @@ func Fig1(opt Options) ([]*Table, error) {
 	if opt.Quick {
 		blockSizes = []int{256, 64}
 	}
-	for _, bs := range blockSizes {
+	kernels := []string{"heat", "lu", "sparselu", "cholesky"}
+	grid := sim.Grid{
+		Base:      sim.Spec{Engine: "nanos"},
+		Blocks:    blockSizes,
+		Workloads: kernels,
+	}
+	results, err := sweep(grid.Expand())
+	if err != nil {
+		return nil, err
+	}
+	// Grid order: workloads vary slower than blocks.
+	for bi, bs := range blockSizes {
 		row := []string{fmt.Sprintf("%d", bs)}
-		for _, app := range []apps.App{apps.Heat, apps.Lu, apps.SparseLu, apps.Cholesky} {
-			tr, err := appTrace(app, bs)
-			if err != nil {
-				return nil, err
-			}
-			res, err := nanos.Run(tr, nanos.Config{Workers: workers})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(res.Speedup))
+		for ki := range kernels {
+			row = append(row, f2(results[ki*len(blockSizes)+bi].Speedup))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -52,6 +60,38 @@ var fig8Workloads = []struct {
 	{apps.SparseLu, [2]int{128, 64}},
 }
 
+// designSweepTable runs a {workers x DM design} grid on picos-hw and
+// formats it as one speedup table — the shared shape of Figures 8 and
+// 9 (left).
+func designSweepTable(title, workload string, block int, workerList []int) (*Table, error) {
+	// Columns come from the shared dmDesigns table (tables.go) so the
+	// grid dimension, header labels and index stride cannot drift apart.
+	header := []string{"Workers"}
+	var designs []string
+	for _, d := range dmDesigns {
+		header = append(header, d.label)
+		designs = append(designs, d.spec)
+	}
+	t := &Table{Title: title, Header: header}
+	grid := sim.Grid{
+		Base:    sim.Spec{Engine: "picos-hw", Workload: workload, Block: block},
+		Workers: workerList,
+		Designs: designs,
+	}
+	results, err := sweep(grid.Expand())
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range workerList {
+		row := []string{fmt.Sprintf("%d", w)}
+		for di := range designs {
+			row = append(row, f2(results[wi*len(designs)+di].Speedup))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
 // Fig8 regenerates Figure 8: speedup of the three DM designs, HW-only
 // mode, 2..12 workers.
 func Fig8(opt Options) ([]*Table, error) {
@@ -64,27 +104,10 @@ func Fig8(opt Options) ([]*Table, error) {
 	var tables []*Table
 	for _, wl := range workloads {
 		for _, bs := range wl.bs {
-			tr, err := appTrace(wl.app, bs)
+			title := fmt.Sprintf("Figure 8: %s (%d/%d), HW-only speedup by DM design", wl.app, apps.DefaultProblem, bs)
+			t, err := designSweepTable(title, string(wl.app), bs, workerList)
 			if err != nil {
-				return nil, err
-			}
-			t := &Table{
-				Title:  fmt.Sprintf("Figure 8: %s (%d/%d), HW-only speedup by DM design", wl.app, apps.DefaultProblem, bs),
-				Header: []string{"Workers", "DM 8way", "DM 16way", "DM P+8way"},
-			}
-			for _, w := range workerList {
-				row := []string{fmt.Sprintf("%d", w)}
-				for _, design := range picos.Designs {
-					cfg := hil.DefaultConfig()
-					cfg.Workers = w
-					cfg.Picos.Design = design
-					res, err := hil.Run(tr, cfg)
-					if err != nil {
-						return nil, fmt.Errorf("fig8 %s/%d %s w=%d: %w", wl.app, bs, design, w, err)
-					}
-					row = append(row, f2(res.Speedup))
-				}
-				t.Rows = append(t.Rows, row)
+				return nil, fmt.Errorf("fig8 %s/%d: %w", wl.app, bs, err)
 			}
 			tables = append(tables, t)
 		}
@@ -103,51 +126,30 @@ func Fig9(opt Options) ([]*Table, error) {
 	}
 	var tables []*Table
 	for _, bs := range blockSizes {
-		mlu, err := appTrace(apps.MLu, bs)
+		title := fmt.Sprintf("Figure 9 (left): MLu (%d/%d), HW-only speedup by DM design", apps.DefaultProblem, bs)
+		t, err := designSweepTable(title, string(apps.MLu), bs, workerList)
 		if err != nil {
-			return nil, err
-		}
-		t := &Table{
-			Title:  fmt.Sprintf("Figure 9 (left): MLu (%d/%d), HW-only speedup by DM design", apps.DefaultProblem, bs),
-			Header: []string{"Workers", "DM 8way", "DM 16way", "DM P+8way"},
-		}
-		for _, w := range workerList {
-			row := []string{fmt.Sprintf("%d", w)}
-			for _, design := range picos.Designs {
-				cfg := hil.DefaultConfig()
-				cfg.Workers = w
-				cfg.Picos.Design = design
-				res, err := hil.Run(mlu, cfg)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f2(res.Speedup))
-			}
-			t.Rows = append(t.Rows, row)
+			return nil, fmt.Errorf("fig9 mlu/%d: %w", bs, err)
 		}
 		tables = append(tables, t)
 
-		lu, err := appTrace(apps.Lu, bs)
-		if err != nil {
-			return nil, err
-		}
 		t2 := &Table{
 			Title:  fmt.Sprintf("Figure 9 (right): Lu (%d/%d), P+8way, FIFO vs LIFO TS", apps.DefaultProblem, bs),
 			Header: []string{"Workers", "FIFO", "LIFO"},
 		}
-		for _, w := range workerList {
-			row := []string{fmt.Sprintf("%d", w)}
-			for _, policy := range []picos.SchedPolicy{picos.SchedFIFO, picos.SchedLIFO} {
-				cfg := hil.DefaultConfig()
-				cfg.Workers = w
-				cfg.Picos.Policy = policy
-				res, err := hil.Run(lu, cfg)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f2(res.Speedup))
-			}
-			t2.Rows = append(t2.Rows, row)
+		grid := sim.Grid{
+			Base:     sim.Spec{Engine: "picos-hw", Workload: string(apps.Lu), Block: bs},
+			Workers:  workerList,
+			Policies: []string{"fifo", "lifo"},
+		}
+		results, err := sweep(grid.Expand())
+		if err != nil {
+			return nil, fmt.Errorf("fig9 lu/%d: %w", bs, err)
+		}
+		for wi, w := range workerList {
+			t2.Rows = append(t2.Rows, []string{
+				fmt.Sprintf("%d", w), f2(results[wi*2].Speedup), f2(results[wi*2+1].Speedup),
+			})
 		}
 		tables = append(tables, t2)
 	}
@@ -155,7 +157,8 @@ func Fig9(opt Options) ([]*Table, error) {
 }
 
 // Fig10 regenerates Figure 10: Nanos++ per-task creation and submission
-// overhead versus thread count.
+// overhead versus thread count. This one interrogates the cost model
+// directly — no simulation.
 func Fig10(opt Options) ([]*Table, error) {
 	tm := nanos.DefaultTiming()
 	t := &Table{
@@ -183,6 +186,7 @@ func Fig11(opt Options) ([]*Table, error) {
 	if opt.Quick {
 		workerList = []int{2, 8}
 	}
+	engines := []string{"picos-full", "perfect", "nanos"}
 	var tables []*Table
 	for _, app := range apps.Apps {
 		blockSizes := apps.BlockSizes(app)
@@ -193,33 +197,26 @@ func Fig11(opt Options) ([]*Table, error) {
 			}
 		}
 		for _, bs := range blockSizes {
-			tr, err := appTrace(app, bs)
+			grid := sim.Grid{
+				Base:    sim.Spec{Workload: string(app), Block: bs},
+				Engines: engines,
+				Workers: workerList,
+			}
+			results, err := sweep(grid.Expand())
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("fig11 %s/%d: %w", app, bs, err)
 			}
 			t := &Table{
 				Title:  fmt.Sprintf("Figure 11: %s blocksize %d — speedup", app, bs),
 				Header: []string{"Workers", "Picos(Full-system)", "Perfect", "Nanos++"},
 			}
-			for _, w := range workerList {
-				cfg := hil.DefaultConfig()
-				cfg.Mode = hil.FullSystem
-				cfg.Workers = w
-				pres, err := hil.Run(tr, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("fig11 %s/%d picos w=%d: %w", app, bs, w, err)
+			// Grid order: engines vary slower than workers.
+			for wi, w := range workerList {
+				row := []string{fmt.Sprintf("%d", w)}
+				for ei := range engines {
+					row = append(row, f2(results[ei*len(workerList)+wi].Speedup))
 				}
-				perf, err := perfect.Run(tr, w)
-				if err != nil {
-					return nil, err
-				}
-				nres, err := nanos.Run(tr, nanos.Config{Workers: w})
-				if err != nil {
-					return nil, err
-				}
-				t.Rows = append(t.Rows, []string{
-					fmt.Sprintf("%d", w), f2(pres.Speedup), f2(perf.Speedup), f2(nres.Speedup),
-				})
+				t.Rows = append(t.Rows, row)
 			}
 			tables = append(tables, t)
 		}

@@ -4,24 +4,33 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
-	"repro/internal/hil"
 	"repro/internal/picos"
 	"repro/internal/resources"
-	"repro/internal/synth"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// appTrace generates and validates one benchmark trace.
+func init() {
+	Register("table1", func(Options) ([]*Table, error) { return Table1() })
+	Register("table2", Table2)
+	Register("table3", func(Options) ([]*Table, error) { return Table3() })
+	Register("table4", Table4)
+}
+
+// dmDesigns pairs each DM design's spec spelling with its paper name,
+// in Table II column order.
+var dmDesigns = []struct {
+	spec, label string
+}{
+	{"8way", "DM 8way"},
+	{"16way", "DM 16way"},
+	{"p8way", "DM P+8way"},
+}
+
+// appTrace builds one real-benchmark trace through the workload
+// registry.
 func appTrace(app apps.App, block int) (*trace.Trace, error) {
-	problem := apps.DefaultProblem
-	if app == apps.H264Dec {
-		problem = 10
-	}
-	res, err := apps.Generate(app, problem, block)
-	if err != nil {
-		return nil, err
-	}
-	return res.Trace, nil
+	return sim.BuildWorkload(sim.Spec{Workload: string(app), Block: block})
 }
 
 // Table1 regenerates Table I: the real-benchmark characteristics.
@@ -68,32 +77,42 @@ var table2Workloads = []struct {
 // Table2 regenerates Table II: DM conflicts per design with 12 workers
 // in HW-only mode.
 func Table2(opt Options) ([]*Table, error) {
+	header := []string{"Name", "BlockSize"}
+	for _, d := range dmDesigns {
+		header = append(header, d.label)
+	}
 	t := &Table{
 		Title:  "Table II: #DM conflicts in three Picos designs (12 workers, HW-only)",
-		Header: []string{"Name", "BlockSize", "DM 8way", "DM 16way", "DM P+8way"},
+		Header: header,
 	}
 	workloads := table2Workloads
 	if opt.Quick {
 		workloads = workloads[:4]
 	}
+	var specs []sim.Spec
 	for _, wl := range workloads {
-		tr, err := appTrace(wl.app, wl.bs)
-		if err != nil {
-			return nil, err
+		for _, design := range dmDesigns {
+			specs = append(specs, sim.Spec{
+				Engine:   "picos-hw",
+				Workload: string(wl.app),
+				Block:    wl.bs,
+				Design:   design.spec,
+				// Admit on TRS slots only, like the prototype: the conflict
+				// count then includes memory-capacity pressure (the paper's
+				// Heat/P+8way rows are capacity-bound).
+				Admission: "slots",
+			})
 		}
+	}
+	results, err := sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, wl := range workloads {
 		row := []string{string(wl.app), fmt.Sprintf("%d", wl.bs)}
-		for _, design := range picos.Designs {
-			cfg := hil.DefaultConfig()
-			cfg.Picos.Design = design
-			// Admit on TRS slots only, like the prototype: the conflict
-			// count then includes memory-capacity pressure (the paper's
-			// Heat/P+8way rows are capacity-bound).
-			cfg.Picos.Admission = picos.AdmitSlotsOnly
-			res, err := hil.Run(tr, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s/%d %s: %w", wl.app, wl.bs, design, err)
-			}
-			row = append(row, d(res.Stats.DMConflicts+res.Stats.VMStallEvents))
+		for j := range dmDesigns {
+			st := results[i*len(dmDesigns)+j].Stats
+			row = append(row, d(st.DMConflicts+st.VMStallEvents))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -129,43 +148,52 @@ func Table3() ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// hilEngines pairs the three Picos engines with the paper's mode names,
+// in Table IV row order.
+var hilEngines = []struct {
+	engine, label string
+}{
+	{"picos-hw", "HW-only"},
+	{"picos-comm", "HW+comm."},
+	{"picos-full", "Full-system"},
+}
+
 // Table4 regenerates Table IV: latency and throughput of the synthetic
 // benchmarks under the three HIL modes, 12 workers.
 func Table4(opt Options) ([]*Table, error) {
-	modes := []hil.Mode{hil.HWOnly, hil.HWComm, hil.FullSystem}
 	header := []string{"Testcase", "Case1", "Case2", "Case3", "Case4", "Case5", "Case6", "Case7"}
 
 	t := &Table{Title: "Table IV: results of the synthetic benchmarks (12 workers)", Header: header}
 	// #d1st / avg#d row.
 	depRow := []string{"#d1st/avg#d"}
-	traces := make([]*trace.Trace, 7)
+	avgDeps := make([]float64, 7)
 	for c := 1; c <= 7; c++ {
-		tr, err := synth.Case(c)
+		tr, err := sim.BuildWorkload(sim.Spec{Workload: fmt.Sprintf("case%d", c)})
 		if err != nil {
 			return nil, err
 		}
-		traces[c-1] = tr
-		avg := float64(tr.NumDeps()) / float64(len(tr.Tasks))
-		depRow = append(depRow, fmt.Sprintf("%d/%.0f", len(tr.Tasks[0].Deps), avg))
+		avgDeps[c-1] = float64(tr.NumDeps()) / float64(len(tr.Tasks))
+		depRow = append(depRow, fmt.Sprintf("%d/%.0f", len(tr.Tasks[0].Deps), avgDeps[c-1]))
 	}
 	t.Rows = append(t.Rows, depRow)
 
-	for _, mode := range modes {
-		l1 := []string{mode.String() + " L1st"}
-		thrT := []string{mode.String() + " thrTask"}
-		thrD := []string{mode.String() + " thrDep"}
+	grid := sim.Grid{
+		Engines:   []string{"picos-hw", "picos-comm", "picos-full"},
+		Workloads: []string{"case1", "case2", "case3", "case4", "case5", "case6", "case7"},
+	}
+	results, err := sweep(grid.Expand())
+	if err != nil {
+		return nil, err
+	}
+	for mi, eng := range hilEngines {
+		l1 := []string{eng.label + " L1st"}
+		thrT := []string{eng.label + " thrTask"}
+		thrD := []string{eng.label + " thrDep"}
 		for c := 1; c <= 7; c++ {
-			tr := traces[c-1]
-			cfg := hil.DefaultConfig()
-			cfg.Mode = mode
-			res, err := hil.Run(tr, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("table4 case%d %s: %w", c, mode, err)
-			}
+			res := results[mi*7+c-1]
 			l1 = append(l1, d(res.FirstStart))
 			thrT = append(thrT, fmt.Sprintf("%.0f", res.ThrTask))
-			avg := float64(tr.NumDeps()) / float64(len(tr.Tasks))
-			if avg > 0 {
+			if avg := avgDeps[c-1]; avg > 0 {
 				thrD = append(thrD, fmt.Sprintf("%.0f", res.ThrTask/avg))
 			} else {
 				thrD = append(thrD, "-")

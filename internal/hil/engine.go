@@ -1,0 +1,84 @@
+package hil
+
+import (
+	"repro/internal/picos"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Engine adapts the HIL platform to the sim registry; one instance per
+// integration mode (picos-hw, picos-comm, picos-full).
+type Engine struct {
+	Mode Mode
+}
+
+// Name returns the registry name of the mode.
+func (e Engine) Name() string {
+	switch e.Mode {
+	case HWComm:
+		return "picos-comm"
+	case FullSystem:
+		return "picos-full"
+	default:
+		return "picos-hw"
+	}
+}
+
+// Run executes the trace on the platform under the spec's knobs.
+func (e Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
+	cfg, err := e.config(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats := res.Stats
+	return &sim.Result{
+		Workers:    res.Workers,
+		Makespan:   res.Makespan,
+		Baseline:   res.Baseline,
+		Speedup:    res.Speedup,
+		FirstStart: res.FirstStart,
+		ThrTask:    res.ThrTask,
+		Stats:      &stats,
+		Start:      res.Start,
+		Finish:     res.Finish,
+		Order:      res.Order,
+	}, nil
+}
+
+// config translates the declarative spec into the platform config.
+func (e Engine) config(spec sim.Spec) (Config, error) {
+	cfg := DefaultConfig()
+	cfg.Mode = e.Mode
+	cfg.Workers = spec.Workers
+	cfg.Watchdog = spec.Watchdog
+	var err error
+	if cfg.Picos.Design, err = picos.ParseDesign(spec.Design); err != nil {
+		return cfg, err
+	}
+	if cfg.Picos.Policy, err = picos.ParsePolicy(spec.Policy); err != nil {
+		return cfg, err
+	}
+	if cfg.Picos.Admission, err = picos.ParseAdmission(spec.Admission); err != nil {
+		return cfg, err
+	}
+	if cfg.Picos.Wake, err = picos.ParseWake(spec.Wake); err != nil {
+		return cfg, err
+	}
+	if spec.NumTRS > 0 {
+		cfg.Picos.NumTRS = spec.NumTRS
+	}
+	if spec.NumDCT > 0 {
+		cfg.Picos.NumDCT = spec.NumDCT
+	}
+	return cfg, nil
+}
+
+func init() {
+	sim.Register(Engine{Mode: HWOnly})
+	sim.Register(Engine{Mode: HWComm})
+	sim.Register(Engine{Mode: FullSystem})
+}

@@ -1,0 +1,34 @@
+package nanos
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Engine adapts the software-only runtime model to the sim registry.
+type Engine struct{}
+
+// Name returns the registry name.
+func (Engine) Name() string { return "nanos" }
+
+// Run executes the trace on the software-only runtime.
+func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
+	res, err := Run(tr, Config{Workers: spec.Workers, Watchdog: spec.Watchdog})
+	if err != nil {
+		return nil, err
+	}
+	first, thr := sim.Probes(res.Start)
+	return &sim.Result{
+		Workers:    res.Workers,
+		Makespan:   res.Makespan,
+		Baseline:   res.Baseline,
+		Speedup:    res.Speedup,
+		FirstStart: first,
+		ThrTask:    thr,
+		LockBusy:   res.LockBusy,
+		Start:      res.Start,
+		Finish:     res.Finish,
+	}, nil
+}
+
+func init() { sim.Register(Engine{}) }

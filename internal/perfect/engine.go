@@ -1,0 +1,34 @@
+package perfect
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Engine adapts the zero-overhead roofline scheduler to the sim
+// registry.
+type Engine struct{}
+
+// Name returns the registry name.
+func (Engine) Name() string { return "perfect" }
+
+// Run executes the trace on the roofline scheduler.
+func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
+	res, err := Run(tr, spec.Workers)
+	if err != nil {
+		return nil, err
+	}
+	first, thr := sim.Probes(res.Start)
+	return &sim.Result{
+		Workers:    res.Workers,
+		Makespan:   res.Makespan,
+		Baseline:   res.Baseline,
+		Speedup:    res.Speedup,
+		FirstStart: first,
+		ThrTask:    thr,
+		Start:      res.Start,
+		Finish:     res.Finish,
+	}, nil
+}
+
+func init() { sim.Register(Engine{}) }

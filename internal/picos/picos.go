@@ -150,11 +150,20 @@ func (p *Picos) Step() {
 }
 
 // StepTo advances the clock without evaluating units; callers use it to
-// fast-forward across provably idle stretches (Idle() must be true).
+// fast-forward across provably idle stretches. It panics when the
+// accelerator is not Idle(): skipping cycles with units active or
+// queues pending would silently drop scheduled work, a harness bug that
+// otherwise surfaces only as a wedged or subtly wrong schedule far from
+// its cause. A target at or before the current cycle is a no-op (the
+// clock never rewinds).
 func (p *Picos) StepTo(cycle uint64) {
-	if cycle > p.now {
-		p.now = cycle
+	if cycle <= p.now {
+		return
 	}
+	if !p.Idle() {
+		panic(fmt.Sprintf("picos: StepTo(%d) at cycle %d while the accelerator is busy; fast-forward requires Idle()", cycle, p.now))
+	}
+	p.now = cycle
 }
 
 // Submit pushes a new task into the GW's new-task queue (N1). The queue

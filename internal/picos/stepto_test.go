@@ -1,0 +1,68 @@
+package picos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStepToPanicsWhenBusy: fast-forwarding while units have pending
+// work would silently skip scheduled cycles; the model must refuse.
+func TestStepToPanicsWhenBusy(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(0, []trace.Dep{{Addr: 0x40, Dir: trace.Out}}); err != nil {
+		t.Fatal(err)
+	}
+	// The submission sits in the GW new-task queue: not idle.
+	if p.Idle() {
+		t.Fatal("accelerator idle right after Submit")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("StepTo on a busy accelerator did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "StepTo") || !strings.Contains(msg, "Idle") {
+			t.Fatalf("panic message %v does not explain the misuse", r)
+		}
+	}()
+	p.StepTo(1000)
+}
+
+// TestStepToIdleAdvances: on an idle accelerator StepTo is a legal
+// fast-forward, and a target in the past is a no-op rather than a
+// rewind or a panic.
+func TestStepToIdleAdvances(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StepTo(100)
+	if p.Now() != 100 {
+		t.Fatalf("now = %d, want 100", p.Now())
+	}
+	p.StepTo(50) // no-op, even though the accelerator state is untestable at 50
+	if p.Now() != 100 {
+		t.Fatal("StepTo rewound the clock")
+	}
+	// Drain the submission through the pipeline, then fast-forward again.
+	if err := p.Submit(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000 && !p.Idle(); i++ {
+		p.Step()
+	}
+	if !p.Idle() {
+		t.Fatal("accelerator never drained")
+	}
+	before := p.Now()
+	p.StepTo(before + 500)
+	if p.Now() != before+500 {
+		t.Fatalf("now = %d, want %d", p.Now(), before+500)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import "repro/internal/picos"
+
+// Result is the shared outcome of one run, comparable across engines and
+// JSON-serializable for machine consumption (picos-sim -json, sweep
+// dumps). Engine-specific fields are pointers or zero-valued when the
+// engine does not produce them.
+type Result struct {
+	Engine   string `json:"engine"`
+	Workload string `json:"workload,omitempty"`
+	Workers  int    `json:"workers"`
+
+	// Makespan is the cycle the last task finished; Baseline the
+	// sequential reference; Speedup their ratio.
+	Makespan uint64  `json:"makespan"`
+	Baseline uint64  `json:"baseline"`
+	Speedup  float64 `json:"speedup"`
+
+	// Latency/throughput probes (Table IV): FirstStart is L1st, the
+	// cycle the first task began executing; ThrTask the marginal cycles
+	// per additional task.
+	FirstStart uint64  `json:"first_start"`
+	ThrTask    float64 `json:"thr_task,omitempty"`
+
+	// Stats carries the accelerator counters (Picos engines only).
+	Stats *picos.Stats `json:"stats,omitempty"`
+	// LockBusy is the total cycles the runtime lock was held (nanos
+	// engine only) — the contention diagnostic behind the 8-worker knee.
+	LockBusy uint64 `json:"lock_busy,omitempty"`
+
+	// Per-task schedule, indexed by task ID. Order lists task IDs in
+	// start order for engines that track it.
+	Start  []uint64 `json:"start,omitempty"`
+	Finish []uint64 `json:"finish,omitempty"`
+	Order  []uint32 `json:"order,omitempty"`
+}
+
+// StripSchedule drops the per-task arrays, keeping only the aggregate
+// metrics — for JSON output of large workloads (Cholesky/32 has 45760
+// tasks) where the schedule would dwarf the payload.
+func (r *Result) StripSchedule() {
+	r.Start, r.Finish, r.Order = nil, nil, nil
+}
+
+// Probes derives the Table IV probes from a start schedule: the earliest
+// start (L1st) and the marginal cycles per additional task (thrTask),
+// for engines that do not track them natively.
+func Probes(start []uint64) (first uint64, thrTask float64) {
+	if len(start) == 0 {
+		return 0, 0
+	}
+	first = start[0]
+	last := start[0]
+	for _, s := range start[1:] {
+		if s < first {
+			first = s
+		}
+		if s > last {
+			last = s
+		}
+	}
+	if len(start) > 1 {
+		thrTask = float64(last-first) / float64(len(start)-1)
+	}
+	return first, thrTask
+}

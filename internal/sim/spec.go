@@ -1,0 +1,53 @@
+package sim
+
+// DefaultWorkers is the worker count of the paper's HIL platform (12
+// PL-side hardware workers / 12 Xeon cores), used when a Spec leaves
+// Workers zero.
+const DefaultWorkers = 12
+
+// Spec declares one simulation run: which engine, which workload, and
+// every knob that was previously spread across hil.Config, picos.Config
+// and per-binary flag parsing. The zero value of every field means "the
+// paper's default". Specs are plain data — JSON-serializable, comparable
+// apart from no fields being pointers, and safe to copy — so a sweep is
+// just a slice of them.
+type Spec struct {
+	// Engine is the registry name: picos-hw, picos-comm, picos-full,
+	// nanos, perfect (see Engines()).
+	Engine string `json:"engine"`
+	// Workload is the workload-registry name: one of the six real
+	// benchmarks (heat, lu, mlu, sparselu, cholesky, h264dec), one of the
+	// seven synthetic capacity cases (case1..case7), or "trace:<path>"
+	// for a serialized trace file.
+	Workload string `json:"workload"`
+	// Problem is the problem size for real benchmarks: the matrix
+	// dimension (default 2048), or the frame count for h264dec (default
+	// 10). Ignored by synthetic and file workloads.
+	Problem int `json:"problem,omitempty"`
+	// Block is the block size for real benchmarks (default 128; 4 for
+	// h264dec, whose "block" is the macroblock grouping).
+	Block int `json:"block,omitempty"`
+	// Workers is the worker count (default DefaultWorkers).
+	Workers int `json:"workers,omitempty"`
+
+	// Picos accelerator knobs; ignored by nanos and perfect.
+	Design    string `json:"design,omitempty"`    // DM design: 8way, 16way, p8way (default)
+	Policy    string `json:"policy,omitempty"`    // TS policy: fifo (default), lifo
+	Admission string `json:"admission,omitempty"` // GW admission: credits (default), slots
+	Wake      string `json:"wake,omitempty"`      // wake order: last-first (default), first-first
+	NumTRS    int    `json:"num_trs,omitempty"`   // TRS instances (default 1)
+	NumDCT    int    `json:"num_dct,omitempty"`   // DCT instances (default 1)
+
+	// Watchdog bounds the simulated cycle count (0: engine default).
+	Watchdog uint64 `json:"watchdog,omitempty"`
+}
+
+// WithDefaults returns the spec with zero-valued shared fields replaced
+// by their defaults. Engine-specific zero values are resolved by the
+// engines themselves.
+func (s Spec) WithDefaults() Spec {
+	if s.Workers == 0 {
+		s.Workers = DefaultWorkers
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Grid declares a sweep as the cross product of per-dimension value
+// lists over a base spec: every run of Tables II/IV and Figures 8/9/11
+// is a Grid. An empty dimension keeps the base spec's value. Expansion
+// order is fixed — Engines, then Workloads, Workers, Blocks, Designs,
+// Policies, with earlier dimensions varying slowest — so a grid always
+// expands to the same spec sequence.
+type Grid struct {
+	Base      Spec     `json:"base"`
+	Engines   []string `json:"engines,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Workers   []int    `json:"workers,omitempty"`
+	Blocks    []int    `json:"blocks,omitempty"`
+	Designs   []string `json:"designs,omitempty"`
+	Policies  []string `json:"policies,omitempty"`
+}
+
+// Expand enumerates the grid's specs in deterministic order.
+func (g Grid) Expand() []Spec {
+	specs := []Spec{g.Base}
+	specs = expand(specs, g.Engines, func(s *Spec, v string) { s.Engine = v })
+	specs = expand(specs, g.Workloads, func(s *Spec, v string) { s.Workload = v })
+	specs = expand(specs, g.Workers, func(s *Spec, v int) { s.Workers = v })
+	specs = expand(specs, g.Blocks, func(s *Spec, v int) { s.Block = v })
+	specs = expand(specs, g.Designs, func(s *Spec, v string) { s.Design = v })
+	specs = expand(specs, g.Policies, func(s *Spec, v string) { s.Policy = v })
+	return specs
+}
+
+func expand[T any](in []Spec, vals []T, set func(*Spec, T)) []Spec {
+	if len(vals) == 0 {
+		return in
+	}
+	out := make([]Spec, 0, len(in)*len(vals))
+	for _, s := range in {
+		for _, v := range vals {
+			c := s
+			set(&c, v)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SweepItem is the outcome of one grid point. Index is the spec's
+// position in the input slice; a failed run carries Err and a nil
+// Result rather than aborting the sweep.
+type SweepItem struct {
+	Index  int     `json:"index"`
+	Spec   Spec    `json:"spec"`
+	Result *Result `json:"result,omitempty"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// traceKey identifies a workload build within one sweep: grids usually
+// vary engines/workers/designs over few distinct workloads, so the
+// built traces are shared instead of regenerated per grid point.
+// Sharing is safe — every engine treats its input trace as read-only.
+type traceKey struct {
+	workload string
+	problem  int
+	block    int
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// SweepStream executes the specs across a bounded pool of parallelism
+// goroutines (<=0: GOMAXPROCS) and streams items as runs complete —
+// completion order, not spec order. The channel closes after the last
+// item. Each run is independent and deterministic, so the item produced
+// for a given index is identical however the pool is scheduled; only
+// the arrival order varies.
+func SweepStream(specs []Spec, parallelism int) <-chan SweepItem {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(specs) {
+		parallelism = len(specs)
+	}
+	out := make(chan SweepItem, parallelism+1)
+	if len(specs) == 0 {
+		close(out)
+		return out
+	}
+	var (
+		traceMu sync.Mutex
+		traces  = map[traceKey]*traceEntry{}
+	)
+	buildShared := func(spec Spec) (*trace.Trace, error) {
+		k := traceKey{spec.Workload, spec.Problem, spec.Block}
+		traceMu.Lock()
+		e, ok := traces[k]
+		if !ok {
+			e = &traceEntry{}
+			traces[k] = e
+		}
+		traceMu.Unlock()
+		e.once.Do(func() { e.tr, e.err = BuildWorkload(spec) })
+		return e.tr, e.err
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				item := SweepItem{Index: i, Spec: specs[i]}
+				spec := specs[i].WithDefaults()
+				if tr, err := buildShared(spec); err != nil {
+					item.Err = err.Error()
+				} else if res, err := RunTrace(tr, spec); err != nil {
+					item.Err = err.Error()
+				} else {
+					item.Result = res
+				}
+				out <- item
+			}
+		}()
+	}
+	go func() {
+		for i := range specs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Sweep executes the specs across a bounded worker pool and returns the
+// items sorted by spec index: deterministic output ordering independent
+// of goroutine scheduling.
+func Sweep(specs []Spec, parallelism int) []SweepItem {
+	items := make([]SweepItem, 0, len(specs))
+	for it := range SweepStream(specs, parallelism) {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Index < items[j].Index })
+	return items
+}

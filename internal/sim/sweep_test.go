@@ -1,0 +1,126 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
+)
+
+// detGrid is a 15-point {engine x workload x workers} grid, small enough
+// for tests but wide enough to keep the whole worker pool busy.
+func detGrid() sim.Grid {
+	return sim.Grid{
+		Engines:   []string{"picos-hw", "nanos", "perfect"},
+		Workloads: []string{"case2", "case4", "case5", "case6", "case7"},
+	}
+}
+
+// TestGridExpand: expansion is the documented cross product with the
+// last dimension varying fastest, and leaves unset dimensions alone.
+func TestGridExpand(t *testing.T) {
+	specs := detGrid().Expand()
+	if len(specs) != 15 {
+		t.Fatalf("expanded %d specs, want 15", len(specs))
+	}
+	if specs[0].Engine != "picos-hw" || specs[0].Workload != "case2" {
+		t.Fatalf("first spec %+v", specs[0])
+	}
+	if specs[1].Engine != "picos-hw" || specs[1].Workload != "case4" {
+		t.Fatalf("second spec %+v: workloads must vary faster than engines", specs[1])
+	}
+	if specs[5].Engine != "nanos" || specs[5].Workload != "case2" {
+		t.Fatalf("sixth spec %+v", specs[5])
+	}
+	again := detGrid().Expand()
+	if !reflect.DeepEqual(specs, again) {
+		t.Fatal("expansion is not deterministic")
+	}
+}
+
+// TestSweepDeterminism: a parallel sweep must produce output identical
+// to a sequential one — result ordering and content independent of
+// goroutine scheduling. Compare via JSON so unexported state cannot
+// hide differences.
+func TestSweepDeterminism(t *testing.T) {
+	specs := detGrid().Expand()
+	seq := sim.Sweep(specs, 1)
+	for _, par := range []int{4, 8} {
+		got := sim.Sweep(specs, par)
+		if len(got) != len(seq) {
+			t.Fatalf("parallelism %d: %d items, want %d", par, len(got), len(seq))
+		}
+		for i := range seq {
+			if got[i].Index != i || seq[i].Index != i {
+				t.Fatalf("parallelism %d: item %d has index %d", par, i, got[i].Index)
+			}
+			a, err := json.Marshal(seq[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(got[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Fatalf("parallelism %d: item %d differs from sequential sweep\nseq: %s\npar: %s", par, i, a, b)
+			}
+		}
+	}
+}
+
+// TestSweepStreamDeliversAll: the streaming API yields exactly one item
+// per spec, each with a result or an error, and closes the channel.
+func TestSweepStreamDeliversAll(t *testing.T) {
+	specs := detGrid().Expand()
+	seen := make(map[int]bool)
+	for it := range sim.SweepStream(specs, 4) {
+		if seen[it.Index] {
+			t.Fatalf("index %d delivered twice", it.Index)
+		}
+		seen[it.Index] = true
+		if it.Err != "" {
+			t.Fatalf("spec %d (%s on %s) failed: %s", it.Index, it.Spec.Engine, it.Spec.Workload, it.Err)
+		}
+		if it.Result == nil || it.Result.Makespan == 0 {
+			t.Fatalf("spec %d: empty result", it.Index)
+		}
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("delivered %d items, want %d", len(seen), len(specs))
+	}
+}
+
+// TestSweepIsolatesErrors: a failing grid point carries its error in
+// the item; the rest of the sweep still runs.
+func TestSweepIsolatesErrors(t *testing.T) {
+	specs := []sim.Spec{
+		{Engine: "perfect", Workload: "case1"},
+		{Engine: "no-such-engine", Workload: "case1"},
+		{Engine: "perfect", Workload: "no-such-case"},
+		{Engine: "perfect", Workload: "case2"},
+	}
+	items := sim.Sweep(specs, 2)
+	if items[0].Err != "" || items[0].Result == nil {
+		t.Fatalf("item 0 should succeed: %+v", items[0])
+	}
+	if items[1].Err == "" || items[1].Result != nil {
+		t.Fatal("unknown engine must fail its item")
+	}
+	if items[2].Err == "" {
+		t.Fatal("unknown workload must fail its item")
+	}
+	if items[3].Err != "" || items[3].Result == nil {
+		t.Fatalf("item 3 should succeed: %+v", items[3])
+	}
+}
+
+// TestSweepEmpty: an empty spec slice yields an empty, closed stream.
+func TestSweepEmpty(t *testing.T) {
+	if items := sim.Sweep(nil, 4); len(items) != 0 {
+		t.Fatalf("empty sweep produced %d items", len(items))
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// WorkloadFunc builds a trace from a spec. The spec carries the sizing
+// knobs (Problem, Block); builders that do not take parameters ignore
+// it.
+type WorkloadFunc func(spec Spec) (*trace.Trace, error)
+
+// TracePrefix marks a workload name as a serialized trace file:
+// "trace:heat.bin" reads heat.bin instead of consulting the registry.
+const TracePrefix = "trace:"
+
+// RegisterWorkload adds a workload builder to the registry. Like
+// Register, it panics on an empty or duplicate name.
+func RegisterWorkload(name string, fn WorkloadFunc) {
+	if name == "" {
+		panic("sim: RegisterWorkload called with an empty name")
+	}
+	if strings.HasPrefix(name, TracePrefix) {
+		panic("sim: workload name must not start with " + TracePrefix)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := workloads[name]; dup {
+		panic("sim: duplicate workload registration: " + name)
+	}
+	workloads[name] = fn
+}
+
+// Workloads lists the registered workload names, sorted.
+func Workloads() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(workloads))
+	for n := range workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildWorkload resolves and builds the spec's workload: a "trace:<path>"
+// file, or a registry entry. The built trace is validated before it is
+// returned.
+func BuildWorkload(spec Spec) (*trace.Trace, error) {
+	name := spec.Workload
+	if path, ok := strings.CutPrefix(name, TracePrefix); ok {
+		return readTraceFile(path)
+	}
+	regMu.RLock()
+	fn, ok := workloads[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown workload %q (have %s, or %s<path>)",
+			name, strings.Join(Workloads(), ", "), TracePrefix)
+	}
+	tr, err := fn(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sim: workload %s: %w", name, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: workload %s built an invalid trace: %w", name, err)
+	}
+	return tr, nil
+}
+
+func readTraceFile(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("sim: trace file %s: %w", path, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: trace file %s invalid: %w", path, err)
+	}
+	return tr, nil
+}
+
+// The built-in workloads: the six real benchmarks of Table I (mlu is the
+// modified-creation-order Lu variant of Figure 9) and the seven
+// synthetic capacity cases of Table IV.
+func init() {
+	for _, app := range []apps.App{apps.Heat, apps.Lu, apps.MLu, apps.SparseLu, apps.Cholesky, apps.H264Dec} {
+		RegisterWorkload(string(app), appWorkload(app))
+	}
+	for c := 1; c <= 7; c++ {
+		RegisterWorkload(fmt.Sprintf("case%d", c), caseWorkload(c))
+	}
+}
+
+func appWorkload(app apps.App) WorkloadFunc {
+	return func(spec Spec) (*trace.Trace, error) {
+		problem, block := spec.Problem, spec.Block
+		if problem == 0 {
+			problem = apps.DefaultProblem
+			if app == apps.H264Dec {
+				problem = 10 // HD frames, the paper's h264dec input
+			}
+		}
+		if block == 0 {
+			block = 128
+			if app == apps.H264Dec {
+				block = 4 // macroblock grouping
+			}
+		}
+		res, err := apps.Generate(app, problem, block)
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
+	}
+}
+
+func caseWorkload(c int) WorkloadFunc {
+	return func(Spec) (*trace.Trace, error) { return synth.Case(c) }
+}
