@@ -18,7 +18,11 @@ import (
 
 func benchExperiment(b *testing.B, name string, quick bool) {
 	b.Helper()
-	opt := experiments.Options{Quick: quick}
+	benchExperimentOpt(b, name, experiments.Options{Quick: quick})
+}
+
+func benchExperimentOpt(b *testing.B, name string, opt experiments.Options) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
 		tables, err := experiments.Run(name, opt)
 		if err != nil {
@@ -56,6 +60,19 @@ func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", false) }
 
 // BenchmarkFig11 regenerates Figure 11 (scalability, reduced sweep).
 func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11", true) }
+
+// BenchmarkFig8CycleStepped / BenchmarkFig11CycleStepped run the same
+// reduced sweeps on the per-cycle reference loop instead of the
+// event-driven fast path: the ratio to BenchmarkFig8/BenchmarkFig11 is
+// the fast path's wall-clock win (recorded in BENCH_fastpath.json by
+// picos-bench -json).
+func BenchmarkFig8CycleStepped(b *testing.B) {
+	benchExperimentOpt(b, "fig8", experiments.Options{Quick: true, CycleStepped: true})
+}
+
+func BenchmarkFig11CycleStepped(b *testing.B) {
+	benchExperimentOpt(b, "fig11", experiments.Options{Quick: true, CycleStepped: true})
+}
 
 // sweepGrid is the BenchmarkSweep workload: a 21-point
 // {engine x synthetic case} matrix, all-management traces so the

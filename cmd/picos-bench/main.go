@@ -9,9 +9,13 @@
 //	picos-bench -exp all               # everything (long: full Figure 11)
 //	picos-bench -exp fig8 -quick       # reduced sweep for smoke runs
 //	picos-bench -list                  # list experiment names
+//	picos-bench -quick -json           # time every experiment with the
+//	                                   # fast path on and off, emit JSON
+//	                                   # (the BENCH_fastpath.json format)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +24,24 @@ import (
 	"repro/internal/experiments"
 )
 
+// benchEntry is one line of the -json output: wall-clock ns for one
+// experiment under the event-driven fast path and under the per-cycle
+// reference loop, plus their ratio.
+type benchEntry struct {
+	Experiment    string  `json:"experiment"`
+	Quick         bool    `json:"quick"`
+	NsFast        int64   `json:"ns_fast"`
+	NsCycleStep   int64   `json:"ns_cyclestep"`
+	SpeedupFactor float64 `json:"speedup"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1..table4, fig1, fig8..fig11, or 'all')")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	plot := flag.Bool("plot", false, "render sweep results as ASCII charts too")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	cycleStep := flag.Bool("cyclestep", false, "force the per-cycle reference loop (debug; results are identical)")
+	jsonOut := flag.Bool("json", false, "time each experiment fast-path on vs off and emit JSON instead of tables (-cyclestep and -plot do not apply)")
 	flag.Parse()
 
 	if *list {
@@ -38,7 +55,11 @@ func main() {
 	if *exp != "all" {
 		names = []string{*exp}
 	}
-	opt := experiments.Options{Quick: *quick}
+	if *jsonOut {
+		benchJSON(names, *quick)
+		return
+	}
+	opt := experiments.Options{Quick: *quick, CycleStepped: *cycleStep}
 	for _, name := range names {
 		start := time.Now()
 		tables, err := experiments.Run(name, opt)
@@ -62,5 +83,45 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// benchJSON times every named experiment under the fast path and under
+// the cycle-stepped reference and emits the measurements as JSON. Each
+// configuration runs twice and reports the best of the two, so trace
+// generation and allocator warm-up do not skew the comparison.
+func benchJSON(names []string, quick bool) {
+	timeRun := func(name string, opt experiments.Options) int64 {
+		best := int64(0)
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			if _, err := experiments.Run(name, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "picos-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			ns := time.Since(start).Nanoseconds()
+			if i == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	var entries []benchEntry
+	for _, name := range names {
+		fast := timeRun(name, experiments.Options{Quick: quick})
+		ref := timeRun(name, experiments.Options{Quick: quick, CycleStepped: true})
+		e := benchEntry{Experiment: name, Quick: quick, NsFast: fast, NsCycleStep: ref}
+		if fast > 0 {
+			e.SpeedupFactor = float64(ref) / float64(fast)
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "[%s: fast %v, cycle-stepped %v, %.2fx]\n", name,
+			time.Duration(fast).Round(time.Microsecond), time.Duration(ref).Round(time.Microsecond), e.SpeedupFactor)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintf(os.Stderr, "picos-bench: %v\n", err)
+		os.Exit(1)
 	}
 }

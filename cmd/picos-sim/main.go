@@ -38,6 +38,7 @@ func main() {
 		workers  = flag.Int("workers", sim.DefaultWorkers, "worker count")
 		nTRS     = flag.Int("trs", 0, "TRS instances (default 1)")
 		nDCT     = flag.Int("dct", 0, "DCT instances (default 1)")
+		ff       = flag.Bool("ff", true, "event-driven fast path (results identical; disable to debug with per-cycle stepping)")
 		verify   = flag.Bool("verify", true, "check the schedule against the dependence oracle")
 		showStat = flag.Bool("stats", false, "print accelerator statistics")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
@@ -70,6 +71,9 @@ func main() {
 		Policy:   *policy,
 		NumTRS:   *nTRS,
 		NumDCT:   *nDCT,
+	}
+	if !*ff {
+		spec.FastForward = sim.Bool(false)
 	}
 	if spec.Workload == "" {
 		fail(fmt.Errorf("one of -app, -case or -trace is required"))

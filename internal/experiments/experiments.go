@@ -83,8 +83,13 @@ func (t *Table) Fprint(w io.Writer) error {
 
 // Options tunes experiment sizes. The zero value reproduces the paper's
 // full configuration; Quick trims worker sweeps and block sizes for CI.
+// CycleStepped forces every simulation onto the per-cycle reference loop
+// instead of the event-driven fast path — the results are identical (the
+// equivalence suite in internal/sim proves it); the knob exists for
+// debugging and for benchmarking the fast path itself.
 type Options struct {
-	Quick bool
+	Quick        bool
+	CycleStepped bool
 }
 
 // ExperimentFunc regenerates one experiment.
@@ -122,8 +127,16 @@ func Run(name string, opt Options) ([]*Table, error) {
 
 // sweep expands nothing — it executes prebuilt specs on the sim worker
 // pool and returns the results in spec order, failing on the first
-// errored grid point.
-func sweep(specs []sim.Spec) ([]*sim.Result, error) {
+// errored grid point. Options that apply uniformly to every grid point
+// (the fast-path knob) are stamped here so individual experiments never
+// have to thread them.
+func sweep(opt Options, specs []sim.Spec) ([]*sim.Result, error) {
+	if opt.CycleStepped {
+		off := sim.Bool(false)
+		for i := range specs {
+			specs[i].FastForward = off
+		}
+	}
 	out := make([]*sim.Result, len(specs))
 	for _, it := range sim.Sweep(specs, 0) {
 		if it.Err != "" {

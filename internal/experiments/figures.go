@@ -33,7 +33,7 @@ func Fig1(opt Options) ([]*Table, error) {
 		Blocks:    blockSizes,
 		Workloads: kernels,
 	}
-	results, err := sweep(grid.Expand())
+	results, err := sweep(opt, grid.Expand())
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +63,7 @@ var fig8Workloads = []struct {
 // designSweepTable runs a {workers x DM design} grid on picos-hw and
 // formats it as one speedup table — the shared shape of Figures 8 and
 // 9 (left).
-func designSweepTable(title, workload string, block int, workerList []int) (*Table, error) {
+func designSweepTable(opt Options, title, workload string, block int, workerList []int) (*Table, error) {
 	// Columns come from the shared dmDesigns table (tables.go) so the
 	// grid dimension, header labels and index stride cannot drift apart.
 	header := []string{"Workers"}
@@ -78,7 +78,7 @@ func designSweepTable(title, workload string, block int, workerList []int) (*Tab
 		Workers: workerList,
 		Designs: designs,
 	}
-	results, err := sweep(grid.Expand())
+	results, err := sweep(opt, grid.Expand())
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +105,7 @@ func Fig8(opt Options) ([]*Table, error) {
 	for _, wl := range workloads {
 		for _, bs := range wl.bs {
 			title := fmt.Sprintf("Figure 8: %s (%d/%d), HW-only speedup by DM design", wl.app, apps.DefaultProblem, bs)
-			t, err := designSweepTable(title, string(wl.app), bs, workerList)
+			t, err := designSweepTable(opt, title, string(wl.app), bs, workerList)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s/%d: %w", wl.app, bs, err)
 			}
@@ -127,7 +127,7 @@ func Fig9(opt Options) ([]*Table, error) {
 	var tables []*Table
 	for _, bs := range blockSizes {
 		title := fmt.Sprintf("Figure 9 (left): MLu (%d/%d), HW-only speedup by DM design", apps.DefaultProblem, bs)
-		t, err := designSweepTable(title, string(apps.MLu), bs, workerList)
+		t, err := designSweepTable(opt, title, string(apps.MLu), bs, workerList)
 		if err != nil {
 			return nil, fmt.Errorf("fig9 mlu/%d: %w", bs, err)
 		}
@@ -142,7 +142,7 @@ func Fig9(opt Options) ([]*Table, error) {
 			Workers:  workerList,
 			Policies: []string{"fifo", "lifo"},
 		}
-		results, err := sweep(grid.Expand())
+		results, err := sweep(opt, grid.Expand())
 		if err != nil {
 			return nil, fmt.Errorf("fig9 lu/%d: %w", bs, err)
 		}
@@ -202,7 +202,7 @@ func Fig11(opt Options) ([]*Table, error) {
 				Engines: engines,
 				Workers: workerList,
 			}
-			results, err := sweep(grid.Expand())
+			results, err := sweep(opt, grid.Expand())
 			if err != nil {
 				return nil, fmt.Errorf("fig11 %s/%d: %w", app, bs, err)
 			}

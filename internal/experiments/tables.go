@@ -104,7 +104,7 @@ func Table2(opt Options) ([]*Table, error) {
 			})
 		}
 	}
-	results, err := sweep(specs)
+	results, err := sweep(opt, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +181,7 @@ func Table4(opt Options) ([]*Table, error) {
 		Engines:   []string{"picos-hw", "picos-comm", "picos-full"},
 		Workloads: []string{"case1", "case2", "case3", "case4", "case5", "case6", "case7"},
 	}
-	results, err := sweep(grid.Expand())
+	results, err := sweep(opt, grid.Expand())
 	if err != nil {
 		return nil, err
 	}

@@ -55,6 +55,7 @@ func (e Engine) config(spec sim.Spec) (Config, error) {
 	cfg.Mode = e.Mode
 	cfg.Workers = spec.Workers
 	cfg.Watchdog = spec.Watchdog
+	cfg.FastForward = spec.FastPath()
 	var err error
 	if cfg.Picos.Design, err = picos.ParseDesign(spec.Design); err != nil {
 		return cfg, err

@@ -108,17 +108,26 @@ type Config struct {
 	// Watchdog aborts the run if no task starts or finishes for this
 	// many cycles (0: default 100M).
 	Watchdog uint64
+	// FastForward selects the event-driven fast path: the runner jumps
+	// the clock straight to the next worker completion, link delivery or
+	// accelerator-internal event instead of stepping every cycle. Results
+	// are bit-identical to the cycle-stepped loop (the differential
+	// equivalence suite in internal/sim enforces it); turn it off to
+	// debug with the per-cycle reference. DefaultConfig enables it; the
+	// zero Config keeps the cycle-stepped loop.
+	FastForward bool
 }
 
 // DefaultConfig returns a 12-worker HW-only platform around the paper's
 // baseline accelerator.
 func DefaultConfig() Config {
 	return Config{
-		Mode:    HWOnly,
-		Workers: 12,
-		Picos:   picos.DefaultConfig(),
-		Comm:    DefaultCommTiming(),
-		Master:  DefaultMasterTiming(),
+		Mode:        HWOnly,
+		Workers:     12,
+		Picos:       picos.DefaultConfig(),
+		Comm:        DefaultCommTiming(),
+		Master:      DefaultMasterTiming(),
+		FastForward: true,
 	}
 }
 

@@ -131,6 +131,18 @@ func (r *runner) pendingWork() bool {
 }
 
 func (r *runner) run() (*Result, error) {
+	if r.cfg.FastForward {
+		return r.runFast()
+	}
+	return r.runRef()
+}
+
+// runRef is the cycle-stepped reference loop: the platform-side steps
+// run every cycle and the accelerator is stepped one cycle at a time,
+// except across stretches where everything is provably idle. It is the
+// ground truth the event-driven fast path is differentially tested
+// against.
+func (r *runner) runRef() (*Result, error) {
 	n := len(r.tr.Tasks)
 	for r.done < n || !r.p.Idle() || r.pendingWork() {
 		now := r.p.Now()
@@ -144,12 +156,150 @@ func (r *runner) run() (*Result, error) {
 		} else {
 			r.p.Step()
 		}
-		if r.p.Now()-r.lastProgress > r.cfg.Watchdog {
-			return nil, fmt.Errorf("hil: watchdog at cycle %d (done %d/%d, inflight %d, ready %d)",
-				r.p.Now(), r.done, n, r.p.InFlight(), r.p.ReadyCount())
+		if err := r.checkWatchdog(); err != nil {
+			return nil, err
 		}
 	}
 	return r.result(), nil
+}
+
+// runFast is the event-driven fast path: every iteration runs the
+// platform-side steps at the current cycle exactly like the reference
+// loop, then advances the accelerator straight to the next cycle
+// anything — a unit, a worker, the link or the master — can act, instead
+// of stepping through the dead cycles in between. Picos.RunTo replays
+// the accelerator's internal events (and batch-accounts its stall
+// counters) on the way, so the observable schedule and statistics are
+// bit-identical to runRef.
+func (r *runner) runFast() (*Result, error) {
+	n := len(r.tr.Tasks)
+	for r.done < n || !r.p.Idle() || r.pendingWork() {
+		now := r.p.Now()
+		r.stepWorkers(now)
+		r.stepDeliveries(now)
+		r.stepMaster(now)
+		r.stepBus(now)
+		r.dispatch(now)
+		interested := r.readyInterest()
+		next, ok := r.nextWake(now, interested)
+		if interested {
+			// The platform would act on a task becoming ready, so the
+			// accelerator may only run ahead until one appears: RunToReady
+			// surfaces one cycle after the step that grows the ready
+			// store, where the loop re-plans (and the new candidate's
+			// visibility stamp becomes a wake-up candidate).
+			target := ^uint64(0)
+			if ok {
+				target = next
+			}
+			r.p.RunToReady(target)
+			if r.p.Now() > now {
+				if err := r.checkWatchdog(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// No internal event advanced the clock: fall through to the
+			// platform-side candidates.
+		}
+		if !ok {
+			if r.done == n && !r.pendingWork() {
+				// All external traffic is finished: let the accelerator
+				// drain its remaining finish walks and releases, exactly
+				// what the reference loop steps through before its Idle()
+				// exit condition turns true.
+				r.p.RunOut()
+				break
+			}
+			return nil, fmt.Errorf("hil: wedged at cycle %d, no future event (done %d/%d, inflight %d, ready %d)",
+				now, r.done, n, r.p.InFlight(), r.p.ReadyCount())
+		}
+		r.p.RunTo(next)
+		if err := r.checkWatchdog(); err != nil {
+			return nil, err
+		}
+	}
+	return r.result(), nil
+}
+
+// checkWatchdog errors when no task has started or finished for more
+// than the configured number of cycles.
+func (r *runner) checkWatchdog() error {
+	if r.p.Now()-r.lastProgress > r.cfg.Watchdog {
+		return fmt.Errorf("hil: watchdog at cycle %d (done %d/%d, inflight %d, ready %d)",
+			r.p.Now(), r.done, len(r.tr.Tasks), r.p.InFlight(), r.p.ReadyCount())
+	}
+	return nil
+}
+
+// readyInterest reports whether the platform would act on a task
+// becoming ready: an idle worker to dispatch to in HW-only mode, spare
+// fetch capacity on the link in the comm modes.
+func (r *runner) readyInterest() bool {
+	if r.cfg.Mode == HWOnly {
+		return r.idleWorkers() > 0
+	}
+	return r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len()
+}
+
+// nextWake returns the next cycle the platform loop must be evaluated
+// at: the earliest of every platform-side event — worker completions,
+// link deliveries, master-core availability, stamped submissions, the
+// link freeing up with work queued — plus, only while the platform
+// would act on a task becoming ready, the accelerator's own event
+// horizon and the dispatch candidate's visibility stamp. Every
+// candidate at or before now is clamped to now+1: the current cycle's
+// actions already ran, so anything still due fires on the next
+// evaluated cycle, exactly like the reference loop. Waking too early is
+// harmless (the loop re-evaluates and finds nothing to do); the
+// candidates are chosen so it can never wake too late. interested is
+// the caller's readyInterest() value for this cycle.
+func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
+	next, ok := uint64(0), false
+	consider := func(t uint64) {
+		if t <= now {
+			t = now + 1
+		}
+		if !ok || t < next {
+			next, ok = t, true
+		}
+	}
+	// Accelerator-internal events never need to wake the loop: while the
+	// platform would act on a task becoming ready, runFast drives the
+	// accelerator with RunToReady (which surfaces by itself when one
+	// appears), and otherwise no platform step reads anything from the
+	// accelerator, so RunTo chews through whole bursts of internal
+	// events without surfacing. The only accelerator-derived candidate
+	// is the current dispatch candidate's visibility stamp.
+	if interested {
+		if ra, rok := r.p.ReadyAt(); rok {
+			if r.cfg.Mode == HWOnly {
+				consider(ra)
+			} else {
+				consider(max(ra, r.busFree))
+			}
+		}
+	}
+	for i := range r.workers {
+		if r.workers[i].active {
+			consider(r.workers[i].until)
+		}
+	}
+	for _, d := range r.deliveries {
+		consider(d.at)
+	}
+	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
+		consider(r.masterFree)
+	}
+	if st, sok := r.pendingNew.Peek(); sok && st.at > now {
+		consider(st.at)
+	}
+	if r.cfg.Mode != HWOnly && r.busFree > now &&
+		(r.pendingFin.Len() > 0 || r.pendingNew.Len() > 0 ||
+			(interested && r.p.ReadyCount() > 0)) {
+		consider(r.busFree)
+	}
+	return next, ok
 }
 
 // stepWorkers retires finished executions.
@@ -237,7 +387,7 @@ func (r *runner) stepBus(now uint64) {
 		r.busFree = now + c.Setup
 		return
 	}
-	if r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len() {
+	if r.readyInterest() {
 		if rt, ok := r.p.PopReady(); ok {
 			r.readyInFlight++
 			r.busFree = now + c.FetchReadyOcc
@@ -303,7 +453,7 @@ func (r *runner) idleWorkers() int {
 
 // busHasWork reports whether any message is waiting for the link.
 func (r *runner) busHasWork(now uint64) bool {
-	if r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len() && r.p.ReadyCount() > 0 {
+	if r.readyInterest() && r.p.ReadyCount() > 0 {
 		return true
 	}
 	if r.pendingFin.Len() > 0 {
@@ -361,7 +511,7 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 		consider(st.at)
 	}
 	if r.busFree > now && (r.pendingFin.Len() > 0 || r.pendingNew.Len() > 0 ||
-		(r.p.ReadyCount() > 0 && r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len())) {
+		(r.p.ReadyCount() > 0 && r.readyInterest())) {
 		consider(r.busFree)
 	}
 	if next == 0 {

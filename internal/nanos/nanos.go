@@ -112,6 +112,17 @@ func (h evHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *evHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *evHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
+// nextEvent reports the timestamp of the earliest queued event — the
+// run's horizon, the software-runtime counterpart of picos.NextEvent.
+// The runtime model is inherently event-driven, so sim.Spec's
+// FastForward knob has nothing to switch here.
+func (h evHeap) nextEvent() (uint64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
 // Run simulates the software-only runtime on the trace.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.Workers <= 0 {
@@ -200,11 +211,15 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		wakeIdle(at)
 	}
 
-	for events.Len() > 0 {
-		ev := heap.Pop(&events).(event)
-		if ev.at > cfg.Watchdog {
-			return nil, fmt.Errorf("nanos: watchdog at cycle %d (%d/%d finished)", ev.at, finished, n)
+	for {
+		horizon, ok := events.nextEvent()
+		if !ok {
+			break
 		}
+		if horizon > cfg.Watchdog {
+			return nil, fmt.Errorf("nanos: watchdog at cycle %d (%d/%d finished)", horizon, finished, n)
+		}
+		ev := heap.Pop(&events).(event)
 		switch ev.kind {
 		case evMasterCreate:
 			t := int32(ev.task)

@@ -36,6 +36,17 @@ func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *runHeap) Push(x any)        { *h = append(*h, x.(runItem)) }
 func (h *runHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
+// nextEvent reports the cycle of the earliest in-flight completion —
+// the run's event horizon, the perfect-scheduler counterpart of
+// picos.NextEvent. The roofline scheduler is inherently event-driven,
+// so sim.Spec's FastForward knob has nothing to switch here.
+func (h runHeap) nextEvent() (uint64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].finish, true
+}
+
 // Run schedules the trace on `workers` zero-overhead workers: a task
 // starts the moment a worker is free and all its predecessors have
 // finished; ties dispatch in creation order.
@@ -81,15 +92,17 @@ func Run(tr *trace.Trace, workers int) (*Result, error) {
 			free--
 			scheduled++
 		}
-		if running.Len() == 0 {
+		next, ok := running.nextEvent()
+		if !ok {
 			if readyHead >= len(ready) && scheduled < n {
 				return nil, fmt.Errorf("perfect: dependence cycle detected at %d/%d tasks", scheduled, n)
 			}
 			continue
 		}
-		// Advance to the next completion (batch all at the same cycle).
+		// Advance to the next completion horizon (batch all at the same
+		// cycle).
+		now = next
 		it := heap.Pop(running).(runItem)
-		now = it.finish
 		complete := func(t int32) {
 			for _, s := range g.Succ[t] {
 				remaining[s]--

@@ -40,4 +40,9 @@ func (a *arbiter) step(now uint64) {
 	}
 }
 
+// nextEvent returns the earliest cycle at which the arbiter can route
+// its next message (it has no busy timer — only head visibility gates
+// it).
+func (a *arbiter) nextEvent() (uint64, bool) { return a.in.headAt() }
+
 func (a *arbiter) active(now uint64) bool { return !a.in.empty() }

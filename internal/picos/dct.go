@@ -18,14 +18,27 @@ type dctUnit struct {
 	// stored (DM set full or VM exhausted) blocks the queue — and with
 	// it, registration of every later dependence routed here — until a
 	// release frees space. Blocking in order is what keeps wake-up
-	// semantics (and deadlock freedom) intact.
+	// semantics (and deadlock freedom) intact. stall records which
+	// per-cycle counter the retries feed, so a fast-forwarded stretch can
+	// batch-account exactly what the cycle-by-cycle retries would have.
 	headStalled     bool
 	conflictCounted bool
+	stall           stallKind
 
 	busyUntil    uint64 // registration engine
 	busyUntilFin uint64 // release engine (overlapped in the prototype)
 	busy         uint64
 }
+
+// stallKind labels why the head of newDepQ cannot be stored, i.e. which
+// Stats counter every retry cycle feeds.
+type stallKind uint8
+
+const (
+	stallNone   stallKind = iota
+	stallVMFull           // version memory exhausted (VMStallCycles)
+	stallDMSet            // DM set full (DMConflictStallCycles)
+)
 
 func newDCT(id uint8, p *Picos) *dctUnit {
 	design := p.cfg.Design
@@ -55,6 +68,7 @@ func (u *dctUnit) step(now uint64) {
 				u.newDepQ.pop(now)
 				u.headStalled = false
 				u.conflictCounted = false
+				u.stall = stallNone
 				continue
 			}
 			// Stalled: retry next cycle.
@@ -167,6 +181,7 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) bool {
 			u.conflictCounted = true
 		}
 		st.DMConflictStallCycles++
+		u.stall = stallDMSet
 		return false
 	}
 	nv := u.vm.at(idx)
@@ -198,6 +213,7 @@ func (u *dctUnit) stallVM(st *Stats) {
 		u.conflictCounted = true
 	}
 	st.VMStallCycles++
+	u.stall = stallVMFull
 }
 
 // handleFinish releases one dependence of a finished task (F4): mark the
@@ -251,6 +267,25 @@ func (u *dctUnit) completeVersion(idx uint16, at uint64) {
 		u.dm.free(v.dm)
 	}
 	u.vm.release(idx)
+}
+
+// nextEvent returns the earliest cycle at which the DCT can make
+// progress on its own: a release on the finish engine or a registration
+// on the new-dependence engine. A stalled head is excluded — its retries
+// cannot succeed until a release (an event in its own right) frees
+// space, and the stall cycles they would burn are batch-accounted by
+// Picos.skipTo using the recorded stall kind.
+func (u *dctUnit) nextEvent() (uint64, bool) {
+	next, ok := uint64(0), false
+	if at, qok := u.finQ.headAt(); qok {
+		next, ok = max(at, u.busyUntilFin), true
+	}
+	if at, qok := u.newDepQ.headAt(); qok && !u.headStalled {
+		if c := max(at, u.busyUntil); !ok || c < next {
+			next, ok = c, true
+		}
+	}
+	return next, ok
 }
 
 // active reports pending work. A stalled head with nothing else going on

@@ -1,0 +1,161 @@
+package picos
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fastpathTrace is a small mixed workload: producer/consumer chains on a
+// few addresses plus independent tasks, enough to exercise every unit.
+func fastpathTasks() []trace.Task {
+	var tasks []trace.Task
+	for i := 0; i < 30; i++ {
+		t := trace.Task{ID: uint32(i), Duration: 1}
+		switch i % 3 {
+		case 0:
+			t.Deps = []trace.Dep{{Addr: 0x1000, Dir: trace.InOut}}
+		case 1:
+			t.Deps = []trace.Dep{{Addr: 0x1000, Dir: trace.In}, {Addr: 0x2000, Dir: trace.Out}}
+		case 2:
+			t.Deps = []trace.Dep{{Addr: 0x2000, Dir: trace.In}, {Addr: 0x3000 + uint64(i)<<7, Dir: trace.InOut}}
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks
+}
+
+func submitAll(t *testing.T, p *Picos, tasks []trace.Task) {
+	t.Helper()
+	for i := range tasks {
+		if err := p.Submit(tasks[i].ID, tasks[i].Deps); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunToMatchesStep: advancing with RunTo must leave the model in the
+// same externally observable state as stepping every cycle — same
+// statistics, clock, in-flight count and ready set — at a range of
+// intermediate horizons.
+func TestRunToMatchesStep(t *testing.T) {
+	tasks := fastpathTasks()
+	for _, horizon := range []uint64{1, 7, 64, 300, 1000, 5000} {
+		a, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitAll(t, a, tasks)
+		submitAll(t, b, tasks)
+		for a.Now() < horizon {
+			a.Step()
+		}
+		b.RunTo(horizon)
+		if a.Now() != b.Now() {
+			t.Fatalf("horizon %d: clocks diverge: %d vs %d", horizon, a.Now(), b.Now())
+		}
+		if *a.Stats() != *b.Stats() {
+			t.Fatalf("horizon %d: stats diverge:\nstep:  %+v\nrunto: %+v", horizon, *a.Stats(), *b.Stats())
+		}
+		if a.InFlight() != b.InFlight() || a.ReadyCount() != b.ReadyCount() {
+			t.Fatalf("horizon %d: occupancy diverges: inflight %d/%d ready %d/%d",
+				horizon, a.InFlight(), b.InFlight(), a.ReadyCount(), b.ReadyCount())
+		}
+		ra, aok := a.ReadyAt()
+		rb, bok := b.ReadyAt()
+		if aok != bok || ra != rb {
+			t.Fatalf("horizon %d: ReadyAt diverges: %d,%v vs %d,%v", horizon, ra, aok, rb, bok)
+		}
+	}
+}
+
+// TestRunToNeverRewinds: RunTo and StepTo to a past or current cycle are
+// no-ops, and the clock is monotonic across arbitrary interleavings.
+func TestRunToNeverRewinds(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, p, fastpathTasks())
+	p.RunTo(500)
+	if p.Now() != 500 {
+		t.Fatalf("RunTo(500) left the clock at %d", p.Now())
+	}
+	p.RunTo(100)
+	if p.Now() != 500 {
+		t.Fatalf("RunTo(100) rewound the clock to %d", p.Now())
+	}
+	p.RunTo(500)
+	if p.Now() != 500 {
+		t.Fatalf("RunTo(now) moved the clock to %d", p.Now())
+	}
+	p.RunOut()
+	end := p.Now()
+	p.RunTo(end - 1)
+	if p.Now() != end {
+		t.Fatalf("RunTo(end-1) rewound the clock to %d", p.Now())
+	}
+	if p.Idle() {
+		// Drained of events but blocked heads may remain; StepTo must
+		// also refuse to rewind.
+		p.StepTo(end - 1)
+		if p.Now() != end {
+			t.Fatalf("StepTo(end-1) rewound the clock to %d", p.Now())
+		}
+	}
+}
+
+// TestNextEventConsistency: NextEvent must never be in the past, and
+// stepping straight to it must let some unit make progress — running to
+// just before it must not change any statistic other than per-cycle
+// stall counters.
+func TestNextEventConsistency(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, p, fastpathTasks())
+	for i := 0; i < 10000; i++ {
+		next, ok := p.NextEvent()
+		if !ok {
+			break
+		}
+		if next < p.Now() {
+			t.Fatalf("NextEvent %d is before cycle %d", next, p.Now())
+		}
+		p.RunTo(next)
+		p.Step()
+	}
+	if _, ok := p.NextEvent(); ok {
+		t.Fatal("10000 events without draining a 30-task trace")
+	}
+	// All tasks registered; none finished, so nothing completed yet.
+	if got := p.Stats().TasksAdmitted; got == 0 {
+		t.Fatal("no task admitted")
+	}
+}
+
+// TestRunOutDrains: after RunOut the model reports no further events,
+// and the ready store holds every dependence-free task.
+func TestRunOutDrains(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Submit(uint32(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.RunOut()
+	if _, ok := p.NextEvent(); ok {
+		t.Fatal("RunOut left events pending")
+	}
+	if got := p.ReadyCount(); got != 5 {
+		t.Fatalf("RunOut readied %d of 5 tasks", got)
+	}
+}

@@ -51,6 +51,18 @@ func (f *regFIFO[T]) peek(now uint64) (T, bool) {
 	return head.v, true
 }
 
+// headAt returns the visibility stamp of the head element, whether or
+// not it is visible yet. Units pop strictly in order, so the head's
+// stamp is exactly the earliest cycle this channel can deliver input —
+// the quantity the event-driven fast path folds into nextEvent().
+func (f *regFIFO[T]) headAt() (uint64, bool) {
+	head, ok := f.q.Peek()
+	if !ok {
+		return 0, false
+	}
+	return head.at, true
+}
+
 // len returns the number of queued elements (visible or not).
 func (f *regFIFO[T]) len() int { return f.q.Len() }
 

@@ -35,7 +35,8 @@ type gateway struct {
 	busyUntil    uint64 // new-task engine
 	busyUntilFin uint64 // finished-task engine (independent datapath)
 	busy         uint64
-	blocked      bool // admission-blocked on the head of newQ
+	blocked      bool  // admission-blocked on the head of newQ
+	need         []int // admit scratch: per-DCT credit demand
 }
 
 func newGateway(p *Picos) *gateway {
@@ -45,6 +46,7 @@ func newGateway(p *Picos) *gateway {
 // initCredits sizes the credit pools once the DCTs exist.
 func (g *gateway) initCredits() {
 	g.vmCredits = make([]int, len(g.p.dct))
+	g.need = make([]int, len(g.p.dct))
 	for i := range g.vmCredits {
 		g.vmCredits[i] = g.p.cfg.Design.Capacity() - g.p.cfg.VMReserve
 	}
@@ -109,8 +111,11 @@ func (g *gateway) step(now uint64) {
 // dependence.
 func (g *gateway) admit(deps []trace.Dep) (uint8, uint16, bool) {
 	credits := g.p.cfg.Admission == AdmitCredits
-	var need [256]int
+	need := g.need
 	if credits {
+		for i := range need {
+			need[i] = 0
+		}
 		for _, d := range deps {
 			need[g.p.dctOf(d.Addr)]++
 		}
@@ -134,6 +139,24 @@ func (g *gateway) admit(deps []trace.Dep) (uint8, uint16, bool) {
 		}
 	}
 	return 0, 0, false
+}
+
+// nextEvent returns the earliest cycle at which the GW can make progress
+// on its own: drain a finished task or take the head of the new-task
+// queue. A blocked head is excluded — only an external finish (arriving
+// through some other unit's event) can unblock it, and the per-cycle
+// retries it would burn in between are batch-accounted by Picos.skipTo.
+func (g *gateway) nextEvent() (uint64, bool) {
+	next, ok := uint64(0), false
+	if at, qok := g.finQ.headAt(); qok {
+		next, ok = max(at, g.busyUntilFin), true
+	}
+	if at, qok := g.newQ.headAt(); qok && !g.blocked {
+		if c := max(at, g.busyUntil); !ok || c < next {
+			next, ok = c, true
+		}
+	}
+	return next, ok
 }
 
 // active: the GW has work it can still make progress on by itself.

@@ -149,13 +149,152 @@ func (p *Picos) Step() {
 	p.now++
 }
 
+// NextEvent returns the earliest cycle, clamped to the current one, at
+// which any unit can make progress without external input: every unit
+// exposes the visibility stamp of its next consumable queue head gated
+// by its busy timer. ok is false when no unit will ever act again on its
+// own — the accelerator is either drained or waiting on an external
+// Submit/NotifyFinish (admission-blocked and conflict-stalled heads do
+// not count: their per-cycle retries provably re-fail until an external
+// finish frees resources, and skipping them is what the fast path is
+// for).
+func (p *Picos) NextEvent() (uint64, bool) {
+	next, ok := uint64(0), false
+	consider := func(at uint64, uok bool) {
+		if !uok {
+			return
+		}
+		if at < p.now {
+			at = p.now
+		}
+		if !ok || at < next {
+			next, ok = at, true
+		}
+	}
+	consider(p.gw.nextEvent())
+	for _, t := range p.trs {
+		consider(t.nextEvent())
+	}
+	for _, d := range p.dct {
+		consider(d.nextEvent())
+	}
+	consider(p.ts.nextEvent())
+	consider(p.arb.nextEvent())
+	return next, ok
+}
+
+// ReadyAt returns the cycle the Task Scheduler's current dispatch
+// candidate becomes poppable with PopReady, for harnesses that want to
+// fast-forward to it. ok is false when the ready store is empty.
+func (p *Picos) ReadyAt() (uint64, bool) { return p.ts.nextReadyAt() }
+
+// RunTo advances the model to cycle, with exactly the state and
+// statistics that calling Step (cycle - Now()) times would produce: it
+// steps the units only at cycles where NextEvent says one can make
+// progress and leaps over the dead stretches in between, batch-adding
+// the per-cycle stall counters (GW admission blocking, DCT memory
+// stalls) the skipped retries would have accrued. A target at or before
+// the current cycle is a no-op; the clock never rewinds.
+func (p *Picos) RunTo(cycle uint64) {
+	for p.now < cycle {
+		next, ok := p.NextEvent()
+		if !ok || next >= cycle {
+			p.skipTo(cycle)
+			return
+		}
+		if next > p.now {
+			p.skipTo(next)
+		}
+		p.Step()
+	}
+}
+
+// RunToReady advances like RunTo but returns as soon as a step grows
+// the Task Scheduler's ready store, leaving the clock one cycle past
+// that step — the first cycle an external observer could notice the new
+// ready task, exactly when per-cycle stepping would surface it. Unlike
+// RunTo it also returns, without jumping, when the accelerator runs out
+// of internal events before cycle: the caller re-plans from the cycle
+// reached. Harnesses that would act on a ready task (an idle worker, a
+// free link slot) drive bursts with this instead of bouncing after
+// every internal event.
+func (p *Picos) RunToReady(cycle uint64) {
+	for p.now < cycle {
+		next, ok := p.NextEvent()
+		if !ok {
+			return
+		}
+		if next >= cycle {
+			p.skipTo(cycle)
+			return
+		}
+		if next > p.now {
+			p.skipTo(next)
+		}
+		ready := p.ts.readyLen()
+		p.Step()
+		if p.ts.readyLen() > ready {
+			return
+		}
+	}
+}
+
+// RunOut processes every event the accelerator can still produce
+// without external input, leaving the clock at the last one. Harnesses
+// call it once all external traffic is finished, to let the final
+// finish walks and releases drain.
+func (p *Picos) RunOut() {
+	for {
+		next, ok := p.NextEvent()
+		if !ok {
+			return
+		}
+		if next > p.now {
+			p.skipTo(next)
+		}
+		p.Step()
+	}
+}
+
+// skipTo advances the clock across a stretch where no unit can make
+// progress, charging the stall counters that cycle-by-cycle stepping
+// would have charged: a blocked GW retries (and re-fails) admission
+// every cycle, and a stalled DCT head retries (and re-fails) its store
+// every cycle. Both retries are state-idempotent, so only the counters
+// need accounting.
+func (p *Picos) skipTo(cycle uint64) {
+	if cycle <= p.now {
+		return
+	}
+	delta := cycle - p.now
+	if p.gw.blocked {
+		p.stats.GWBlockedCycles += delta
+	}
+	for _, d := range p.dct {
+		if !d.headStalled {
+			continue
+		}
+		switch d.stall {
+		case stallVMFull:
+			p.stats.VMStallCycles += delta
+		case stallDMSet:
+			p.stats.DMConflictStallCycles += delta
+		}
+	}
+	p.now = cycle
+}
+
 // StepTo advances the clock without evaluating units; callers use it to
 // fast-forward across provably idle stretches. It panics when the
 // accelerator is not Idle(): skipping cycles with units active or
 // queues pending would silently drop scheduled work, a harness bug that
 // otherwise surfaces only as a wedged or subtly wrong schedule far from
-// its cause. A target at or before the current cycle is a no-op (the
-// clock never rewinds).
+// its cause. Admission-blocked and conflict-stalled heads pass Idle()
+// (only an external finish can release them), so the skipped stretch
+// charges their per-cycle stall counters exactly as stepping through it
+// would — the same batching skipTo does for the event-driven fast path.
+// A target at or before the current cycle is a no-op (the clock never
+// rewinds).
 func (p *Picos) StepTo(cycle uint64) {
 	if cycle <= p.now {
 		return
@@ -163,7 +302,7 @@ func (p *Picos) StepTo(cycle uint64) {
 	if !p.Idle() {
 		panic(fmt.Sprintf("picos: StepTo(%d) at cycle %d while the accelerator is busy; fast-forward requires Idle()", cycle, p.now))
 	}
-	p.now = cycle
+	p.skipTo(cycle)
 }
 
 // Submit pushes a new task into the GW's new-task queue (N1). The queue

@@ -142,6 +142,26 @@ func (u *trsUnit) handleFinishedTask(pkt finishedTaskPkt, now uint64) {
 	u.p.stats.TasksCompleted++
 }
 
+// nextEvent returns the earliest cycle at which the TRS can process its
+// next packet: the earliest queue-head visibility, gated by the unit's
+// busy timer.
+func (u *trsUnit) nextEvent() (uint64, bool) {
+	next, ok := uint64(0), false
+	consider := func(at uint64, qok bool) {
+		if !qok {
+			return
+		}
+		if c := max(at, u.busyUntil); !ok || c < next {
+			next, ok = c, true
+		}
+	}
+	consider(u.newQ.headAt())
+	consider(u.statusQ.headAt())
+	consider(u.wakeQ.headAt())
+	consider(u.finTaskQ.headAt())
+	return next, ok
+}
+
 // active reports whether the unit has pending input or is mid-operation.
 func (u *trsUnit) active(now uint64) bool {
 	return u.busyUntil > now ||

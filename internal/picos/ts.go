@@ -80,6 +80,33 @@ func (u *tsUnit) popReady(now uint64) (ReadyTask, bool) {
 // readyLen returns the number of tasks in the ready store.
 func (u *tsUnit) readyLen() int { return u.fifo.Len() + u.lifo.Len() }
 
+// nextEvent returns the earliest cycle at which the TS can queue its
+// next ready task.
+func (u *tsUnit) nextEvent() (uint64, bool) {
+	at, ok := u.inQ.headAt()
+	if !ok {
+		return 0, false
+	}
+	return max(at, u.busyUntil), true
+}
+
+// nextReadyAt returns the cycle the current dispatch candidate becomes
+// poppable: the head of the FIFO or the top of the LIFO, exactly the
+// element popReady inspects. Items below the LIFO top do not gate
+// dispatch even if their stamps are older, mirroring popReady.
+func (u *tsUnit) nextReadyAt() (uint64, bool) {
+	if u.policy == SchedLIFO {
+		if it, ok := u.lifo.Peek(); ok {
+			return it.at, true
+		}
+		return 0, false
+	}
+	if it, ok := u.fifo.Peek(); ok {
+		return it.at, true
+	}
+	return 0, false
+}
+
 func (u *tsUnit) active(now uint64) bool {
 	return u.busyUntil > now || !u.inQ.empty()
 }

@@ -1,0 +1,161 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
+)
+
+// equivalenceEngines are the three Picos HIL integration modes — the
+// engines whose runner actually branches on the FastForward knob.
+var equivalenceEngines = []string{"picos-hw", "picos-comm", "picos-full"}
+
+// equivalenceWorkloads is the full workload matrix of the differential
+// suite: the six real benchmarks of Table I (at a reduced problem size
+// so the cycle-stepped reference side stays CI-friendly; h264dec uses
+// its own frame-count sizing) and the seven synthetic capacity cases of
+// Table IV.
+func equivalenceWorkloads() []sim.Spec {
+	specs := []sim.Spec{
+		{Workload: "heat", Problem: 768},
+		{Workload: "lu", Problem: 768},
+		{Workload: "mlu", Problem: 768},
+		{Workload: "sparselu", Problem: 768},
+		{Workload: "cholesky", Problem: 768},
+		{Workload: "h264dec"},
+	}
+	for c := 1; c <= 7; c++ {
+		specs = append(specs, sim.Spec{Workload: fmt.Sprintf("case%d", c)})
+	}
+	return specs
+}
+
+// resultJSON canonicalizes a Result for comparison: the full JSON
+// serialization, schedule arrays and stats included.
+func resultJSON(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b)
+}
+
+// TestFastPathEquivalence runs the {picos-hw, picos-comm, picos-full} x
+// {6 benchmarks, 7 synthetic cases} matrix twice — event-driven fast
+// path on vs the cycle-stepped reference loop — and asserts the two
+// Results are JSON-identical, including per-task schedules, start order
+// and every accelerator counter (conflict/stall/blocked cycles
+// included, which the fast path batch-accounts instead of accruing
+// per cycle).
+func TestFastPathEquivalence(t *testing.T) {
+	for _, engine := range equivalenceEngines {
+		for _, base := range equivalenceWorkloads() {
+			spec := base
+			spec.Engine = engine
+			t.Run(engine+"/"+spec.Workload, func(t *testing.T) {
+				t.Parallel()
+				fast := spec
+				fast.FastForward = sim.Bool(true)
+				ref := spec
+				ref.FastForward = sim.Bool(false)
+
+				fres, err := sim.Run(fast)
+				if err != nil {
+					t.Fatalf("fast path: %v", err)
+				}
+				rres, err := sim.Run(ref)
+				if err != nil {
+					t.Fatalf("cycle-stepped reference: %v", err)
+				}
+				fj, rj := resultJSON(t, fres), resultJSON(t, rres)
+				if fj != rj {
+					t.Errorf("fast path diverges from cycle-stepped reference\nfast: %s\nref:  %s", fj, rj)
+				}
+				if fres.Stats == nil || rres.Stats == nil {
+					t.Fatal("picos engines must report stats")
+				}
+				if *fres.Stats != *rres.Stats {
+					t.Errorf("stats diverge\nfast: %+v\nref:  %+v", *fres.Stats, *rres.Stats)
+				}
+			})
+		}
+	}
+}
+
+// TestFastPathEquivalenceKnobs widens the differential net beyond the
+// default configuration: the cycle-stepped reference must also match
+// under the LIFO scheduler, the slots-only admission policy (which
+// exercises DCT head-of-line stall batching), the direct-hash DM design
+// (which exercises DM-conflict stall batching), the first-first wake
+// ablation and a multi-TRS/DCT future architecture.
+func TestFastPathEquivalenceKnobs(t *testing.T) {
+	knobs := []struct {
+		name      string
+		workloads []string
+		mut       func(*sim.Spec)
+	}{
+		{"lifo", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Policy = "lifo" }},
+		{"slots", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Admission = "slots" }},
+		// The direct-hash DM wedges case7 under either admission policy
+		// (see TestFastPathWedgeDetection); heat with slots-only
+		// admission survives with millions of DM-conflict stall cycles —
+		// exactly the batch-accounting the fast path must reproduce.
+		{"8way", []string{"case4"}, func(s *sim.Spec) { s.Design = "8way" }},
+		{"8way-slots", []string{"case4", "heat"}, func(s *sim.Spec) { s.Design = "8way"; s.Admission = "slots" }},
+		{"first-first", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Wake = "first-first" }},
+		{"4trs4dct", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.NumTRS = 4; s.NumDCT = 4 }},
+		{"1worker", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Workers = 1 }},
+	}
+	for _, engine := range equivalenceEngines {
+		for _, k := range knobs {
+			for _, workload := range k.workloads {
+				spec := sim.Spec{Engine: engine, Workload: workload}
+				if workload == "heat" {
+					spec.Problem = 512
+				}
+				k.mut(&spec)
+				t.Run(engine+"/"+k.name+"/"+workload, func(t *testing.T) {
+					t.Parallel()
+					fast := spec
+					fast.FastForward = sim.Bool(true)
+					ref := spec
+					ref.FastForward = sim.Bool(false)
+					fres, err := sim.Run(fast)
+					if err != nil {
+						t.Fatalf("fast path: %v", err)
+					}
+					rres, err := sim.Run(ref)
+					if err != nil {
+						t.Fatalf("cycle-stepped reference: %v", err)
+					}
+					if fj, rj := resultJSON(t, fres), resultJSON(t, rres); fj != rj {
+						t.Errorf("fast path diverges from cycle-stepped reference\nfast: %s\nref:  %s", fj, rj)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFastPathWedgeDetection: case7 on the direct-hash 8-way DM is a
+// genuine model deadlock (admitted tasks whose dependences can never be
+// stored — the hazard of the paper's deadlock discussion). Both loops
+// must refuse to complete it; the fast path is expected to prove "no
+// future event" after a few thousand cycles instead of burning the whole
+// watchdog budget one cycle at a time.
+func TestFastPathWedgeDetection(t *testing.T) {
+	spec := sim.Spec{Engine: "picos-hw", Workload: "case7", Design: "8way", Watchdog: 200_000}
+	spec.FastForward = sim.Bool(true)
+	if _, err := sim.Run(spec); err == nil {
+		t.Error("fast path completed a deadlocked configuration")
+	}
+	spec.FastForward = sim.Bool(false)
+	if _, err := sim.Run(spec); err == nil {
+		t.Error("cycle-stepped reference completed a deadlocked configuration")
+	}
+}

@@ -8,9 +8,8 @@ const DefaultWorkers = 12
 // Spec declares one simulation run: which engine, which workload, and
 // every knob that was previously spread across hil.Config, picos.Config
 // and per-binary flag parsing. The zero value of every field means "the
-// paper's default". Specs are plain data — JSON-serializable, comparable
-// apart from no fields being pointers, and safe to copy — so a sweep is
-// just a slice of them.
+// paper's default". Specs are plain data — JSON-serializable and safe to
+// copy — so a sweep is just a slice of them.
 type Spec struct {
 	// Engine is the registry name: picos-hw, picos-comm, picos-full,
 	// nanos, perfect (see Engines()).
@@ -40,7 +39,23 @@ type Spec struct {
 
 	// Watchdog bounds the simulated cycle count (0: engine default).
 	Watchdog uint64 `json:"watchdog,omitempty"`
+
+	// FastForward selects the event-driven fast path of the Picos HIL
+	// engines (nil or true: on, the default; false: force the per-cycle
+	// reference loop — for debugging and for the differential
+	// equivalence suite, which proves the two produce byte-identical
+	// Results). Engines that are inherently event-driven (nanos,
+	// perfect) ignore it. This is the only pointer field of Spec; copies
+	// share it, which is safe because specs are read-only once built.
+	FastForward *bool `json:"fast_forward,omitempty"`
 }
+
+// FastPath resolves the FastForward knob: nil means on.
+func (s Spec) FastPath() bool { return s.FastForward == nil || *s.FastForward }
+
+// Bool returns a pointer to v, for setting Spec.FastForward inline:
+// spec.FastForward = sim.Bool(false).
+func Bool(v bool) *bool { return &v }
 
 // WithDefaults returns the spec with zero-valued shared fields replaced
 // by their defaults. Engine-specific zero values are resolved by the

@@ -125,8 +125,14 @@ func Read(r io.Reader) (*Trace, error) {
 	if nTasks > maxTasks {
 		return nil, fmt.Errorf("trace: implausible task count %d", nTasks)
 	}
-	t.Tasks = make([]Task, nTasks)
-	for i := range t.Tasks {
+	// Grow incrementally instead of trusting the header's count: a
+	// corrupt (or adversarial) header can claim 2^28 tasks in a
+	// 13-byte input, and preallocating that is a multi-GB allocation
+	// before the first read fails. Each task costs at least 21 encoded
+	// bytes, so memory stays proportional to the actual input.
+	t.Tasks = make([]Task, 0, min(nTasks, 4096))
+	for i := 0; i < int(nTasks); i++ {
+		t.Tasks = append(t.Tasks, Task{})
 		task := &t.Tasks[i]
 		if err := binary.Read(br, binary.LittleEndian, &task.ID); err != nil {
 			return nil, fmt.Errorf("trace: task %d: %w", i, err)
