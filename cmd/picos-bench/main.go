@@ -36,7 +36,7 @@ type benchEntry struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1..table4, fig1, fig8..fig11, or 'all')")
+	exp := flag.String("exp", "all", "experiment to run (table1..table4, fig1, fig8..fig11, capacity-map, or 'all')")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	plot := flag.Bool("plot", false, "render sweep results as ASCII charts too")
 	list := flag.Bool("list", false, "list experiment names and exit")

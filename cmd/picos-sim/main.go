@@ -30,6 +30,7 @@ func main() {
 		problem  = flag.Int("problem", 0, "problem size (matrix dim; frames for h264dec; 0: paper default)")
 		block    = flag.Int("block", 128, "block size")
 		caseNo   = flag.Int("case", 0, "synthetic case 1..7 (instead of -app)")
+		workload = flag.String("workload", "", "any workload-registry name, incl. pattern:<family>?width=..&steps=.. (instead of -app/-case)")
 		traceIn  = flag.String("trace", "", "read a serialized trace instead of generating one")
 		engine   = flag.String("engine", "picos-hw", "engine: "+strings.Join(sim.Engines(), ", "))
 		mode     = flag.String("mode", "", "legacy picos HIL mode alias: hw, comm, full (use -engine picos-<mode>)")
@@ -63,7 +64,7 @@ func main() {
 	}
 	spec := sim.Spec{
 		Engine:   eng,
-		Workload: workloadName(*traceIn, *app, *caseNo),
+		Workload: workloadName(*traceIn, *app, *caseNo, *workload),
 		Problem:  *problem,
 		Block:    *block,
 		Workers:  *workers,
@@ -76,7 +77,7 @@ func main() {
 		spec.FastForward = sim.Bool(false)
 	}
 	if spec.Workload == "" {
-		fail(fmt.Errorf("one of -app, -case or -trace is required"))
+		fail(fmt.Errorf("one of -app, -case, -workload or -trace is required"))
 	}
 
 	tr, err := sim.BuildWorkload(spec)
@@ -88,7 +89,8 @@ func main() {
 		fail(err)
 	}
 	verified := false
-	if *verify {
+	verifySkipped := *verify && res.Wedged // partial schedules have no complete oracle run
+	if *verify && !res.Wedged {
 		if err := sim.Verify(tr, res); err != nil {
 			fail(fmt.Errorf("schedule verification FAILED: %w", err))
 		}
@@ -103,11 +105,17 @@ func main() {
 			Spec     sim.Spec    `json:"spec"`
 			Result   *sim.Result `json:"result"`
 			Verified bool        `json:"verified"`
-		}{spec, res, verified}
+			// VerifySkipped distinguishes "-verify was on but the run
+			// wedged before a full schedule existed" from "-verify off".
+			VerifySkipped bool `json:"verify_skipped,omitempty"`
+		}{spec, res, verified, verifySkipped}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fail(err)
+		}
+		if res.Wedged {
+			os.Exit(exitWedged)
 		}
 		return
 	}
@@ -116,8 +124,19 @@ func main() {
 	fmt.Printf("workload %s: %d tasks, %d-%d deps/task, avg size %.3g cycles, baseline %.3g cycles\n",
 		tr.Name, s.NumTasks, s.MinDeps, s.MaxDeps, s.AvgTaskSize, float64(tr.Baseline()))
 	fmt.Printf("engine %s, %d workers\n", res.Engine, res.Workers)
-	fmt.Printf("makespan %d cycles, speedup %.2fx, L1st %d, thrTask %.0f cycles\n",
-		res.Makespan, res.Speedup, res.FirstStart, res.ThrTask)
+	if res.Wedged {
+		done := 0
+		for _, f := range res.Finish {
+			if f > 0 {
+				done++
+			}
+		}
+		fmt.Printf("WEDGED at cycle %d: proven deadlock, %d/%d tasks completed\n",
+			res.WedgedAt, done, s.NumTasks)
+	} else {
+		fmt.Printf("makespan %d cycles, speedup %.2fx, L1st %d, thrTask %.0f cycles\n",
+			res.Makespan, res.Speedup, res.FirstStart, res.ThrTask)
+	}
 	if res.LockBusy > 0 {
 		fmt.Printf("runtime lock busy %d cycles\n", res.LockBusy)
 	}
@@ -131,15 +150,29 @@ func main() {
 	if verified {
 		fmt.Println("schedule verified against the dependence oracle")
 	}
+	if verifySkipped {
+		fmt.Println("verification skipped: wedged run has only a partial schedule")
+	}
+	if res.Wedged {
+		os.Exit(exitWedged)
+	}
 }
 
+// exitWedged is the exit code of a run that proved a model deadlock —
+// distinct from 1 (errors), so scripted sweeps over deadlocking
+// configurations can tell "this design wedges here" from "the tool
+// failed".
+const exitWedged = 3
+
 // workloadName maps the trace-source flags onto one registry name.
-func workloadName(tracePath, app string, caseNo int) string {
+func workloadName(tracePath, app string, caseNo int, workload string) string {
 	switch {
 	case tracePath != "":
 		return sim.TracePrefix + tracePath
 	case caseNo != 0:
 		return fmt.Sprintf("case%d", caseNo)
+	case workload != "":
+		return workload
 	default:
 		return app
 	}

@@ -9,6 +9,8 @@
 //	picos-trace -case 5 -dot                              # Figure 7 graph
 //	picos-trace -app heat -block 256 -levels              # ASCII DAG levels
 //	picos-trace -workload case3                           # registry name directly
+//	picos-trace -workload "pattern:fft?width=8&steps=4" -dot-ranked
+//	                                     # layered DOT of a pattern grid
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/patterns"
 	"repro/internal/sim"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -33,13 +36,17 @@ func main() {
 		in       = flag.String("in", "", "read a serialized trace")
 		out      = flag.String("out", "", "write the trace to this file")
 		dot      = flag.Bool("dot", false, "dump the dependence DAG as Graphviz DOT")
+		ranked   = flag.Bool("dot-ranked", false, "like -dot, with each dependence level on one rank (pattern grids draw as grids)")
 		levels   = flag.Bool("levels", false, "dump the DAG as ASCII levels")
-		list     = flag.Bool("list", false, "list registered workload names and exit")
+		list     = flag.Bool("list", false, "list registered workload names (and pattern families) and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(sim.Workloads(), "\n"))
+		for _, fam := range patterns.Families() {
+			fmt.Printf("%s%s  (%s)\n", sim.PatternPrefix, fam, patterns.Describe(fam))
+		}
 		return
 	}
 
@@ -92,6 +99,11 @@ func main() {
 
 	if *dot {
 		if err := g.WriteDOT(os.Stdout, tr.Name); err != nil {
+			fail(err)
+		}
+	}
+	if *ranked {
+		if err := g.WriteDOTRanked(os.Stdout, tr.Name); err != nil {
 			fail(err)
 		}
 	}

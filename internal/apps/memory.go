@@ -9,6 +9,8 @@
 // time reproduce Table I.
 package apps
 
+import "repro/internal/detrand"
+
 // allocator hands out block base addresses the way a blocked matrix
 // allocation does: blocks are stored contiguously, so every block base is
 // aligned to the block's (power-of-two) byte size. This alignment is load-
@@ -79,29 +81,8 @@ func (a *allocator) grid(rows, cols int, blockBytes uint64) [][]uint64 {
 	return g
 }
 
-// jitter deterministically perturbs a base duration by up to ±pct percent
-// using a splitmix64 hash of key, so repeated generation is reproducible
-// and no two runs of the benchmarks disagree.
-func jitter(base uint64, key uint64, pct int) uint64 {
-	if base == 0 {
-		return 1
-	}
-	h := splitmix64(key)
-	span := int64(base) * int64(pct) / 100
-	if span == 0 {
-		return base
-	}
-	off := int64(h%uint64(2*span+1)) - span
-	v := int64(base) + off
-	if v < 1 {
-		v = 1
-	}
-	return uint64(v)
-}
+// jitter and splitmix64 are the shared deterministic-randomness
+// helpers; aliased so the generators read naturally.
+func jitter(base uint64, key uint64, pct int) uint64 { return detrand.Jitter(base, key, pct) }
 
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
+func splitmix64(x uint64) uint64 { return detrand.SplitMix64(x) }

@@ -1,0 +1,105 @@
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a labelled grid of intensities as text — the
+// capacity-map view of pattern-family x DM-design sweeps. Cells hold
+// the raw metric values; rendering normalizes them to a shade ramp.
+// NaN cells render as the Missing marker (used for wedged runs).
+type Heatmap struct {
+	Title   string
+	XLabels []string    // column labels
+	YLabels []string    // row labels
+	Cells   [][]float64 // [row][col], len(YLabels) x len(XLabels)
+	// Missing is the marker for NaN cells (default "XX").
+	Missing string
+	// Log compresses the shade scale logarithmically — right for counts
+	// spanning orders of magnitude, like conflict cycles.
+	Log bool
+}
+
+// shades is the intensity ramp, lightest to darkest. It starts at '.'
+// rather than a space so a real minimum-value cell stays visibly
+// distinct from padding and from the Missing marker.
+var shades = []rune(".:-=+*#%@")
+
+// Render writes the heatmap: one two-rune shaded cell per value, row
+// and column labels, and a legend mapping the ramp to the value range.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Cells) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", h.Title)
+		return err
+	}
+	missing := h.Missing
+	if missing == "" {
+		missing = "XX"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if lo > hi { // every cell missing
+		lo, hi = 0, 1
+	}
+	scale := func(v float64) float64 {
+		if hi == lo {
+			return 0
+		}
+		if h.Log {
+			return math.Log1p(v-lo) / math.Log1p(hi-lo)
+		}
+		return (v - lo) / (hi - lo)
+	}
+	ywidth := 0
+	for _, l := range h.YLabels {
+		if len(l) > ywidth {
+			ywidth = len(l)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", h.Title); err != nil {
+		return err
+	}
+	for r, row := range h.Cells {
+		label := ""
+		if r < len(h.YLabels) {
+			label = h.YLabels[r]
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-*s |", ywidth, label)
+		for _, v := range row {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, " %2s", missing[:min(2, len(missing))])
+				continue
+			}
+			s := shades[int(scale(v)*float64(len(shades)-1)+0.5)]
+			fmt.Fprintf(&b, " %c%c", s, s)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	// Column key: labels rarely fit in two runes, so list them.
+	var cols []string
+	for c, l := range h.XLabels {
+		cols = append(cols, fmt.Sprintf("%d=%s", c+1, l))
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  cols: %s\n", ywidth, "", strings.Join(cols, " ")); err != nil {
+		return err
+	}
+	legend := fmt.Sprintf("scale [%c..%c] = %.3g..%.3g", shades[0], shades[len(shades)-1], lo, hi)
+	if h.Log {
+		legend += " (log)"
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %s; %s = wedged/no data\n", ywidth, "", legend, missing)
+	return err
+}

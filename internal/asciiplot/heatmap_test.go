@@ -1,0 +1,83 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderHeatmap(t *testing.T, h *Heatmap) string {
+	t.Helper()
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:   "map",
+		XLabels: []string{"8way", "16way", "p8way"},
+		YLabels: []string{"stencil_1d", "all_to_all"},
+		Cells: [][]float64{
+			{100, 5, 0},
+			{math.NaN(), 80, 0},
+		},
+	}
+	out := renderHeatmap(t, h)
+	for _, want := range []string{
+		"map", "stencil_1d |", "all_to_all |",
+		"XX",                          // the NaN (wedged) cell
+		"1=8way",                      // column key
+		"0..100",                      // scale legend
+		string(shades[len(shades)-1]), // the max cell uses the darkest shade
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("heatmap output missing %q:\n%s", want, out)
+		}
+	}
+	// The max cell is darkest, the min cell is the visible lightest
+	// shade (not a blank).
+	rows := strings.Split(out, "\n")
+	if !strings.HasPrefix(rows[1], "stencil_1d | @@") {
+		t.Fatalf("max-value cell not darkest: %q", rows[1])
+	}
+	if !strings.HasSuffix(rows[1], "..") {
+		t.Fatalf("min-value cell not the visible lightest shade: %q", rows[1])
+	}
+}
+
+func TestHeatmapLogScale(t *testing.T) {
+	h := &Heatmap{
+		Title:   "log",
+		XLabels: []string{"a", "b"},
+		YLabels: []string{"r"},
+		Cells:   [][]float64{{1, 1e6}},
+		Log:     true,
+	}
+	out := renderHeatmap(t, h)
+	if !strings.Contains(out, "(log)") {
+		t.Fatalf("log legend missing:\n%s", out)
+	}
+}
+
+func TestHeatmapAllMissing(t *testing.T) {
+	h := &Heatmap{
+		Title:   "void",
+		XLabels: []string{"a"},
+		YLabels: []string{"r"},
+		Cells:   [][]float64{{math.NaN()}},
+	}
+	out := renderHeatmap(t, h)
+	if !strings.Contains(out, "XX") {
+		t.Fatalf("missing marker absent:\n%s", out)
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	out := renderHeatmap(t, &Heatmap{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty heatmap: %q", out)
+	}
+}

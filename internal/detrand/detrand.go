@@ -1,0 +1,37 @@
+// Package detrand provides the deterministic pseudo-randomness shared
+// by every trace generator: a splitmix64 hash and the ±pct duration
+// jitter built on it. Both the real-benchmark generators
+// (internal/apps) and the pattern families (internal/patterns) draw
+// from here, so their notion of "jittered duration" can never drift
+// apart and repeated generation is always byte-identical.
+package detrand
+
+// SplitMix64 is the splitmix64 finalizer: a cheap, well-mixed 64-bit
+// hash (Steele et al., "Fast splittable pseudorandom number
+// generators").
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Jitter deterministically perturbs base by up to ±pct percent using a
+// SplitMix64 hash of key. The result is never below 1 (simulators
+// reject zero-duration tasks).
+func Jitter(base, key uint64, pct int) uint64 {
+	if base == 0 {
+		return 1
+	}
+	h := SplitMix64(key)
+	span := int64(base) * int64(pct) / 100
+	if span == 0 {
+		return base
+	}
+	off := int64(h%uint64(2*span+1)) - span
+	v := int64(base) + off
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}

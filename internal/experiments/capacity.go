@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asciiplot"
+	"repro/internal/patterns"
+	"repro/internal/sim"
+)
+
+func init() {
+	Register("capacity-map", CapacityMap)
+}
+
+// capacityFamilies are the dependence-pattern families the capacity map
+// sweeps, ordered from local to global communication.
+var capacityFamilies = []string{
+	"no_comm", "stencil_1d", "stencil_1d_periodic", "nearest", "spread",
+	"random_nearest", "fft", "tree", "dom", "all_to_all",
+}
+
+// capacityEngines are the engine columns of the per-engine view.
+var capacityEngines = []string{"picos-hw", "picos-comm", "picos-full"}
+
+// CapacityCell is one grid point of the capacity map, the
+// BENCH_patterns.json record.
+type CapacityCell struct {
+	Family   string `json:"family"`
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	Design   string `json:"design"`
+	Layout   string `json:"layout"`
+
+	Wedged           bool    `json:"wedged,omitempty"`
+	WedgedAt         uint64  `json:"wedged_at,omitempty"`
+	Makespan         uint64  `json:"makespan"`
+	Speedup          float64 `json:"speedup"`
+	SpeedupVsPerfect float64 `json:"speedup_vs_perfect"`
+
+	DMConflicts           uint64 `json:"dm_conflicts"`
+	VMStallEvents         uint64 `json:"vm_stall_events"`
+	DMConflictStallCycles uint64 `json:"dm_conflict_stall_cycles"`
+	VMStallCycles         uint64 `json:"vm_stall_cycles"`
+}
+
+// capacityPattern renders the sweep's workload spec for one family. The
+// full-size grid is 128 points x 16 steps: 256 live buffers, enough to
+// overflow the 8-way direct hash under the malloc layout (16 reachable
+// sets x 8 ways = 128) while the 16-way and Pearson designs still hold
+// it — the same capacity cliff Table II shows for SparseLu.
+func capacityPattern(family, layout string, opt Options) string {
+	width, steps := 128, 16
+	if opt.Quick {
+		width, steps = 12, 8
+	}
+	s := fmt.Sprintf("%s%s?width=%d&steps=%d", sim.PatternPrefix, family, width, steps)
+	if layout != patterns.DefaultLayout {
+		s += "&layout=" + layout
+	}
+	return s
+}
+
+// CapacityMapData executes the capacity-map sweep: every pattern family
+// x DM design x Picos engine under the default malloc address layout,
+// plus a worst-case aligned-layout lane on picos-hw (where the wide
+// families genuinely deadlock the 8-way direct hash — reported as
+// wedged cells, not errors), normalized per family against the Perfect
+// roofline.
+func CapacityMapData(opt Options) ([]CapacityCell, error) {
+	fams := capacityFamilies
+	engines := capacityEngines
+	if opt.Quick {
+		fams = fams[:4]
+		engines = engines[:1]
+	}
+
+	type point struct {
+		family, engine, design, layout string
+	}
+	var pts []point
+	var specs []sim.Spec
+	add := func(pt point) {
+		pts = append(pts, pt)
+		specs = append(specs, sim.Spec{
+			Engine:   pt.engine,
+			Workload: capacityPattern(pt.family, pt.layout, opt),
+			Design:   pt.design,
+		})
+	}
+	for _, f := range fams {
+		for _, e := range engines {
+			for _, d := range dmDesigns {
+				add(point{f, e, d.spec, patterns.DefaultLayout})
+			}
+		}
+	}
+	if !opt.Quick {
+		for _, f := range fams {
+			for _, d := range dmDesigns {
+				add(point{f, "picos-hw", d.spec, "aligned"})
+			}
+		}
+	}
+	// Perfect roofline, one run per family (design-independent).
+	perfectIdx := make(map[string]int, len(fams))
+	for _, f := range fams {
+		perfectIdx[f] = len(specs)
+		pts = append(pts, point{f, "perfect", "", patterns.DefaultLayout})
+		specs = append(specs, sim.Spec{Engine: "perfect", Workload: capacityPattern(f, patterns.DefaultLayout, opt)})
+	}
+
+	results := make([]*sim.Result, len(specs))
+	for _, it := range sim.Sweep(specs, 0) {
+		if it.Err != "" {
+			return nil, fmt.Errorf("experiments: capacity-map %s on %s: %s", it.Spec.Engine, it.Spec.Workload, it.Err)
+		}
+		results[it.Index] = it.Result
+	}
+
+	cells := make([]CapacityCell, 0, len(pts))
+	for i, pt := range pts {
+		if pt.engine == "perfect" {
+			continue
+		}
+		res := results[i]
+		cell := CapacityCell{
+			Family:   pt.family,
+			Workload: specs[i].Workload,
+			Engine:   pt.engine,
+			Design:   pt.design,
+			Layout:   pt.layout,
+			Wedged:   res.Wedged,
+			WedgedAt: res.WedgedAt,
+			Makespan: res.Makespan,
+			Speedup:  res.Speedup,
+		}
+		if st := res.Stats; st != nil {
+			cell.DMConflicts = st.DMConflicts
+			cell.VMStallEvents = st.VMStallEvents
+			cell.DMConflictStallCycles = st.DMConflictStallCycles
+			cell.VMStallCycles = st.VMStallCycles
+		}
+		if roof := results[perfectIdx[pt.family]]; !res.Wedged && roof.Speedup > 0 {
+			cell.SpeedupVsPerfect = res.Speedup / roof.Speedup
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// capacityMetric extracts one heatmap metric from a cell; wedged cells
+// are NaN.
+type capacityMetric struct {
+	name string
+	log  bool
+	get  func(CapacityCell) float64
+}
+
+var capacityMetrics = []capacityMetric{
+	{"#DM conflicts (+VM stall events)", true, func(c CapacityCell) float64 {
+		return float64(c.DMConflicts + c.VMStallEvents)
+	}},
+	{"DM+VM stall cycles", true, func(c CapacityCell) float64 {
+		return float64(c.DMConflictStallCycles + c.VMStallCycles)
+	}},
+	{"speedup vs perfect", false, func(c CapacityCell) float64 { return c.SpeedupVsPerfect }},
+}
+
+// distinct collects the distinct key values of the cells that pass the
+// filter, in first-seen order.
+func distinct(cells []CapacityCell, filter func(CapacityCell) bool, key func(CapacityCell) string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if filter != nil && !filter(c) {
+			continue
+		}
+		if k := key(c); !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func hwLane(c CapacityCell) bool { return c.Engine == "picos-hw" }
+
+// CapacityHeatmaps renders family x design heatmaps of the picos-hw
+// lane for each metric, one per layout present in the cells.
+func CapacityHeatmaps(cells []CapacityCell) []*asciiplot.Heatmap {
+	layouts := distinct(cells, hwLane, func(c CapacityCell) string { return c.Layout })
+	var maps []*asciiplot.Heatmap
+	for _, layout := range layouts {
+		fams := distinct(cells,
+			func(c CapacityCell) bool { return hwLane(c) && c.Layout == layout },
+			func(c CapacityCell) string { return c.Family })
+		for _, m := range capacityMetrics {
+			hm := &asciiplot.Heatmap{
+				Title:   fmt.Sprintf("capacity map: %s (picos-hw, %s layout)", m.name, layout),
+				XLabels: designLabels(),
+				YLabels: fams,
+				Log:     m.log,
+				Missing: "XX",
+			}
+			for _, f := range fams {
+				row := make([]float64, len(dmDesigns))
+				for j, d := range dmDesigns {
+					row[j] = math.NaN()
+					for _, c := range cells {
+						if c.Engine == "picos-hw" && c.Layout == layout && c.Family == f && c.Design == d.spec && !c.Wedged {
+							row[j] = m.get(c)
+						}
+					}
+				}
+				hm.Cells = append(hm.Cells, row)
+			}
+			maps = append(maps, hm)
+		}
+	}
+	return maps
+}
+
+func designLabels() []string {
+	out := make([]string, len(dmDesigns))
+	for i, d := range dmDesigns {
+		out[i] = d.label
+	}
+	return out
+}
+
+// CapacityMap is the registry entry: the sweep rendered as tables, one
+// per metric and layout, rows = families, columns = DM designs, with a
+// per-engine speedup view at the shipping P+8way design. Wedged grid
+// points print as WEDGE@<cycle> — machine-consumers get the same
+// information from CapacityMapData.
+func CapacityMap(opt Options) ([]*Table, error) {
+	cells, err := CapacityMapData(opt)
+	if err != nil {
+		return nil, err
+	}
+	return CapacityTables(cells), nil
+}
+
+// CapacityTables renders already-computed capacity cells as tables, so
+// callers that also need the cells (the pattern-capacity-map example)
+// run the sweep exactly once.
+func CapacityTables(cells []CapacityCell) []*Table {
+	find := func(f, e, d, layout string) *CapacityCell {
+		for i := range cells {
+			c := &cells[i]
+			if c.Family == f && c.Engine == e && c.Design == d && c.Layout == layout {
+				return c
+			}
+		}
+		return nil
+	}
+	fams := distinct(cells, nil, func(c CapacityCell) string { return c.Family })
+	layouts := distinct(cells, nil, func(c CapacityCell) string { return c.Layout })
+	engines := distinct(cells, nil, func(c CapacityCell) string { return c.Engine })
+
+	var tables []*Table
+	for _, layout := range layouts {
+		t := &Table{
+			Title:  fmt.Sprintf("Capacity map (%s layout, picos-hw): conflicts / stall cycles / speedup-vs-perfect per DM design", layout),
+			Header: append([]string{"Family"}, designLabels()...),
+		}
+		for _, f := range fams {
+			row := []string{f}
+			any := false
+			for _, d := range dmDesigns {
+				c := find(f, "picos-hw", d.spec, layout)
+				if c == nil {
+					row = append(row, "-")
+					continue
+				}
+				any = true
+				if c.Wedged {
+					row = append(row, fmt.Sprintf("WEDGE@%d", c.WedgedAt))
+					continue
+				}
+				row = append(row, fmt.Sprintf("%d / %.2g / %.2f",
+					c.DMConflicts+c.VMStallEvents,
+					float64(c.DMConflictStallCycles+c.VMStallCycles),
+					c.SpeedupVsPerfect))
+			}
+			if any {
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		t.Notes = append(t.Notes,
+			"each cell: #conflicts (insertions that found their DM set full, +VM exhaustions) / cycles the registration path stalled / speedup normalized to the Perfect roofline")
+		tables = append(tables, t)
+	}
+
+	if len(engines) > 1 {
+		t := &Table{
+			Title:  "Capacity map: speedup by engine (P+8way, malloc layout)",
+			Header: append([]string{"Family"}, engines...),
+		}
+		for _, f := range fams {
+			row := []string{f}
+			for _, e := range engines {
+				c := find(f, e, "p8way", patterns.DefaultLayout)
+				switch {
+				case c == nil:
+					row = append(row, "-")
+				case c.Wedged:
+					row = append(row, fmt.Sprintf("WEDGE@%d", c.WedgedAt))
+				default:
+					row = append(row, fmt.Sprintf("%.2f", c.Speedup))
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,214 @@
+// Package fidelity runs the full paper-vs-reproduction comparison: every
+// measured cell of Tables I-IV and the Figure 8/11 anchors is diffed
+// against the numbers embedded in internal/paperref. It is the engine
+// behind cmd/picos-report and behind the golden test that locks the
+// summary line, so a fidelity regression — a cell drifting out of
+// tolerance — fails CI instead of silently shipping.
+package fidelity
+
+import (
+	"fmt"
+
+	"repro/internal/paperref"
+	"repro/internal/picos"
+	"repro/internal/resources"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
+)
+
+// Options tunes the comparison scope.
+type Options struct {
+	// SkipFig11 skips the Figure 11 scalability sweep, the one
+	// long-running comparison (picos-report -fast).
+	SkipFig11 bool
+}
+
+// Compare runs every comparison and returns the accumulated report.
+func Compare(opt Options) (*paperref.Report, error) {
+	var rep paperref.Report
+	if err := compareTable1(&rep); err != nil {
+		return nil, err
+	}
+	if err := compareTable2(&rep); err != nil {
+		return nil, err
+	}
+	compareTable3(&rep)
+	if err := compareTable4(&rep); err != nil {
+		return nil, err
+	}
+	if err := compareFig8(&rep); err != nil {
+		return nil, err
+	}
+	if !opt.SkipFig11 {
+		if err := compareFig11(&rep); err != nil {
+			return nil, err
+		}
+	}
+	return &rep, nil
+}
+
+func compareTable1(rep *paperref.Report) error {
+	for _, ref := range paperref.TableI {
+		tr, err := sim.BuildWorkload(sim.Spec{Workload: ref.App, Block: ref.Block})
+		if err != nil {
+			return err
+		}
+		s := tr.Summarize()
+		cell := fmt.Sprintf("%s/%d", ref.App, ref.Block)
+		rep.Add("Table I #Tasks", cell, float64(s.NumTasks), float64(ref.Tasks), 0.12, 3)
+		rep.Add("Table I AvgTSize", cell, s.AvgTaskSize, ref.AvgSize, 0.05, 0)
+		rep.Add("Table I SeqExec", cell, float64(tr.Baseline()), ref.SeqCycles, 0.15, 0)
+	}
+	return nil
+}
+
+func compareTable2(rep *paperref.Report) error {
+	for _, ref := range paperref.TableII {
+		for _, d := range []struct {
+			design string
+			want   int
+		}{
+			{"8way", ref.DM8},
+			{"16way", ref.DM16},
+			{"p8way", ref.DMP8},
+		} {
+			res, err := sim.Run(sim.Spec{
+				Engine:    "picos-hw",
+				Workload:  ref.App,
+				Block:     ref.Block,
+				Design:    d.design,
+				Admission: "slots",
+			})
+			if err != nil {
+				return err
+			}
+			got := float64(res.Stats.DMConflicts + res.Stats.VMStallEvents)
+			cell := fmt.Sprintf("%s/%d %s", ref.App, ref.Block, d.design)
+			// Conflict counts are sensitive to exact address layout;
+			// judge within 40% with a 120-count floor.
+			rep.Add("Table II #DM conflicts", cell, got, float64(d.want), 0.40, 120)
+		}
+	}
+	return nil
+}
+
+func compareTable3(rep *paperref.Report) {
+	model := []resources.Report{
+		resources.TM(),
+		resources.VM(picos.DM8Way),
+		resources.VM(picos.DM16Way),
+		resources.DM(picos.DM8Way),
+		resources.DM(picos.DM16Way),
+		resources.DM(picos.DMP8Way),
+		resources.TRS(),
+		resources.DCT(picos.DMP8Way),
+		resources.Glue(),
+		resources.FullPicos(picos.DMP8Way, 1, 1),
+	}
+	for i, ref := range paperref.TableIII {
+		rep.Add("Table III LUT%", ref.Design, model[i].LUTPct(), ref.LUTPct, 0.25, 0.3)
+		rep.Add("Table III BRAM%", ref.Design, model[i].BRAMPct(), ref.BRAMPct, 0.25, 1.0)
+	}
+}
+
+func compareTable4(rep *paperref.Report) error {
+	engines := []string{"picos-hw", "picos-comm", "picos-full"}
+	for mi, ref := range paperref.TableIV {
+		for c := 1; c <= 7; c++ {
+			res, err := sim.Run(sim.Spec{
+				Engine:   engines[mi],
+				Workload: fmt.Sprintf("case%d", c),
+			})
+			if err != nil {
+				return err
+			}
+			cell := fmt.Sprintf("%s case%d", ref.Mode, c)
+			rep.Add("Table IV L1st", cell, float64(res.FirstStart), ref.L1st[c-1], 0.30, 10)
+			rep.Add("Table IV thrTask", cell, res.ThrTask, ref.ThrTask[c-1], 0.30, 8)
+		}
+	}
+	return nil
+}
+
+func compareFig8(rep *paperref.Report) error {
+	for _, a := range paperref.Fig8Anchors {
+		for _, wa := range []struct {
+			workers int
+			want    float64
+		}{{2, a.Workers2}, {12, a.Workers12}} {
+			res, err := sim.Run(sim.Spec{
+				Engine:   "picos-hw",
+				Workload: a.App,
+				Block:    a.Block,
+				Workers:  wa.workers,
+			})
+			if err != nil {
+				return err
+			}
+			cell := fmt.Sprintf("%s/%d P+8way %dw", a.App, a.Block, wa.workers)
+			rep.Add("Figure 8 speedup", cell, res.Speedup, wa.want, 0.15, 0)
+		}
+	}
+	return nil
+}
+
+func compareFig11(rep *paperref.Report) error {
+	for _, c := range paperref.Fig11Claims {
+		// Nanos cap claim.
+		var nanosBest float64
+		for _, w := range []int{4, 8, 12, 24} {
+			nres, err := sim.Run(sim.Spec{Engine: "nanos", Workload: c.App, Block: c.Block, Workers: w})
+			if err != nil {
+				return err
+			}
+			if nres.Speedup > nanosBest {
+				nanosBest = nres.Speedup
+			}
+		}
+		cell := fmt.Sprintf("%s/%d nanos best<=%.0f", c.App, c.Block, c.NanosMax)
+		verdictVal := 0.0
+		if nanosBest <= c.NanosMax {
+			verdictVal = 1
+		}
+		rep.Add("Figure 11 shape", cell, verdictVal, 1, 0, 0)
+
+		// Picos keeps scaling claim: speedup at PicosWorkers >= 0.95x the
+		// 8-worker speedup.
+		p8, err := runFull(c.App, c.Block, 8)
+		if err != nil {
+			return err
+		}
+		pw, err := runFull(c.App, c.Block, c.PicosWorkers)
+		if err != nil {
+			return err
+		}
+		cell = fmt.Sprintf("%s/%d picos %dw>=8w", c.App, c.Block, c.PicosWorkers)
+		verdictVal = 0
+		if pw >= 0.95*p8 {
+			verdictVal = 1
+		}
+		rep.Add("Figure 11 shape", cell, verdictVal, 1, 0, 0)
+
+		// Roofline bound: Picos never exceeds Perfect.
+		roof, err := sim.Run(sim.Spec{Engine: "perfect", Workload: c.App, Block: c.Block, Workers: c.PicosWorkers})
+		if err != nil {
+			return err
+		}
+		verdictVal = 0
+		if pw <= roof.Speedup*1.01 {
+			verdictVal = 1
+		}
+		cell = fmt.Sprintf("%s/%d picos<=perfect", c.App, c.Block)
+		rep.Add("Figure 11 shape", cell, verdictVal, 1, 0, 0)
+	}
+	return nil
+}
+
+func runFull(app string, block, workers int) (float64, error) {
+	res, err := sim.Run(sim.Spec{Engine: "picos-full", Workload: app, Block: block, Workers: workers})
+	if err != nil {
+		return 0, err
+	}
+	return res.Speedup, nil
+}

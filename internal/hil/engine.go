@@ -46,6 +46,8 @@ func (e Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 		Start:      res.Start,
 		Finish:     res.Finish,
 		Order:      res.Order,
+		Wedged:     res.Wedged,
+		WedgedAt:   res.WedgedAt,
 	}, nil
 }
 

@@ -149,6 +149,15 @@ type Result struct {
 	// Latency/throughput probes for Table IV.
 	FirstStart uint64  // L1st
 	ThrTask    float64 // cycles per additional task
+
+	// Wedged reports a proven model deadlock: tasks remain but no future
+	// event exists anywhere in the platform or the accelerator (e.g. an
+	// admitted task whose dependences can never all be stored in a full
+	// direct-hash DM set). The schedule arrays cover the tasks that did
+	// complete; Speedup is zeroed. WedgedAt is the cycle the deadlock
+	// was proven.
+	Wedged   bool
+	WedgedAt uint64
 }
 
 // Run drives the trace through the platform.

@@ -151,6 +151,9 @@ func (r *runner) runRef() (*Result, error) {
 		r.stepMaster(now)
 		r.stepBus(now)
 		r.dispatch(now)
+		if r.done < n && r.wedged(now) {
+			return r.wedgedResult(now), nil
+		}
 		if next, ok := r.quiescentUntil(now); ok && next > now+1 {
 			r.p.StepTo(next)
 		} else {
@@ -161,6 +164,48 @@ func (r *runner) runRef() (*Result, error) {
 		}
 	}
 	return r.result(), nil
+}
+
+// wedged proves a deadlock at the current cycle: no worker is running,
+// no message is pending or in flight, the master has nothing left to
+// create, no ready task is waiting, and the accelerator itself has no
+// future event — stepping any number of cycles cannot change anything,
+// yet tasks remain. (A conflict- or admission-stalled queue head does
+// not count as a future event: only an external finish could release
+// it, and there is none left.)
+func (r *runner) wedged(now uint64) bool {
+	if !r.p.Idle() || r.pendingWork() {
+		return false
+	}
+	for i := range r.workers {
+		if r.workers[i].active {
+			return false
+		}
+	}
+	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
+		return false
+	}
+	if r.p.ReadyCount() > 0 {
+		return false
+	}
+	if _, ok := r.p.NextEvent(); ok {
+		return false
+	}
+	return true
+}
+
+// wedgedResult reports a proven deadlock as a structured partial result:
+// Wedged set, WedgedAt the cycle of proof, the schedule arrays covering
+// the tasks that did complete. The exact WedgedAt cycle (and the stall
+// counters that keep accruing while the stalled heads retry) may differ
+// slightly between the fast and cycle-stepped loops — the two detect the
+// same dead state, but prove it at different points of their iteration.
+func (r *runner) wedgedResult(now uint64) *Result {
+	res := r.result()
+	res.Wedged = true
+	res.WedgedAt = now
+	res.Speedup = 0 // meaningless for a partial schedule
+	return res
 }
 
 // runFast is the event-driven fast path: every iteration runs the
@@ -211,8 +256,10 @@ func (r *runner) runFast() (*Result, error) {
 				r.p.RunOut()
 				break
 			}
-			return nil, fmt.Errorf("hil: wedged at cycle %d, no future event (done %d/%d, inflight %d, ready %d)",
-				now, r.done, n, r.p.InFlight(), r.p.ReadyCount())
+			// Genuine deadlock: tasks remain but no future event exists
+			// anywhere — reported structurally so sweeps over deadlocking
+			// configurations stay machine-readable.
+			return r.wedgedResult(now), nil
 		}
 		r.p.RunTo(next)
 		if err := r.checkWatchdog(); err != nil {

@@ -213,3 +213,57 @@ func Delta(got, want float64) string {
 	}
 	return fmt.Sprintf("%.3g vs %.3g (%+.0f%%)", got, want, 100*(got-want)/want)
 }
+
+// KnownGap documents one cell where the model is known not to fully
+// match the paper, with the justification for why the residual is a
+// model limitation rather than an undiagnosed bug. Every non-Match cell
+// of the fast report must be covered by an entry here — the golden test
+// in internal/fidelity enforces it.
+type KnownGap struct {
+	// Experiment and Cell name the report line, exactly as emitted.
+	Experiment string
+	Cell       string
+	// Why explains the residual.
+	Why string
+}
+
+// KnownGaps lists the accepted model gaps of the current reproduction.
+var KnownGaps = []KnownGap{
+	{
+		Experiment: "Table II #DM conflicts",
+		Cell:       "sparselu/64 8way",
+		Why: "Measures ~94 vs the paper's 239 (Near). With the prototype's " +
+			"word-address direct hash, SparseLu's malloc-carved 32KB blocks " +
+			"(stride 0x8010) spread over 16 of the 64 DM sets; the model's " +
+			"head-of-line registration stall then self-throttles arrivals " +
+			"once a set saturates, so fewer distinct dependences ever reach " +
+			"a full set than on the prototype, whose deeper creation " +
+			"run-ahead kept colliding. The companion cells agree exactly — " +
+			"16way holds the whole working set (0 conflicts, as published) " +
+			"and P+8way spreads it (0) — so the residual is throttling " +
+			"depth, not hash placement. (Before the word-address fix this " +
+			"row diverged outright: 496 vs 239 and 360 vs 0.)",
+	},
+	{
+		Experiment: "Table IV thrTask",
+		Cell:       "HW-only case4",
+		Why: "Measures ~37 vs the paper's 24 cycles per task (Near). Case4 " +
+			"is one producer-producer chain on a single address, so its " +
+			"task throughput is the full finish->release->wake->ready " +
+			"round trip; the model's DCT release walk plus wake routing " +
+			"costs ~13 cycles more per link than the prototype, which " +
+			"overlaps the version recycle with the wake send. The other 20 " +
+			"HW-only latency/throughput cells match within 30%, so the " +
+			"unit timings are kept.",
+	},
+}
+
+// FindGap returns the KnownGaps entry covering a report line, if any.
+func FindGap(experiment, cell string) (KnownGap, bool) {
+	for _, g := range KnownGaps {
+		if g.Experiment == experiment && g.Cell == cell {
+			return g, true
+		}
+	}
+	return KnownGap{}, false
+}

@@ -46,6 +46,27 @@ func (r *Report) Counts() (match, near, diverge int) {
 	return
 }
 
+// SummaryLine renders the one-line verdict tally. The fast-report form
+// of this line is locked by a golden test (internal/fidelity): a
+// fidelity regression changes it and fails CI.
+func (r *Report) SummaryLine() string {
+	m, n, d := r.Counts()
+	return fmt.Sprintf("**Summary: %d cells match, %d near, %d diverge (of %d).**", m, n, d, len(r.Lines))
+}
+
+// NonMatching returns the cells that did not fully match, in report
+// order — the set that must be covered by KnownGaps for a reproduction
+// to be considered explained.
+func (r *Report) NonMatching() []Line {
+	var out []Line
+	for _, l := range r.Lines {
+		if l.Verdict != Match {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
 // Fprint renders the report grouped by experiment, in Markdown.
 func (r *Report) Fprint(w io.Writer) error {
 	groups := map[string][]Line{}
@@ -75,7 +96,6 @@ func (r *Report) Fprint(w io.Writer) error {
 			}
 		}
 	}
-	m, n, d := r.Counts()
-	_, err := fmt.Fprintf(w, "\n**Summary: %d cells match, %d near, %d diverge (of %d).**\n", m, n, d, len(r.Lines))
+	_, err := fmt.Fprintf(w, "\n%s\n", r.SummaryLine())
 	return err
 }

@@ -1,0 +1,41 @@
+package patterns
+
+import "testing"
+
+// FuzzParsePattern drives arbitrary strings through the workload
+// grammar: whatever Parse accepts must round-trip through Spec() and
+// (size permitting) build a trace that passes validation — the contract
+// BuildWorkload relies on.
+func FuzzParsePattern(f *testing.F) {
+	f.Add("stencil_1d?width=64&steps=100&len=1000")
+	f.Add("random_nearest?k=5&seed=9&jitter=25")
+	f.Add("all_to_all?layout=aligned&fields=1")
+	f.Add("fft?width=8&steps=4")
+	f.Add("tree")
+	f.Add("dom?width=1&steps=1")
+	f.Add("nosuch?width=2")
+	f.Add("stencil_1d?width=1&width=2")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.Spec())
+		if err != nil {
+			t.Fatalf("Spec() of accepted params %+v does not re-parse: %v", p, err)
+		}
+		if p != q {
+			t.Fatalf("round trip drifted: %+v != %+v", p, q)
+		}
+		if p.Width*p.Steps > 4096 {
+			return // keep the fuzz iteration cheap
+		}
+		tr, err := Build(p)
+		if err != nil {
+			t.Fatalf("accepted params %+v failed to build: %v", p, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("built trace invalid for %+v: %v", p, err)
+		}
+	})
+}

@@ -1,0 +1,480 @@
+// Package patterns generates parameterized dependence-pattern workload
+// families in the style of task-bench (Slaughter et al., "Task Bench: A
+// Parameterized Benchmark for Evaluating Parallel Runtime Performance"),
+// whose OmpSs port drives exactly the runtime this repository models. A
+// pattern is a width x steps grid of tasks: at timestep t, point i runs
+// one task that owns the point's buffer (an inout dependence, which
+// chains the point's versions across steps the way the OmpSs port's
+// tile_out works) and reads the previous step's buffers of the points
+// the family's dependence function names (in dependences). Sweeping the
+// families against the three Dependence Memory designs probes the Picos
+// dependence manager across the whole dependence-pattern space — far
+// beyond the six fixed applications and seven capacity cases the paper
+// measures.
+//
+// Families are parameterized through a flat key=value grammar that the
+// sim workload registry exposes under the "pattern:" prefix:
+//
+//	pattern:stencil_1d?width=64&steps=100&len=1000
+//	pattern:random_nearest?width=32&steps=50&k=5&seed=7
+//	pattern:all_to_all?width=8&steps=20&layout=aligned
+//
+// so every engine, sweep grid, CLI and experiment picks the families up
+// with no further wiring.
+package patterns
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/detrand"
+	"repro/internal/trace"
+)
+
+// Defaults for unspecified parameters: small enough that a default
+// pattern runs in milliseconds on every engine, including the
+// cycle-stepped reference loop.
+const (
+	DefaultWidth  = 16
+	DefaultSteps  = 10
+	DefaultLen    = 1000
+	DefaultK      = 3
+	DefaultSeed   = 1
+	DefaultLayout = "malloc"
+	// DefaultFields is the buffer multiplicity per point: 2 is
+	// task-bench's num_fields default (Jacobi-style double buffering, so
+	// a step's reads bind to the previous step's writes). fields=1 is
+	// the in-place Gauss-Seidel variant: reads of lower-indexed points
+	// bind within the step, and every point's buffer accumulates one VM
+	// version per step — the heavier stress on the DCT's version chains.
+	DefaultFields = 2
+)
+
+// Families whose dependence sets grow with the width (dom, all_to_all)
+// are truncated deterministically so no task exceeds the hardware's
+// 15-dependence limit (trace.MaxDeps): their inputs functions emit at
+// most MaxDeps candidates and Build's per-task cap keeps the owner
+// dependence plus the first 14 distinct reads.
+
+// Params is a fully-resolved pattern specification.
+type Params struct {
+	// Family is the dependence-pattern family name; see Families().
+	Family string
+	// Width is the number of grid points per timestep.
+	Width int
+	// Steps is the number of timesteps.
+	Steps int
+	// Len is the base task duration in cycles.
+	Len uint64
+	// Jitter perturbs task durations by up to ±Jitter percent,
+	// deterministically (0: constant durations).
+	Jitter int
+	// K is the dependence-count knob of the nearest, spread and
+	// random_nearest families.
+	K int
+	// Seed drives the random_nearest family and the duration jitter.
+	Seed uint64
+	// Fields is the number of buffers each point cycles through across
+	// steps (task-bench's num_fields); see DefaultFields.
+	Fields int
+	// Layout selects the address layout of the point buffers:
+	//
+	//	malloc  - glibc-style 32KB heap blocks (stride 0x8010): buffers
+	//	          cover 16 of the 64 direct-hash DM sets, like SparseLu's
+	//	          individually allocated blocks (the default)
+	//	aligned - power-of-two aligned blocks (stride 0x8000): every
+	//	          buffer lands in ONE direct-hash set, the worst-case
+	//	          clustering of Heat's contiguous allocation
+	//	spread  - word-stride 65 (stride 260): buffers cover all 64 sets
+	//	          under the direct hash, isolating pure capacity effects
+	Layout string
+}
+
+// layoutStrides maps each layout to the byte distance between
+// consecutive point buffers.
+var layoutStrides = map[string]uint64{
+	"malloc":  0x8010,
+	"aligned": 0x8000,
+	"spread":  260,
+}
+
+// patternBase is the base address of pattern buffers, chosen away from
+// the real benchmarks' arenas.
+const patternBase = 0x70000000
+
+// family is one dependence-pattern family: inputs returns the previous-
+// step points that (t,i) reads, for t >= 1. Implementations may return
+// i itself or duplicates; Build filters both.
+type family struct {
+	desc     string
+	needPow2 bool
+	// freshAddr gives every task its own buffer (no cross-step
+	// chaining): the fully-independent control family.
+	freshAddr bool
+	inputs    func(p Params, t, i int) []int
+}
+
+var families = map[string]family{
+	"trivial": {
+		desc:      "independent tasks, a fresh buffer per task (no dependences at all)",
+		freshAddr: true,
+		inputs:    func(Params, int, int) []int { return nil },
+	},
+	"no_comm": {
+		desc:   "width independent chains: each point reads only its own previous-step value",
+		inputs: func(p Params, t, i int) []int { return []int{i} },
+	},
+	"stencil_1d": {
+		desc:   "each point reads itself and its left and right neighbors of the previous step",
+		inputs: func(p Params, t, i int) []int { return []int{i - 1, i, i + 1} },
+	},
+	"stencil_1d_periodic": {
+		desc: "stencil_1d with wrap-around at the row ends",
+		inputs: func(p Params, t, i int) []int {
+			w := p.Width
+			return []int{(i - 1 + w) % w, i, (i + 1) % w}
+		},
+	},
+	"nearest": {
+		desc: "each point reads the k-wide window of previous-step points centered on it",
+		inputs: func(p Params, t, i int) []int {
+			lo := max(0, i-p.K/2)
+			hi := min(p.Width-1, i+(p.K-1)/2)
+			out := make([]int, 0, hi-lo+1)
+			for j := lo; j <= hi; j++ {
+				out = append(out, j)
+			}
+			return out
+		},
+	},
+	"spread": {
+		desc: "each point reads itself plus k-1 points strided uniformly across the previous step's row",
+		inputs: func(p Params, t, i int) []int {
+			w := p.Width
+			stride := w / p.K
+			if stride < 1 {
+				stride = 1
+			}
+			n := min(p.K, w) // beyond w the rotation only repeats
+			out := make([]int, 0, n)
+			for j := 0; j < n; j++ {
+				out = append(out, (i+j*stride)%w)
+			}
+			return out
+		},
+	},
+	"random_nearest": {
+		desc: "each point reads a seeded random subset of the 2k+1-wide window around it",
+		inputs: func(p Params, t, i int) []int {
+			lo, hi := max(0, i-p.K), min(p.Width-1, i+p.K)
+			out := make([]int, 0, hi-lo+1)
+			for j := lo; j <= hi; j++ {
+				h := detrand.SplitMix64(p.Seed ^ uint64(t)<<40 ^ uint64(i)<<20 ^ uint64(j+p.K))
+				if h&1 == 0 {
+					out = append(out, j)
+				}
+			}
+			return out
+		},
+	},
+	"fft": {
+		desc:     "butterfly exchanges: at step t each point reads itself and its partner i xor 2^((t-1) mod log2(width))",
+		needPow2: true,
+		inputs: func(p Params, t, i int) []int {
+			if p.Width < 2 {
+				return []int{i}
+			}
+			return []int{i, i ^ (1 << uint((t-1)%log2(p.Width)))}
+		},
+	},
+	"tree": {
+		desc: "binary fan-out from point 0: the active frontier doubles each step, each new point reading its parent",
+		inputs: func(p Params, t, i int) []int {
+			active := p.Width
+			if t < 31 && 1<<uint(t) < p.Width {
+				active = 1 << uint(t)
+			}
+			if i == 0 || i >= active {
+				return nil
+			}
+			return []int{i / 2}
+		},
+	},
+	"dom": {
+		desc: "lower-triangular dominance: each point reads every lower-indexed previous-step point (truncated to the nearest 15)",
+		inputs: func(p Params, t, i int) []int {
+			lo := i + 1 - trace.MaxDeps
+			if lo < 0 {
+				lo = 0
+			}
+			out := make([]int, 0, i-lo+1)
+			for j := lo; j <= i; j++ {
+				out = append(out, j)
+			}
+			return out
+		},
+	},
+	"all_to_all": {
+		desc: "each point reads every point of the previous step (a step barrier; truncated to a 15-point rotation at large widths)",
+		inputs: func(p Params, t, i int) []int {
+			w := p.Width
+			n := w
+			if n > trace.MaxDeps {
+				n = trace.MaxDeps
+			}
+			out := make([]int, 0, n)
+			for m := 0; m < n; m++ {
+				out = append(out, (i+m)%w)
+			}
+			return out
+		},
+	},
+}
+
+// Families lists the pattern family names, sorted.
+func Families() []string {
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of a family ("" if unknown).
+func Describe(name string) string { return families[name].desc }
+
+// Parse resolves a pattern spec of the form
+// "<family>?width=64&steps=100&len=1000&k=3&seed=1&jitter=0&layout=malloc"
+// (everything after the family name optional) into fully-defaulted
+// Params. The empty query separator is accepted: "stencil_1d" alone
+// builds the default grid.
+func Parse(s string) (Params, error) {
+	name, query, _ := strings.Cut(s, "?")
+	p := Params{
+		Family: name,
+		Width:  DefaultWidth,
+		Steps:  DefaultSteps,
+		Len:    DefaultLen,
+		K:      DefaultK,
+		Seed:   DefaultSeed,
+		Layout: DefaultLayout,
+		Fields: DefaultFields,
+	}
+	fam, ok := families[name]
+	if !ok {
+		return p, fmt.Errorf("patterns: unknown family %q (have %s)", name, strings.Join(Families(), ", "))
+	}
+	vals, err := url.ParseQuery(query)
+	if err != nil {
+		return p, fmt.Errorf("patterns: %s: bad parameter string %q: %w", name, query, err)
+	}
+	for key, vs := range vals {
+		if len(vs) != 1 {
+			return p, fmt.Errorf("patterns: %s: parameter %q given %d times", name, key, len(vs))
+		}
+		v := vs[0]
+		var perr error
+		switch key {
+		case "width":
+			p.Width, perr = parseInt(v, 1, 1<<20)
+		case "steps":
+			p.Steps, perr = parseInt(v, 1, 1<<20)
+		case "len":
+			p.Len, perr = parseUint(v, 1, 1<<40)
+		case "jitter":
+			p.Jitter, perr = parseInt(v, 0, 90)
+		case "k":
+			p.K, perr = parseInt(v, 1, 1<<16)
+		case "seed":
+			p.Seed, perr = parseUint(v, 0, 1<<40)
+		case "fields":
+			p.Fields, perr = parseInt(v, 1, 8)
+		case "layout":
+			if _, ok := layoutStrides[v]; !ok {
+				perr = fmt.Errorf("unknown layout %q (have malloc, aligned, spread)", v)
+			}
+			p.Layout = v
+		default:
+			perr = fmt.Errorf("unknown parameter (have width, steps, len, jitter, k, seed, fields, layout)")
+		}
+		if perr != nil {
+			return p, fmt.Errorf("patterns: %s: parameter %s=%q: %w", name, key, v, perr)
+		}
+	}
+	if fam.needPow2 && p.Width&(p.Width-1) != 0 {
+		return p, fmt.Errorf("patterns: %s: width must be a power of two, got %d", name, p.Width)
+	}
+	if p.Width*p.Steps > 1<<22 {
+		return p, fmt.Errorf("patterns: %s: width*steps = %d exceeds the 4M-task cap", name, p.Width*p.Steps)
+	}
+	return p, nil
+}
+
+func parseInt(v string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("out of range [%d, %d]", lo, hi)
+	}
+	return n, nil
+}
+
+// parseUint parses the wide-range parameters (len, seed), whose bounds
+// exceed a 32-bit int.
+func parseUint(v string, lo, hi uint64) (uint64, error) {
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("out of range [%d, %d]", lo, hi)
+	}
+	return n, nil
+}
+
+// Name is the canonical compact name of the parameterized pattern, used
+// as the trace name: family-w<width>-s<steps> plus any non-default
+// parameters.
+func (p Params) Name() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s-w%d-s%d", p.Family, p.Width, p.Steps)
+	if p.Len != DefaultLen {
+		fmt.Fprintf(&b, "-len%d", p.Len)
+	}
+	if p.K != DefaultK {
+		fmt.Fprintf(&b, "-k%d", p.K)
+	}
+	if p.Seed != DefaultSeed {
+		fmt.Fprintf(&b, "-seed%d", p.Seed)
+	}
+	if p.Jitter != 0 {
+		fmt.Fprintf(&b, "-j%d", p.Jitter)
+	}
+	if p.Fields != DefaultFields {
+		fmt.Fprintf(&b, "-f%d", p.Fields)
+	}
+	if p.Layout != DefaultLayout {
+		fmt.Fprintf(&b, "-%s", p.Layout)
+	}
+	return b.String()
+}
+
+// Spec renders the Params back into the registry grammar (the inverse of
+// Parse, modulo parameter ordering): "family?width=16&steps=10&...".
+func (p Params) Spec() string {
+	q := url.Values{}
+	q.Set("width", strconv.Itoa(p.Width))
+	q.Set("steps", strconv.Itoa(p.Steps))
+	if p.Len != DefaultLen {
+		q.Set("len", strconv.FormatUint(p.Len, 10))
+	}
+	if p.K != DefaultK {
+		q.Set("k", strconv.Itoa(p.K))
+	}
+	if p.Seed != DefaultSeed {
+		q.Set("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	if p.Jitter != 0 {
+		q.Set("jitter", strconv.Itoa(p.Jitter))
+	}
+	if p.Fields != DefaultFields {
+		q.Set("fields", strconv.Itoa(p.Fields))
+	}
+	if p.Layout != DefaultLayout {
+		q.Set("layout", p.Layout)
+	}
+	return p.Family + "?" + q.Encode()
+}
+
+// Build generates the pattern's task trace: width*steps tasks in
+// creation order (step-major, the order the task-bench OmpSs port issues
+// them). The task at (t, i) carries an inout dependence on point i's
+// step-t field buffer plus in dependences on the step-(t-1) field
+// buffers of the points its family names — so with the default two
+// fields, reads bind to the previous step's writes exactly as in
+// task-bench's double-buffered execution, and with fields=1 they bind
+// in-place, Gauss-Seidel style. Inputs that alias the task's own buffer
+// or each other are deduplicated, and the per-task dependence list is
+// truncated at the hardware's trace.MaxDeps. The returned trace always
+// passes trace.Validate.
+func Build(p Params) (*trace.Trace, error) {
+	fam, ok := families[p.Family]
+	if !ok {
+		return nil, fmt.Errorf("patterns: unknown family %q (have %s)", p.Family, strings.Join(Families(), ", "))
+	}
+	stride := layoutStrides[p.Layout]
+	if stride == 0 {
+		return nil, fmt.Errorf("patterns: unknown layout %q (have malloc, aligned, spread)", p.Layout)
+	}
+	if p.Fields < 1 {
+		p.Fields = DefaultFields
+	}
+	buf := func(i, t int) uint64 {
+		return patternBase + uint64(i*p.Fields+t%p.Fields)*stride
+	}
+
+	tr := &trace.Trace{Name: "pattern-" + p.Name()}
+	tr.Tasks = make([]trace.Task, 0, p.Width*p.Steps)
+	seen := make(map[uint64]bool, trace.MaxDeps)
+	for t := 0; t < p.Steps; t++ {
+		for i := 0; i < p.Width; i++ {
+			id := uint32(len(tr.Tasks))
+			own := buf(i, t)
+			if fam.freshAddr {
+				own = patternBase + uint64(t*p.Width+i)*stride
+			}
+			deps := make([]trace.Dep, 0, trace.MaxDeps)
+			deps = append(deps, trace.Dep{Addr: own, Dir: trace.InOut})
+			seen[own] = true
+			if t > 0 {
+				for _, j := range fam.inputs(p, t, i) {
+					if j < 0 || j >= p.Width {
+						continue
+					}
+					a := buf(j, t-1)
+					if seen[a] || len(deps) == trace.MaxDeps {
+						continue
+					}
+					seen[a] = true
+					deps = append(deps, trace.Dep{Addr: a, Dir: trace.In})
+				}
+			}
+			for _, d := range deps {
+				delete(seen, d.Addr)
+			}
+			dur := p.Len
+			if p.Jitter > 0 {
+				dur = detrand.Jitter(p.Len, p.Seed^uint64(id)<<1, p.Jitter)
+			}
+			tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps, Duration: dur})
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("patterns: %s built an invalid trace: %w", p.Name(), err)
+	}
+	return tr, nil
+}
+
+// MustBuild is Build for known-good literal params in examples and
+// tests; it panics on error.
+func MustBuild(p Params) *trace.Trace {
+	tr, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func log2(w int) int {
+	n := 0
+	for 1<<uint(n+1) <= w {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,294 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+func TestFamiliesListed(t *testing.T) {
+	want := []string{
+		"all_to_all", "dom", "fft", "nearest", "no_comm", "random_nearest",
+		"spread", "stencil_1d", "stencil_1d_periodic", "tree", "trivial",
+	}
+	got := Families()
+	if len(got) != len(want) {
+		t.Fatalf("Families() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Families()[%d] = %s, want %s", i, got[i], want[i])
+		}
+		if Describe(want[i]) == "" {
+			t.Errorf("family %s has no description", want[i])
+		}
+	}
+}
+
+func TestParseDefaultsAndOverrides(t *testing.T) {
+	p, err := Parse("stencil_1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width != DefaultWidth || p.Steps != DefaultSteps || p.Len != DefaultLen ||
+		p.K != DefaultK || p.Seed != DefaultSeed || p.Layout != DefaultLayout ||
+		p.Fields != DefaultFields || p.Jitter != 0 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	p, err = Parse("random_nearest?width=32&steps=50&len=2500&k=5&seed=7&jitter=10&fields=1&layout=spread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width != 32 || p.Steps != 50 || p.Len != 2500 || p.K != 5 || p.Seed != 7 ||
+		p.Jitter != 10 || p.Fields != 1 || p.Layout != "spread" {
+		t.Fatalf("overrides not applied: %+v", p)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"nosuchfamily",
+		"stencil_1d?width=0",
+		"stencil_1d?bogus=1",
+		"stencil_1d?width=banana",
+		"stencil_1d?layout=heap",
+		"fft?width=12",                       // not a power of two
+		"stencil_1d?width=4096&steps=４09600", // non-ASCII digit
+		"all_to_all?width=10000&steps=10000", // over the task cap
+		"stencil_1d?width=1&width=2",         // duplicate key
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"stencil_1d?width=64&steps=100",
+		"random_nearest?k=5&seed=9&width=8&steps=4",
+		"all_to_all?layout=aligned&width=8&steps=4&len=17",
+	} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		q, err := Parse(p.Spec())
+		if err != nil {
+			t.Fatalf("Parse(Spec(%q)) = Parse(%q): %v", s, p.Spec(), err)
+		}
+		if p != q {
+			t.Errorf("round trip of %q: %+v != %+v", s, p, q)
+		}
+	}
+}
+
+// build is a test helper: parse + build, failing the test on error.
+func build(t *testing.T, spec string) *trace.Trace {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildShapesAndValidity(t *testing.T) {
+	for _, fam := range Families() {
+		spec := fam + "?width=8&steps=5"
+		tr := build(t, spec)
+		if len(tr.Tasks) != 40 {
+			t.Errorf("%s: %d tasks, want width*steps = 40", fam, len(tr.Tasks))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: invalid trace: %v", fam, err)
+		}
+		if !strings.HasPrefix(tr.Name, "pattern-"+fam) {
+			t.Errorf("%s: trace name %q", fam, tr.Name)
+		}
+		// Step 0 carries no inputs: exactly the owner dependence.
+		for i := 0; i < 8; i++ {
+			if n := len(tr.Tasks[i].Deps); n != 1 {
+				t.Errorf("%s: step-0 task %d has %d deps, want 1", fam, i, n)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := build(t, "random_nearest?width=16&steps=8&seed=3&jitter=20")
+	b := build(t, "random_nearest?width=16&steps=8&seed=3&jitter=20")
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].Duration != b.Tasks[i].Duration || len(a.Tasks[i].Deps) != len(b.Tasks[i].Deps) {
+			t.Fatalf("task %d differs between identical builds", i)
+		}
+	}
+	c := build(t, "random_nearest?width=16&steps=8&seed=4&jitter=20")
+	same := true
+	for i := range a.Tasks {
+		if len(a.Tasks[i].Deps) != len(c.Tasks[i].Deps) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed change did not change the dependence structure")
+	}
+}
+
+// TestStencilEdges: with double-buffered fields, interior points read
+// self + both neighbors (4 deps with the owner), boundary points lose
+// one; the periodic variant wraps so every point has 4. With fields=1
+// the self-read aliases the owner inout and dedups away.
+func TestStencilEdges(t *testing.T) {
+	tr := build(t, "stencil_1d?width=8&steps=2")
+	for i := 0; i < 8; i++ {
+		task := tr.Tasks[8+i]
+		want := 4
+		if i == 0 || i == 7 {
+			want = 3
+		}
+		if len(task.Deps) != want {
+			t.Errorf("stencil task %d: %d deps, want %d", i, len(task.Deps), want)
+		}
+	}
+	tr = build(t, "stencil_1d_periodic?width=8&steps=2")
+	for i := 0; i < 8; i++ {
+		if len(tr.Tasks[8+i].Deps) != 4 {
+			t.Errorf("periodic stencil task %d: %d deps, want 4", i, len(tr.Tasks[8+i].Deps))
+		}
+	}
+	tr = build(t, "stencil_1d?width=8&steps=2&fields=1")
+	if n := len(tr.Tasks[8+3].Deps); n != 3 {
+		t.Errorf("in-place stencil task 3: %d deps, want 3 (self-read aliases the inout)", n)
+	}
+}
+
+// TestDepCapRespected: dom and all_to_all at widths beyond the hardware
+// limit truncate to 14 reads + 1 owner = trace.MaxDeps.
+func TestDepCapRespected(t *testing.T) {
+	for _, fam := range []string{"dom", "all_to_all"} {
+		tr := build(t, fam+"?width=64&steps=2")
+		maxSeen := 0
+		for i := range tr.Tasks {
+			if n := len(tr.Tasks[i].Deps); n > maxSeen {
+				maxSeen = n
+			}
+		}
+		if maxSeen != trace.MaxDeps {
+			t.Errorf("%s/64: max deps %d, want exactly %d (truncated)", fam, maxSeen, trace.MaxDeps)
+		}
+	}
+}
+
+// TestGraphSemantics checks the dependence structure the buffer encoding
+// induces, via the oracle graph: all_to_all makes every step a barrier
+// (each task depends on all of the previous step), trivial has no edges
+// at all, no_comm exactly width independent chains.
+func TestGraphSemantics(t *testing.T) {
+	g := taskgraph.Build(build(t, "all_to_all?width=4&steps=3"))
+	lv := g.Levels()
+	for i, l := range lv {
+		if want := i / 4; l != want {
+			t.Fatalf("all_to_all task %d at level %d, want %d", i, l, want)
+		}
+	}
+
+	g = taskgraph.Build(build(t, "trivial?width=4&steps=3"))
+	for i := 0; i < g.N; i++ {
+		if len(g.Succ[i]) != 0 {
+			t.Fatalf("trivial task %d has successors %v", i, g.Succ[i])
+		}
+	}
+
+	g = taskgraph.Build(build(t, "no_comm?width=4&steps=3"))
+	for i := 0; i < g.N; i++ {
+		switch {
+		case i < 4: // step 0: RAW successor (1,i), WAW successor (2,i)
+			if len(g.Succ[i]) != 2 || int(g.Succ[i][0]) != i+4 || int(g.Succ[i][1]) != i+8 {
+				t.Fatalf("no_comm task %d: succ %v, want [%d %d]", i, g.Succ[i], i+4, i+8)
+			}
+		case i < 8:
+			if len(g.Succ[i]) != 1 || int(g.Succ[i][0]) != i+4 {
+				t.Fatalf("no_comm task %d: succ %v, want [%d]", i, g.Succ[i], i+4)
+			}
+		default:
+			if len(g.Succ[i]) != 0 {
+				t.Fatalf("no_comm last-step task %d has successors", i)
+			}
+		}
+	}
+	// The chains stay independent: point i's chain never crosses point j's.
+	lv = g.Levels()
+	for i, l := range lv {
+		if l != i/4 {
+			t.Fatalf("no_comm task %d at level %d, want %d", i, l, i/4)
+		}
+	}
+}
+
+// TestTreeFanOut: the tree frontier doubles per step; once the frontier
+// covers the row, each point just chains with itself.
+func TestTreeFanOut(t *testing.T) {
+	tr := build(t, "tree?width=8&steps=5")
+	g := taskgraph.Build(tr)
+	preds := func(id int) map[int]bool {
+		m := map[int]bool{}
+		for i := 0; i < g.N; i++ {
+			for _, s := range g.Succ[i] {
+				if int(s) == id {
+					m[i] = true
+				}
+			}
+		}
+		return m
+	}
+	// Task (t=1, i=1) reads its parent's (point 0) step-0 buffer: its
+	// only predecessor is the root, task 0.
+	if p := preds(8 + 1); !p[0] || len(p) != 1 {
+		t.Fatalf("tree task (1,1) preds %v, want {0}", p)
+	}
+	// Point 5 becomes active at step 3 (frontier 8): at step 2 (frontier
+	// 4) it has no parent read, only the WAW on its own step-0 buffer.
+	if p := preds(2*8 + 5); !p[5] || len(p) != 1 {
+		t.Fatalf("tree task (2,5) preds %v, want {5}", p)
+	}
+}
+
+// TestLayoutStrides: the three layouts stride buffers as documented.
+func TestLayoutStrides(t *testing.T) {
+	for layout, stride := range map[string]uint64{"malloc": 0x8010, "aligned": 0x8000, "spread": 260} {
+		tr := build(t, "no_comm?width=4&steps=1&fields=1&layout="+layout)
+		a0 := tr.Tasks[0].Deps[0].Addr
+		a1 := tr.Tasks[1].Deps[0].Addr
+		if a1-a0 != stride {
+			t.Errorf("layout %s: stride %d, want %d", layout, a1-a0, stride)
+		}
+	}
+}
+
+func TestJitterBoundsDurations(t *testing.T) {
+	tr := build(t, "no_comm?width=32&steps=4&len=1000&jitter=25")
+	varied := false
+	for i := range tr.Tasks {
+		d := tr.Tasks[i].Duration
+		if d < 750 || d > 1250 {
+			t.Fatalf("task %d duration %d outside ±25%% of 1000", i, d)
+		}
+		if d != 1000 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter=25 produced constant durations")
+	}
+}

@@ -91,13 +91,23 @@ func newDepMemory(design DMDesign) *depMemory {
 	return m
 }
 
-// index computes the set for an address: the low 6 bits for the direct-
-// hash designs, the Pearson fold for P+8way (Figure 4).
+// index computes the set for an address: the Pearson fold for P+8way,
+// the low 6 bits of the word address for the direct-hash designs
+// (Figure 4, Section IV-B). The direct hash selects address bits [7:2],
+// not [5:0]: the prototype's Zynq PS side is a 32-bit ARMv7, so the
+// addresses the runtime hands the accelerator are word-granular, and
+// the byte-offset bits [1:0] of any dependence operand are constant
+// zero — indexing with them would leave most sets unreachable.
+// (Discovered the hard way: with a byte-address [5:0] index, SparseLu's
+// malloc-carved 32KB blocks — stride 0x8010, i.e. 16 mod 64 — land in 4
+// of 64 sets and Table II's sparselu/64 row overshoots the paper's
+// conflict counts by 2x on 8way and reports 360 where the paper
+// measures 0 on 16way; see paperref.KnownGaps.)
 func (m *depMemory) index(addr uint64) int {
 	if m.design == DMP8Way {
 		return pearson.Index64(addr)
 	}
-	return int(addr & (dmSets - 1))
+	return int((addr >> 2) & (dmSets - 1))
 }
 
 // lookup performs the DM compare operation: it returns the entry holding

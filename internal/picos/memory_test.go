@@ -45,8 +45,8 @@ func TestDepMemoryIndexing(t *testing.T) {
 	direct := newDepMemory(DM8Way)
 	p8 := newDepMemory(DMP8Way)
 	addr := uint64(0xABCD40)
-	if direct.index(addr) != int(addr&63) {
-		t.Fatal("direct index must be addr[5:0]")
+	if direct.index(addr) != int((addr>>2)&63) {
+		t.Fatal("direct index must be addr[7:2] (the 32-bit-word address low 6 bits)")
 	}
 	if p8.index(addr) != pearson.Index64(addr) {
 		t.Fatal("P+8way index must be the Pearson fold")
@@ -55,17 +55,18 @@ func TestDepMemoryIndexing(t *testing.T) {
 
 func TestDepMemoryInsertLookupFree(t *testing.T) {
 	m := newDepMemory(DM8Way)
-	// Fill one set with 8 aligned addresses.
+	// Fill one set with 8 aligned addresses: stride 256 keeps the
+	// word-address index bits [7:2] identical.
 	refs := make([]dmRef, 8)
 	for i := 0; i < 8; i++ {
-		addr := uint64(0x1000 + i*64) // same low 6 bits? 0x1000+0,64,... all &63==0
+		addr := uint64(0x1000 + i*256)
 		ref, ok := m.insert(addr, uint16(i), false)
 		if !ok {
 			t.Fatalf("insert %d rejected before set full", i)
 		}
 		refs[i] = ref
 	}
-	if _, ok := m.insert(0x1000+8*64, 8, false); ok {
+	if _, ok := m.insert(0x1000+8*256, 8, false); ok {
 		t.Fatal("9th insert into a full 8-way set succeeded")
 	}
 	// Lookup finds entries; priorities: way 0 first.

@@ -146,8 +146,9 @@ func TestDMConflictCounting(t *testing.T) {
 	const n = 20
 	deps := make([][]trace.Dep, n)
 	for i := range deps {
-		// Stride 64 bytes: identical low 6 bits => same direct-hash set.
-		deps[i] = []trace.Dep{{Addr: 0x100000 + uint64(i)*64, Dir: trace.InOut}}
+		// Stride 256 bytes: identical word-address bits [7:2] => same
+		// direct-hash set.
+		deps[i] = []trace.Dep{{Addr: 0x100000 + uint64(i)*256, Dir: trace.InOut}}
 	}
 	tr := simpleTrace(deps, 1000)
 

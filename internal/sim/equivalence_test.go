@@ -17,8 +17,11 @@ var equivalenceEngines = []string{"picos-hw", "picos-comm", "picos-full"}
 // equivalenceWorkloads is the full workload matrix of the differential
 // suite: the six real benchmarks of Table I (at a reduced problem size
 // so the cycle-stepped reference side stays CI-friendly; h264dec uses
-// its own frame-count sizing) and the seven synthetic capacity cases of
-// Table IV.
+// its own frame-count sizing), the seven synthetic capacity cases of
+// Table IV, and five parameterized dependence-pattern families —
+// including the duration-jittered random family and the in-place
+// (fields=1) variant, whose per-step version chains stress the DCT
+// batching hardest.
 func equivalenceWorkloads() []sim.Spec {
 	specs := []sim.Spec{
 		{Workload: "heat", Problem: 768},
@@ -30,6 +33,15 @@ func equivalenceWorkloads() []sim.Spec {
 	}
 	for c := 1; c <= 7; c++ {
 		specs = append(specs, sim.Spec{Workload: fmt.Sprintf("case%d", c)})
+	}
+	for _, pattern := range []string{
+		"pattern:stencil_1d?width=16&steps=12",
+		"pattern:fft?width=16&steps=10",
+		"pattern:all_to_all?width=8&steps=8",
+		"pattern:random_nearest?width=12&steps=10&k=4&jitter=10",
+		"pattern:tree?width=16&steps=8&fields=1",
+	} {
+		specs = append(specs, sim.Spec{Workload: pattern})
 	}
 	return specs
 }
@@ -145,17 +157,61 @@ func TestFastPathEquivalenceKnobs(t *testing.T) {
 // TestFastPathWedgeDetection: case7 on the direct-hash 8-way DM is a
 // genuine model deadlock (admitted tasks whose dependences can never be
 // stored — the hazard of the paper's deadlock discussion). Both loops
-// must refuse to complete it; the fast path is expected to prove "no
-// future event" after a few thousand cycles instead of burning the whole
-// watchdog budget one cycle at a time.
+// must prove it and report it structurally: a Result with Wedged set and
+// the same partial completion set, not an opaque error. The exact
+// WedgedAt cycle may differ between the two loops (they prove the same
+// dead state at different points of their iteration), but the set of
+// completed tasks is part of the deterministic schedule and must match.
 func TestFastPathWedgeDetection(t *testing.T) {
 	spec := sim.Spec{Engine: "picos-hw", Workload: "case7", Design: "8way", Watchdog: 200_000}
 	spec.FastForward = sim.Bool(true)
-	if _, err := sim.Run(spec); err == nil {
-		t.Error("fast path completed a deadlocked configuration")
+	fres, err := sim.Run(spec)
+	if err != nil {
+		t.Fatalf("fast path errored instead of reporting a wedge: %v", err)
+	}
+	if !fres.Wedged || fres.WedgedAt == 0 {
+		t.Errorf("fast path did not report the deadlock: wedged=%v at %d", fres.Wedged, fres.WedgedAt)
 	}
 	spec.FastForward = sim.Bool(false)
-	if _, err := sim.Run(spec); err == nil {
-		t.Error("cycle-stepped reference completed a deadlocked configuration")
+	rres, err := sim.Run(spec)
+	if err != nil {
+		t.Fatalf("cycle-stepped reference errored instead of reporting a wedge: %v", err)
+	}
+	if !rres.Wedged || rres.WedgedAt == 0 {
+		t.Errorf("cycle-stepped reference did not report the deadlock: wedged=%v at %d", rres.Wedged, rres.WedgedAt)
+	}
+	if len(fres.Finish) != len(rres.Finish) {
+		t.Fatal("schedule array lengths differ")
+	}
+	for i := range fres.Finish {
+		if (fres.Finish[i] > 0) != (rres.Finish[i] > 0) {
+			t.Errorf("task %d completion differs between loops (fast %d, ref %d)", i, fres.Finish[i], rres.Finish[i])
+		}
+	}
+}
+
+// TestWedgeMachineReadableInSweep: a sweep containing deadlocking grid
+// points must deliver them as Results with Wedged set, not as dropped
+// error items — the aligned-layout all_to_all pattern needs 15
+// same-set DM ways on 8way, so it wedges, while p8way completes it.
+func TestWedgeMachineReadableInSweep(t *testing.T) {
+	grid := sim.Grid{
+		Base:    sim.Spec{Engine: "picos-hw", Workload: "pattern:all_to_all?width=32&steps=8&layout=aligned", Watchdog: 500_000},
+		Designs: []string{"8way", "p8way"},
+	}
+	items := sim.Sweep(grid.Expand(), 0)
+	if len(items) != 2 {
+		t.Fatalf("expected 2 items, got %d", len(items))
+	}
+	for _, it := range items {
+		if it.Err != "" {
+			t.Fatalf("%s: sweep dropped the run with error %q", it.Spec.Design, it.Err)
+		}
+	}
+	if !items[0].Result.Wedged {
+		t.Error("8way aligned all_to_all should wedge")
+	}
+	if items[1].Result.Wedged {
+		t.Error("p8way spread the aligned buffers and should complete")
 	}
 }

@@ -23,6 +23,17 @@ type Result struct {
 	FirstStart uint64  `json:"first_start"`
 	ThrTask    float64 `json:"thr_task,omitempty"`
 
+	// Wedged reports a proven model deadlock (Picos engines): tasks
+	// remain but no future event exists anywhere, so the run can never
+	// complete — e.g. case7 or an aligned-layout all_to_all pattern on
+	// the direct-hash 8-way DM, whose first task's dependences can never
+	// all be stored in one full set. The partial schedule covers the
+	// tasks that did complete and WedgedAt is the cycle the deadlock was
+	// proven, so sweeps over deadlocking configurations stay
+	// machine-readable instead of collapsing into an error string.
+	Wedged   bool   `json:"wedged,omitempty"`
+	WedgedAt uint64 `json:"wedged_at,omitempty"`
+
 	// Stats carries the accelerator counters (Picos engines only).
 	Stats *picos.Stats `json:"stats,omitempty"`
 	// LockBusy is the total cycles the runtime lock was held (nanos

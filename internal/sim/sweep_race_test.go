@@ -1,0 +1,99 @@
+package sim_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+
+	_ "repro/internal/engines"
+)
+
+// TestSweepSharedTraceAcrossEngines is the race-lane regression for the
+// sweep's shared-trace cache: SweepStream builds each distinct workload
+// once and hands the same *trace.Trace to every concurrent engine run,
+// which is only sound if no engine mutates its input. The sweep crosses
+// one workload with every registered engine (all five built-ins), both
+// fast-path settings and several worker counts, at full parallelism and
+// with repetition — under `go test -race` any engine-side write to the
+// shared trace is a reported data race, and value-wise the items must
+// be byte-equal to isolated runs on private trace copies.
+func TestSweepSharedTraceAcrossEngines(t *testing.T) {
+	const workload = "pattern:random_nearest?width=16&steps=10&k=4&jitter=15"
+	var specs []sim.Spec
+	for _, engine := range sim.Engines() {
+		for _, ff := range []*bool{nil, sim.Bool(false)} {
+			for _, workers := range []int{4, 12} {
+				specs = append(specs, sim.Spec{
+					Engine: engine, Workload: workload,
+					Workers: workers, FastForward: ff,
+				})
+			}
+		}
+	}
+	// Reference results from isolated runs, each on its own private
+	// trace built from scratch.
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		res, err := sim.Run(spec)
+		if err != nil {
+			t.Fatalf("isolated run %d (%s): %v", i, spec.Engine, err)
+		}
+		want[i] = resultJSON(t, res)
+	}
+	for round := 0; round < 3; round++ {
+		items := sim.Sweep(specs, len(specs))
+		for _, it := range items {
+			if it.Err != "" {
+				t.Fatalf("round %d: %s failed: %s", round, it.Spec.Engine, it.Err)
+			}
+			if got := resultJSON(t, it.Result); got != want[it.Index] {
+				t.Errorf("round %d: shared-trace result %d (%s) differs from isolated run\n got %s\nwant %s",
+					round, it.Index, it.Spec.Engine, got, want[it.Index])
+			}
+		}
+	}
+}
+
+// TestSweepSharedTraceUnchanged complements the race lane with a direct
+// content check that works without -race: the bytes of a trace handed
+// through a full cross-engine sweep must be identical afterwards.
+func TestSweepSharedTraceUnchanged(t *testing.T) {
+	spec := sim.Spec{Workload: "pattern:stencil_1d?width=8&steps=6"}
+	tr, err := sim.BuildWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := tr.Clone()
+
+	var wg sync.WaitGroup
+	for _, engine := range sim.Engines() {
+		wg.Add(1)
+		go func(engine string) {
+			defer wg.Done()
+			s := spec
+			s.Engine = engine
+			if _, err := sim.RunTrace(tr, s); err != nil {
+				t.Errorf("%s: %v", engine, err)
+			}
+		}(engine)
+	}
+	wg.Wait()
+
+	if tr.Name != snapshot.Name || tr.SerialCycles != snapshot.SerialCycles ||
+		tr.RefSeqCycles != snapshot.RefSeqCycles || len(tr.Tasks) != len(snapshot.Tasks) {
+		t.Fatal("trace header mutated by an engine run")
+	}
+	for i := range tr.Tasks {
+		a, b := &tr.Tasks[i], &snapshot.Tasks[i]
+		if a.ID != b.ID || a.Duration != b.Duration || a.CreateCost != b.CreateCost || len(a.Deps) != len(b.Deps) {
+			t.Fatalf("task %d mutated by an engine run", i)
+		}
+		for d := range a.Deps {
+			if a.Deps[d] != (trace.Dep{Addr: b.Deps[d].Addr, Dir: b.Deps[d].Dir}) {
+				t.Fatalf("task %d dep %d mutated by an engine run", i, d)
+			}
+		}
+	}
+}

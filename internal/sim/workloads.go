@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/patterns"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -20,6 +21,14 @@ type WorkloadFunc func(spec Spec) (*trace.Trace, error)
 // "trace:heat.bin" reads heat.bin instead of consulting the registry.
 const TracePrefix = "trace:"
 
+// PatternPrefix marks a workload name as a parameterized dependence-
+// pattern family: "pattern:stencil_1d?width=64&steps=100" builds a
+// task-bench-style grid through internal/patterns. The parameters ride
+// inside the workload name, so sweeps, grids and the trace-sharing cache
+// treat every parameterization as a distinct workload with no extra
+// plumbing.
+const PatternPrefix = "pattern:"
+
 // RegisterWorkload adds a workload builder to the registry. Like
 // Register, it panics on an empty or duplicate name.
 func RegisterWorkload(name string, fn WorkloadFunc) {
@@ -28,6 +37,9 @@ func RegisterWorkload(name string, fn WorkloadFunc) {
 	}
 	if strings.HasPrefix(name, TracePrefix) {
 		panic("sim: workload name must not start with " + TracePrefix)
+	}
+	if strings.HasPrefix(name, PatternPrefix) {
+		panic("sim: workload name must not start with " + PatternPrefix)
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -50,19 +62,27 @@ func Workloads() []string {
 }
 
 // BuildWorkload resolves and builds the spec's workload: a "trace:<path>"
-// file, or a registry entry. The built trace is validated before it is
-// returned.
+// file, a "pattern:<family>?k=v" parameterized dependence pattern, or a
+// registry entry. The built trace is validated before it is returned.
 func BuildWorkload(spec Spec) (*trace.Trace, error) {
 	name := spec.Workload
 	if path, ok := strings.CutPrefix(name, TracePrefix); ok {
 		return readTraceFile(path)
 	}
+	if rest, ok := strings.CutPrefix(name, PatternPrefix); ok {
+		p, err := patterns.Parse(rest)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		return patterns.Build(p)
+	}
 	regMu.RLock()
 	fn, ok := workloads[name]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown workload %q (have %s, or %s<path>)",
-			name, strings.Join(Workloads(), ", "), TracePrefix)
+		return nil, fmt.Errorf("sim: unknown workload %q (have %s; %s<path>; or %s<family>?width=..&steps=.. with families %s)",
+			name, strings.Join(Workloads(), ", "), TracePrefix, PatternPrefix,
+			strings.Join(patterns.Families(), ", "))
 	}
 	tr, err := fn(spec)
 	if err != nil {

@@ -75,11 +75,15 @@ func addTask(tr *trace.Trace, deps ...trace.Dep) {
 	})
 }
 
-// addrOf maps a (space, index) pair to a distinct, cache-line-spread
-// address so that the synthetic cases do not artificially conflict in
-// the DM sets.
+// addrOf maps a (space, index) pair to a distinct address. The 512-byte
+// stride models the contiguous operand buffers the capacity
+// microbenchmarks allocate: every synthetic address maps to direct-hash
+// set 0 (the word-address bits [8:3] are multiples of 64), so the 8way
+// and 16way designs see worst-case clustering — including the genuine
+// case7+8way deadlock — while the Pearson fold of P+8way spreads the
+// addresses across sets, which is the configuration Table IV measures.
 func addrOf(space, idx int) uint64 {
-	return 0x60000000 + uint64(space)<<20 + uint64(idx)*64
+	return 0x60000000 + uint64(space)<<20 + uint64(idx)*512
 }
 
 // caseIndependent builds Case1/2/3: every task has nDeps inout deps on

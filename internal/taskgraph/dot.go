@@ -28,6 +28,49 @@ func (g *Graph) WriteDOT(w io.Writer, name string) error {
 	return err
 }
 
+// WriteDOTRanked renders the DAG like WriteDOT but constrains every
+// dependence level onto one Graphviz rank, so layered workloads — the
+// width x steps pattern grids above all — draw as the grids they are:
+// level 0 across the top, each later wave of tasks on its own row.
+func (g *Graph) WriteDOTRanked(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	lv := g.Levels()
+	depth := 0
+	for _, l := range lv {
+		if l+1 > depth {
+			depth = l + 1
+		}
+	}
+	byLevel := make([][]int, depth)
+	for i, l := range lv {
+		byLevel[l] = append(byLevel[l], i)
+	}
+	for l, tasks := range byLevel {
+		if _, err := fmt.Fprintf(w, "  { rank=same; // level %d\n   ", l); err != nil {
+			return err
+		}
+		for _, t := range tasks {
+			if _, err := fmt.Fprintf(w, " t%d [label=\"%d\"];", t, t); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "\n  }"); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.N; i++ {
+		for _, s := range g.Succ[i] {
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", i, s); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
 // ASCIILevels renders a compact textual view of the DAG: one line per
 // level listing task IDs. This is the console-friendly stand-in for the
 // paper's dependence-graph drawings.

@@ -203,6 +203,15 @@ func TestLevelsAndDot(t *testing.T) {
 	if !strings.Contains(ascii.String(), "L0") {
 		t.Fatal("ascii output missing level header")
 	}
+	var ranked bytes.Buffer
+	if err := g.WriteDOTRanked(&ranked, "g"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rank=same", "t0 -> t1", "t1 -> t2", "// level 2"} {
+		if !strings.Contains(ranked.String(), want) {
+			t.Fatalf("ranked dot output missing %q: %s", want, ranked.String())
+		}
+	}
 }
 
 // randomTrace builds a random trace over a small address pool so that
