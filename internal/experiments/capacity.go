@@ -110,12 +110,12 @@ func CapacityMapData(opt Options) ([]CapacityCell, error) {
 		specs = append(specs, sim.Spec{Engine: "perfect", Workload: capacityPattern(f, patterns.DefaultLayout, opt)})
 	}
 
-	results := make([]*sim.Result, len(specs))
-	for _, it := range sim.Sweep(specs, 0) {
-		if it.Err != "" {
-			return nil, fmt.Errorf("experiments: capacity-map %s on %s: %s", it.Spec.Engine, it.Spec.Workload, it.Err)
-		}
-		results[it.Index] = it.Result
+	// Through the option-aware helper, so the fast-path knob
+	// (Options.CycleStepped) reaches these grid points like every other
+	// experiment's.
+	results, err := sweep(opt, specs)
+	if err != nil {
+		return nil, err
 	}
 
 	cells := make([]CapacityCell, 0, len(pts))

@@ -105,6 +105,22 @@ var Names = []string{
 
 var registry = map[string]ExperimentFunc{}
 
+// FastPathSensitive reports whether an experiment runs any simulation
+// that branches on the fast-path knob (the Picos HIL engines). Table I
+// only generates traces, Table III evaluates the analytic resource
+// model, and Figures 1 and 10 run the inherently event-driven nanos
+// model — for those, a "fast vs cycle-stepped" timing comparison times
+// the identical computation twice, and any measured ratio is machine
+// noise, not a property of the scheduler (picos-bench -json reports
+// exactly 1.0 for them instead of a coin flip).
+func FastPathSensitive(name string) bool {
+	switch name {
+	case "table1", "table3", "fig1", "fig10":
+		return false
+	}
+	return true
+}
+
 // Register adds an experiment to the registry; like sim.Register it
 // panics on a duplicate name, which is an init-time programming error.
 func Register(name string, fn ExperimentFunc) {

@@ -1,0 +1,102 @@
+package hil
+
+// Small hand-rolled min-heaps for the runner's worker bookkeeping.
+// container/heap would box every element through an interface; these
+// keep dispatch and retirement allocation-free.
+
+// intHeap is a min-heap of worker indices: the idle-worker freelist,
+// popping the lowest index first to match the reference loop's linear
+// dispatch scan.
+type intHeap []int
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *intHeap) pop() int {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s[right] < s[left] {
+			least = right
+		}
+		if s[i] <= s[least] {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}
+
+// dueHeap is a min-heap of busy workers ordered by (until, idx): the
+// completion order per-cycle stepping produces (earlier finish cycles
+// first, worker-index order within a cycle).
+type dueHeap []workerDue
+
+func (a workerDue) less(b workerDue) bool {
+	if a.until != b.until {
+		return a.until < b.until
+	}
+	return a.idx < b.idx
+}
+
+func (h *dueHeap) push(v workerDue) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *dueHeap) pop() workerDue {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s[right].less(s[left]) {
+			least = right
+		}
+		if !s[least].less(s[i]) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}

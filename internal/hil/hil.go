@@ -9,6 +9,7 @@ package hil
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/picos"
 	"repro/internal/trace"
@@ -160,11 +161,43 @@ type Result struct {
 	WedgedAt uint64
 }
 
-// Run drives the trace through the platform.
-func Run(tr *trace.Trace, cfg Config) (*Result, error) {
-	r, err := newRunner(tr, cfg)
-	if err != nil {
+// Platform is a reusable HIL engine: one accelerator model plus the
+// runner scratch around it. Run resets everything a previous run left
+// behind — in place, reusing the DM/VM/TM memories, queue buffers and
+// worker heaps — so a warm Platform executes a run with near-zero
+// allocations. A Platform is not safe for concurrent use; run one per
+// goroutine (the package-level Run keeps a pool of them).
+type Platform struct {
+	r runner
+}
+
+// NewPlatform returns an empty platform; the first Run sizes it.
+func NewPlatform() *Platform { return &Platform{} }
+
+// Run drives the trace through the platform under cfg. Resets between
+// runs are proven equivalent to a fresh platform by the reuse
+// equivalence suite — including after a run that wedged.
+func (pl *Platform) Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if err := pl.r.reset(tr, cfg); err != nil {
+		// A failed reset may already have taken the trace reference;
+		// scrub so a pooled platform never retains the caller's trace.
+		pl.r.scrub()
 		return nil, err
 	}
-	return r.run()
+	res, err := pl.r.run()
+	pl.r.scrub()
+	return res, err
+}
+
+// platformPool keeps warm engines across Run calls: sweeps over
+// thousands of grid points reuse a per-worker Platform instead of
+// rebuilding task/version/dependence memories and queues per run.
+var platformPool = sync.Pool{New: func() any { return NewPlatform() }}
+
+// Run drives the trace through a pooled platform.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	pl := platformPool.Get().(*Platform)
+	res, err := pl.Run(tr, cfg)
+	platformPool.Put(pl)
+	return res, err
 }

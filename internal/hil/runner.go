@@ -36,10 +36,12 @@ type stampedTask struct {
 	idx uint32
 }
 
-type workerState struct {
-	active bool
-	until  uint64
-	task   picos.ReadyTask
+// workerDue is one busy worker in the completion heap, ordered by
+// (until, idx) — the exact order per-cycle stepping retires workers
+// (earlier cycles first, index order within a cycle).
+type workerDue struct {
+	until uint64
+	idx   int
 }
 
 type runner struct {
@@ -47,7 +49,17 @@ type runner struct {
 	cfg Config
 	p   *picos.Picos
 
-	workers []workerState
+	// workers holds the task each busy worker is executing, indexed by
+	// worker; occupancy itself lives only in the heaps below, so there is
+	// no second copy of busy-state to drift out of sync.
+	workers []picos.ReadyTask
+	// idleH is a min-heap of idle worker indices (lowest index
+	// dispatches first, like the old linear scan); busyH is a min-heap
+	// of busy workers keyed (until, idx). Together they replace the
+	// all-worker scans in stepWorkers/dispatch/idleWorkers with O(log W)
+	// updates at dispatch and finish.
+	idleH intHeap
+	busyH dueHeap
 
 	// ARM master state (FullSystem): next task to create and when the
 	// master core is free again. In Full-system mode the master also
@@ -59,7 +71,11 @@ type runner struct {
 
 	pendingNew queue.FIFO[stampedTask]      // created tasks awaiting the link
 	pendingFin queue.FIFO[picos.TaskHandle] // worker completions awaiting the link
-	deliveries []delivery                   // messages in flight
+	// deliveries holds messages in flight. Landing stamps are assigned
+	// as busFree+Flight with busFree strictly increasing, so the FIFO is
+	// ordered by `at` and its head is both the next delivery horizon and
+	// the next message to land.
+	deliveries queue.FIFO[delivery]
 
 	// Ready tasks fetched over the link but not yet running: the fetch
 	// reserves a worker (readyInFlight) so the link never over-fetches,
@@ -78,9 +94,13 @@ type runner struct {
 	lastProgress uint64
 }
 
-func newRunner(tr *trace.Trace, cfg Config) (*runner, error) {
+// reset prepares the runner for a run, reusing every allocation a
+// previous run left behind: the accelerator (picos.Reset), the worker
+// heaps, the link queues and the in-flight buffers. Only the per-task
+// schedule arrays are freshly allocated — they escape into the Result.
+func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	if cfg.Workers <= 0 {
-		return nil, fmt.Errorf("hil: need at least 1 worker, got %d", cfg.Workers)
+		return fmt.Errorf("hil: need at least 1 worker, got %d", cfg.Workers)
 	}
 	if cfg.Watchdog == 0 {
 		cfg.Watchdog = 100_000_000
@@ -92,25 +112,57 @@ func newRunner(tr *trace.Trace, cfg Config) (*runner, error) {
 		cfg.Master = DefaultMasterTiming()
 	}
 	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("hil: %w", err)
+		return fmt.Errorf("hil: %w", err)
 	}
-	p, err := picos.New(cfg.Picos)
-	if err != nil {
-		return nil, err
+	if r.p == nil {
+		p, err := picos.New(cfg.Picos)
+		if err != nil {
+			return err
+		}
+		r.p = p
+	} else if err := r.p.Reset(cfg.Picos); err != nil {
+		return err
 	}
-	r := &runner{
-		tr:      tr,
-		cfg:     cfg,
-		p:       p,
-		workers: make([]workerState, cfg.Workers),
-		start:   make([]uint64, len(tr.Tasks)),
-		finish:  make([]uint64, len(tr.Tasks)),
+	r.tr, r.cfg = tr, cfg
+
+	if cap(r.workers) >= cfg.Workers {
+		r.workers = r.workers[:cfg.Workers]
+	} else {
+		r.workers = make([]picos.ReadyTask, cfg.Workers)
 	}
+	for i := range r.workers {
+		r.workers[i] = picos.ReadyTask{}
+	}
+	if cap(r.idleH) >= cfg.Workers {
+		r.idleH = r.idleH[:cfg.Workers]
+	} else {
+		r.idleH = make(intHeap, cfg.Workers)
+	}
+	for i := range r.idleH {
+		// Ascending indices are already a valid min-heap.
+		r.idleH[i] = i
+	}
+	r.busyH = r.busyH[:0]
+
+	r.masterNext, r.masterFree = 0, 0
+	r.pendingNew.Reset()
+	r.pendingFin.Reset()
+	r.deliveries.Reset()
+	r.readyInFlight = 0
+	r.readyBacklog.Reset()
+	r.busFree, r.busSetup = 0, false
+
+	n := len(tr.Tasks)
+	r.start = make([]uint64, n)
+	r.finish = make([]uint64, n)
+	r.order = make([]uint32, 0, n)
+	r.done, r.lastProgress = 0, 0
+
 	switch cfg.Mode {
 	case HWOnly:
 		for i := range tr.Tasks {
-			if err := p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps); err != nil {
-				return nil, err
+			if err := r.p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps); err != nil {
+				return err
 			}
 		}
 	case HWComm:
@@ -120,13 +172,21 @@ func newRunner(tr *trace.Trace, cfg Config) (*runner, error) {
 	case FullSystem:
 		// Tasks are created one by one by the master in stepMaster.
 	default:
-		return nil, fmt.Errorf("hil: unknown mode %d", cfg.Mode)
+		return fmt.Errorf("hil: unknown mode %d", cfg.Mode)
 	}
-	return r, nil
+	return nil
+}
+
+// scrub drops the references a finished run handed out (the trace, the
+// schedule arrays now owned by the Result) so a pooled runner does not
+// retain them; the reusable scratch stays.
+func (r *runner) scrub() {
+	r.tr = nil
+	r.start, r.finish, r.order = nil, nil, nil
 }
 
 func (r *runner) pendingWork() bool {
-	return r.pendingNew.Len() > 0 || r.pendingFin.Len() > 0 || len(r.deliveries) > 0 ||
+	return r.pendingNew.Len() > 0 || r.pendingFin.Len() > 0 || r.deliveries.Len() > 0 ||
 		r.readyBacklog.Len() > 0
 }
 
@@ -177,10 +237,8 @@ func (r *runner) wedged(now uint64) bool {
 	if !r.p.Idle() || r.pendingWork() {
 		return false
 	}
-	for i := range r.workers {
-		if r.workers[i].active {
-			return false
-		}
+	if len(r.busyH) > 0 {
+		return false
 	}
 	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
 		return false
@@ -327,12 +385,10 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 			}
 		}
 	}
-	for i := range r.workers {
-		if r.workers[i].active {
-			consider(r.workers[i].until)
-		}
+	if len(r.busyH) > 0 {
+		consider(r.busyH[0].until)
 	}
-	for _, d := range r.deliveries {
+	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)
 	}
 	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
@@ -349,32 +405,33 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 	return next, ok
 }
 
-// stepWorkers retires finished executions.
+// stepWorkers retires finished executions: busy workers pop off the
+// completion heap in (until, idx) order — exactly the order the
+// per-cycle reference retires them — until the head is still running.
 func (r *runner) stepWorkers(now uint64) {
-	for i := range r.workers {
-		w := &r.workers[i]
-		if !w.active || w.until > now {
-			continue
-		}
-		w.active = false
+	for len(r.busyH) > 0 && r.busyH[0].until <= now {
+		idx := r.busyH.pop().idx
+		r.idleH.push(idx)
 		r.done++
 		r.lastProgress = now
 		if r.cfg.Mode == HWOnly {
-			r.p.NotifyFinish(w.task.Handle)
+			r.p.NotifyFinish(r.workers[idx].Handle)
 		} else {
-			r.pendingFin.Push(w.task.Handle)
+			r.pendingFin.Push(r.workers[idx].Handle)
 		}
 	}
 }
 
-// stepDeliveries lands in-flight link messages.
+// stepDeliveries lands in-flight link messages. The FIFO is ordered by
+// landing stamp (see the field comment), so landing is popping the
+// due prefix.
 func (r *runner) stepDeliveries(now uint64) {
-	kept := r.deliveries[:0]
-	for _, d := range r.deliveries {
-		if d.at > now {
-			kept = append(kept, d)
-			continue
+	for {
+		d, ok := r.deliveries.Peek()
+		if !ok || d.at > now {
+			return
 		}
+		r.deliveries.Pop()
 		switch d.msg.kind {
 		case busNew:
 			task := &r.tr.Tasks[d.msg.task]
@@ -390,7 +447,6 @@ func (r *runner) stepDeliveries(now uint64) {
 		}
 		r.lastProgress = now
 	}
-	r.deliveries = kept
 }
 
 // stepMaster runs the ARM-side Nanos++ creation/submission path: one
@@ -438,13 +494,13 @@ func (r *runner) stepBus(now uint64) {
 		if rt, ok := r.p.PopReady(); ok {
 			r.readyInFlight++
 			r.busFree = now + c.FetchReadyOcc
-			r.deliveries = append(r.deliveries, delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busReady, rt: rt}})
+			r.deliveries.Push(delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busReady, rt: rt}})
 			return
 		}
 	}
 	if h, ok := r.pendingFin.Pop(); ok {
 		r.busFree = now + c.SendFinOcc
-		r.deliveries = append(r.deliveries, delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busFin, h: h}})
+		r.deliveries.Push(delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busFin, h: h}})
 		return
 	}
 	if st, ok := r.pendingNew.Peek(); ok && st.at <= now {
@@ -453,17 +509,15 @@ func (r *runner) stepBus(now uint64) {
 		// master core (coupled resources); the link itself is still held
 		// for the transfer duration in both modes.
 		r.busFree = now + c.SendNewOcc
-		r.deliveries = append(r.deliveries, delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busNew, task: st.idx}})
+		r.deliveries.Push(delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busNew, task: st.idx}})
 	}
 }
 
 // dispatch hands ready tasks to idle workers: directly from the TS in
-// HW-only mode, from the fetched backlog in the comm modes.
+// HW-only mode, from the fetched backlog in the comm modes. The idle
+// heap hands out the lowest index first, like the old linear scan.
 func (r *runner) dispatch(now uint64) {
-	for i := range r.workers {
-		if r.workers[i].active {
-			continue
-		}
+	for len(r.idleH) > 0 {
 		var rt picos.ReadyTask
 		var ok bool
 		if r.cfg.Mode == HWOnly {
@@ -474,29 +528,21 @@ func (r *runner) dispatch(now uint64) {
 		if !ok {
 			return
 		}
-		r.startWorkerAt(i, rt, now)
+		r.startWorkerAt(r.idleH.pop(), rt, now)
 	}
 }
 
 func (r *runner) startWorkerAt(i int, rt picos.ReadyTask, now uint64) {
 	dur := r.tr.Tasks[rt.ID].Duration
-	w := &r.workers[i]
-	w.task, w.until, w.active = rt, now+dur, true
+	r.workers[i] = rt
+	r.busyH.push(workerDue{until: now + dur, idx: i})
 	r.start[rt.ID] = now
 	r.finish[rt.ID] = now + dur
 	r.order = append(r.order, rt.ID)
 	r.lastProgress = now
 }
 
-func (r *runner) idleWorkers() int {
-	n := 0
-	for i := range r.workers {
-		if !r.workers[i].active {
-			n++
-		}
-	}
-	return n
-}
+func (r *runner) idleWorkers() int { return len(r.idleH) }
 
 // busHasWork reports whether any message is waiting for the link.
 func (r *runner) busHasWork(now uint64) bool {
@@ -543,12 +589,10 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 			next = t
 		}
 	}
-	for i := range r.workers {
-		if r.workers[i].active {
-			consider(r.workers[i].until)
-		}
+	if len(r.busyH) > 0 {
+		consider(r.busyH[0].until)
 	}
-	for _, d := range r.deliveries {
+	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)
 	}
 	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {

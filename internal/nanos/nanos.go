@@ -12,6 +12,7 @@ package nanos
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -123,6 +124,38 @@ func (h evHeap) nextEvent() (uint64, bool) {
 	return h[0].at, true
 }
 
+// runScratch is the per-run working state of the discrete-event loop,
+// pooled across runs so steady-state sweeps re-simulate without
+// reallocating the event heap and per-task bookkeeping (the run's event
+// horizon gets warm storage; only the Start/Finish arrays that escape
+// into the Result are fresh).
+type runScratch struct {
+	remaining []int32 // unfinished predecessors
+	submitted []bool
+	events    evHeap
+	ready     []int32 // FIFO ready queue
+	idle      []int   // idle worker indices (parked, waiting for work)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// grab sizes the scratch for n tasks, reusing capacity where possible.
+func (s *runScratch) grab(n int) {
+	if cap(s.remaining) < n {
+		s.remaining = make([]int32, n)
+		s.submitted = make([]bool, n)
+	} else {
+		s.remaining = s.remaining[:n]
+		s.submitted = s.submitted[:n]
+		for i := range s.submitted {
+			s.submitted[i] = false
+		}
+	}
+	s.events = s.events[:0]
+	s.ready = s.ready[:0]
+	s.idle = s.idle[:0]
+}
+
 // Run simulates the software-only runtime on the trace.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.Workers <= 0 {
@@ -149,22 +182,28 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	remaining := make([]int32, n) // unfinished predecessors
-	submitted := make([]bool, n)
+	s := scratchPool.Get().(*runScratch)
+	s.grab(n)
+	remaining := s.remaining
+	submitted := s.submitted
 	for i := 0; i < n; i++ {
 		remaining[i] = int32(len(g.Pred[i]))
 	}
 
 	var (
-		events    evHeap
 		seq       uint64
 		lockFree  uint64
-		ready     []int32 // FIFO ready queue
 		readyHead int
-		idle      []int // idle worker indices (parked, waiting for work)
-		created   int   // tasks created by the master so far
+		created   int // tasks created by the master so far
 		finished  int
 	)
+	events, ready, idle := s.events, s.ready, s.idle
+	defer func() {
+		// Hand the (possibly grown) buffers back to the pool, emptied —
+		// error paths included.
+		s.events, s.ready, s.idle = events[:0], ready[:0], idle[:0]
+		scratchPool.Put(s)
+	}()
 	push := func(at uint64, kind evKind, who int, task int32) {
 		seq++
 		heap.Push(&events, event{at: at, seq: seq, kind: kind, who: who, task: task})

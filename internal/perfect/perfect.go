@@ -7,6 +7,7 @@ package perfect
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -47,6 +48,29 @@ func (h runHeap) nextEvent() (uint64, bool) {
 	return h[0].finish, true
 }
 
+// runScratch is the per-run working state of the list scheduler, pooled
+// across runs so steady-state sweeps re-simulate without reallocating
+// the run heap and per-task bookkeeping; only the Start/Finish arrays
+// that escape into the Result are fresh.
+type runScratch struct {
+	remaining []int32
+	ready     []int32
+	running   runHeap
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// grab sizes the scratch for n tasks, reusing capacity where possible.
+func (s *runScratch) grab(n int) {
+	if cap(s.remaining) < n {
+		s.remaining = make([]int32, n)
+	} else {
+		s.remaining = s.remaining[:n]
+	}
+	s.ready = s.ready[:0]
+	s.running = s.running[:0]
+}
+
 // Run schedules the trace on `workers` zero-overhead workers: a task
 // starts the moment a worker is free and all its predecessors have
 // finished; ties dispatch in creation order.
@@ -66,8 +90,10 @@ func Run(tr *trace.Trace, workers int) (*Result, error) {
 		return res, nil
 	}
 
-	remaining := make([]int32, n)
-	ready := make([]int32, 0, n) // FIFO in becoming-ready order
+	s := scratchPool.Get().(*runScratch)
+	s.grab(n)
+	remaining := s.remaining
+	ready := s.ready // FIFO in becoming-ready order
 	for i := 0; i < n; i++ {
 		remaining[i] = int32(len(g.Pred[i]))
 		if remaining[i] == 0 {
@@ -75,7 +101,14 @@ func Run(tr *trace.Trace, workers int) (*Result, error) {
 		}
 	}
 
-	running := &runHeap{}
+	running := &s.running
+	defer func() {
+		// Hand the (possibly grown) buffers back to the pool, emptied —
+		// error paths included.
+		s.ready = ready[:0]
+		*running = (*running)[:0]
+		scratchPool.Put(s)
+	}()
 	now := uint64(0)
 	free := workers
 	scheduled := 0

@@ -10,15 +10,23 @@ type arbiter struct {
 	timing *Timing
 	in     regFIFO[arbMsg]
 	routed uint64
+	hid    int32 // horizon-heap slot
 }
 
 func newArbiter(p *Picos) *arbiter {
 	return &arbiter{p: p, timing: &p.cfg.Timing}
 }
 
+// reset scrubs the arbiter back to its just-built state.
+func (a *arbiter) reset() {
+	a.in.reset()
+	a.routed = 0
+}
+
 // route accepts a message that becomes routable at cycle `at`.
 func (a *arbiter) route(m arbMsg, at uint64) {
 	a.in.push(m, at)
+	a.p.markDirty(a.hid)
 }
 
 func (a *arbiter) step(now uint64) {
@@ -27,15 +35,22 @@ func (a *arbiter) step(now uint64) {
 		if !ok {
 			return
 		}
+		a.p.markDirty(a.hid)
 		a.routed++
 		at := now + a.timing.ArbHop
 		switch m.kind {
 		case arbStat:
-			a.p.trs[m.stat.task.TRS].statusQ.push(m.stat, at)
+			t := a.p.trs[m.stat.task.TRS]
+			t.statusQ.push(m.stat, at)
+			a.p.markDirty(t.hid)
 		case arbWake:
-			a.p.trs[m.wake.task.TRS].wakeQ.push(m.wake, at)
+			t := a.p.trs[m.wake.task.TRS]
+			t.wakeQ.push(m.wake, at)
+			a.p.markDirty(t.hid)
 		case arbFin:
-			a.p.dct[m.fin.vm.DCT].finQ.push(m.fin, at)
+			d := a.p.dct[m.fin.vm.DCT]
+			d.finQ.push(m.fin, at)
+			a.p.markDirty(d.hid)
 		}
 	}
 }

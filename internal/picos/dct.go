@@ -28,6 +28,7 @@ type dctUnit struct {
 	busyUntil    uint64 // registration engine
 	busyUntilFin uint64 // release engine (overlapped in the prototype)
 	busy         uint64
+	hid          int32 // horizon-heap slot
 }
 
 // stallKind labels why the head of newDepQ cannot be stored, i.e. which
@@ -51,6 +52,27 @@ func newDCT(id uint8, p *Picos) *dctUnit {
 	}
 }
 
+// reset scrubs the unit back to its just-built state: the dependence and
+// version memories are cleared in place and only reallocated when the
+// design changes their shape (associativity sizes both).
+func (u *dctUnit) reset(design DMDesign) {
+	if u.dm.ways != design.Ways() {
+		u.dm = newDepMemory(design)
+	} else {
+		u.dm.reset()
+		u.dm.design = design
+	}
+	if capacity := design.Capacity(); len(u.vm.entries) != capacity {
+		u.vm = newVersionMemory(capacity)
+	} else {
+		u.vm.reset()
+	}
+	u.newDepQ.reset()
+	u.finQ.reset()
+	u.headStalled, u.conflictCounted, u.stall = false, false, stallNone
+	u.busyUntil, u.busyUntilFin, u.busy = 0, 0, 0
+}
+
 func (u *dctUnit) step(now uint64) {
 	// Release engine: frees DM ways and VM entries — including the very
 	// stalls blocking the registration path — without costing
@@ -60,6 +82,7 @@ func (u *dctUnit) step(now uint64) {
 		if !ok {
 			break
 		}
+		u.p.markDirty(u.hid)
 		u.handleFinish(pkt, now)
 	}
 	for u.busyUntil <= now {
@@ -71,9 +94,14 @@ func (u *dctUnit) step(now uint64) {
 				u.stall = stallNone
 				continue
 			}
-			// Stalled: retry next cycle.
-			u.headStalled = true
+			// Stalled: retry next cycle, and drop the head from the
+			// horizon — only a release can make the retry succeed.
+			if !u.headStalled {
+				u.headStalled = true
+				u.p.markDirty(u.hid)
+			}
 			u.busyUntil = now + 1
+			u.p.noteBusy(u.busyUntil)
 			return
 		}
 		return
@@ -83,6 +111,8 @@ func (u *dctUnit) step(now uint64) {
 func (u *dctUnit) consume(now, cost uint64) uint64 {
 	u.busyUntil = now + cost
 	u.busy += cost
+	u.p.markDirty(u.hid)
+	u.p.noteBusy(u.busyUntil)
 	return u.busyUntil
 }
 
@@ -224,6 +254,7 @@ func (u *dctUnit) handleFinish(pkt finishDepPkt, now uint64) {
 	done := now + u.timing.DCTFinDep
 	u.busyUntilFin = done
 	u.busy += u.timing.DCTFinDep
+	u.p.noteBusy(done)
 	u.p.gw.returnCredit(u.id)
 	v := u.vm.at(pkt.vm.Idx)
 	if !v.used {

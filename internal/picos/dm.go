@@ -91,6 +91,17 @@ func newDepMemory(design DMDesign) *depMemory {
 	return m
 }
 
+// reset invalidates every entry in place, keeping the way arrays.
+func (m *depMemory) reset() {
+	for s := range m.sets {
+		for w := range m.sets[s] {
+			if m.sets[s][w].valid {
+				m.sets[s][w] = dmEntry{}
+			}
+		}
+	}
+}
+
 // index computes the set for an address: the Pearson fold for P+8way,
 // the low 6 bits of the word address for the direct-hash designs
 // (Figure 4, Section IV-B). The direct hash selects address bits [7:2],

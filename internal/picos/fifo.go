@@ -63,6 +63,13 @@ func (f *regFIFO[T]) headAt() (uint64, bool) {
 	return head.at, true
 }
 
+// reset drops all elements and the highwater mark, keeping the backing
+// storage — the Reset path's way of recycling channel buffers.
+func (f *regFIFO[T]) reset() {
+	f.q.Reset()
+	f.highwater = 0
+}
+
 // len returns the number of queued elements (visible or not).
 func (f *regFIFO[T]) len() int { return f.q.Len() }
 

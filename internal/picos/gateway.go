@@ -37,25 +37,45 @@ type gateway struct {
 	busy         uint64
 	blocked      bool  // admission-blocked on the head of newQ
 	need         []int // admit scratch: per-DCT credit demand
+	hid          int32 // horizon-heap slot
 }
 
 func newGateway(p *Picos) *gateway {
 	return &gateway{p: p, timing: &p.cfg.Timing}
 }
 
-// initCredits sizes the credit pools once the DCTs exist.
+// initCredits sizes the credit pools once the DCTs exist; the slices are
+// reused across Resets when the DCT count is unchanged.
 func (g *gateway) initCredits() {
-	g.vmCredits = make([]int, len(g.p.dct))
-	g.need = make([]int, len(g.p.dct))
+	n := len(g.p.dct)
+	if cap(g.vmCredits) < n {
+		g.vmCredits = make([]int, n)
+		g.need = make([]int, n)
+	} else {
+		g.vmCredits = g.vmCredits[:n]
+		g.need = g.need[:n]
+	}
 	for i := range g.vmCredits {
 		g.vmCredits[i] = g.p.cfg.Design.Capacity() - g.p.cfg.VMReserve
+		g.need[i] = 0
 	}
+}
+
+// reset scrubs the gateway back to its just-built state, keeping queue
+// storage. Credit pools are resized by the initCredits that follows.
+func (g *gateway) reset() {
+	g.newQ.reset()
+	g.finQ.reset()
+	g.rrTRS = 0
+	g.busyUntil, g.busyUntilFin, g.busy = 0, 0, 0
+	g.blocked = false
 }
 
 // returnCredit is called by a DCT when it has processed one release.
 func (g *gateway) returnCredit(dct uint8) { g.vmCredits[dct]++ }
 
 func (g *gateway) step(now uint64) {
+	p := g.p
 	// Finished-task engine: drains completions independently of the
 	// new-task path so retiring work never throttles admission.
 	for g.busyUntilFin <= now {
@@ -66,7 +86,11 @@ func (g *gateway) step(now uint64) {
 		done := now + g.timing.GWFinTask
 		g.busyUntilFin = done
 		g.busy += g.timing.GWFinTask
-		g.p.trs[h.TRS].finTaskQ.push(finishedTaskPkt{slot: h.Slot}, done+g.timing.GWFinPipe)
+		p.markDirty(g.hid)
+		p.noteBusy(done)
+		t := p.trs[h.TRS]
+		t.finTaskQ.push(finishedTaskPkt{slot: h.Slot}, done+g.timing.GWFinPipe)
+		p.markDirty(t.hid)
 	}
 	for g.busyUntil <= now {
 		t, ok := g.newQ.peek(now)
@@ -76,9 +100,15 @@ func (g *gateway) step(now uint64) {
 		}
 		trsID, slot, admitted := g.admit(t.deps)
 		if !admitted {
-			g.blocked = true
-			g.p.stats.GWBlockedCycles++
+			if !g.blocked {
+				// The head leaves the horizon until an external finish
+				// frees resources.
+				g.blocked = true
+				p.markDirty(g.hid)
+			}
+			p.stats.GWBlockedCycles++
 			g.busyUntil = now + 1
+			p.noteBusy(g.busyUntil)
 			return
 		}
 		g.blocked = false
@@ -86,22 +116,28 @@ func (g *gateway) step(now uint64) {
 		cost := g.timing.GWNewTask + uint64(len(t.deps))*g.timing.GWPerDep
 		g.busyUntil = now + cost
 		g.busy += cost
+		p.markDirty(g.hid)
+		p.noteBusy(g.busyUntil)
 
 		handle := TaskHandle{TRS: trsID, Slot: slot}
-		g.p.trs[trsID].newQ.push(newTaskPkt{slot: slot, id: t.id, numDeps: uint8(len(t.deps))},
+		tu := p.trs[trsID]
+		tu.newQ.push(newTaskPkt{slot: slot, id: t.id, numDeps: uint8(len(t.deps))},
 			now+g.timing.GWNewTask+g.timing.GWPipe)
+		p.markDirty(tu.hid)
 		for i, d := range t.deps {
 			at := now + g.timing.GWNewTask + uint64(i+1)*g.timing.GWPerDep + g.timing.GWPipe
-			g.p.dct[g.p.dctOf(d.Addr)].newDepQ.push(newDepPkt{
+			du := p.dct[p.dctOf(d.Addr)]
+			du.newDepQ.push(newDepPkt{
 				task:   handle,
 				depIdx: uint8(i),
 				addr:   d.Addr,
 				dir:    d.Dir,
 			}, at)
+			p.markDirty(du.hid)
 		}
-		g.p.stats.TasksAdmitted++
-		if inFlight := g.p.InFlight(); inFlight > g.p.stats.MaxInFlightTasks {
-			g.p.stats.MaxInFlightTasks = inFlight
+		p.stats.TasksAdmitted++
+		if inFlight := p.InFlight(); inFlight > p.stats.MaxInFlightTasks {
+			p.stats.MaxInFlightTasks = inFlight
 		}
 	}
 }

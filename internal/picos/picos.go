@@ -93,11 +93,24 @@ type Picos struct {
 	arb *arbiter
 	ts  *tsUnit
 
+	// Incremental event-horizon scheduler state (see horizon.go): the
+	// per-unit horizon keys, the indexed min-heap over them, the
+	// dirty-unit set awaiting a re-poll, and the busy-timer high-water
+	// mark that makes Idle() O(1).
+	units   []horizonUnit
+	hkey    []uint64
+	hpos    []int32
+	hheap   []int32
+	hdirty  []bool
+	hdlist  []int32
+	maxBusy uint64
+
 	stats Stats
 }
 
-// New builds an accelerator from cfg. Zero-valued fields get defaults.
-func New(cfg Config) (*Picos, error) {
+// normalizeConfig applies defaults and validates; shared by New and
+// Reset so a Reset accelerator is configured exactly like a fresh one.
+func normalizeConfig(cfg Config) (Config, error) {
 	if cfg.NumTRS == 0 {
 		cfg.NumTRS = 1
 	}
@@ -105,13 +118,22 @@ func New(cfg Config) (*Picos, error) {
 		cfg.NumDCT = 1
 	}
 	if cfg.NumTRS < 1 || cfg.NumTRS > 255 || cfg.NumDCT < 1 || cfg.NumDCT > 255 {
-		return nil, fmt.Errorf("picos: instance counts must be 1..255, got %d TRS / %d DCT", cfg.NumTRS, cfg.NumDCT)
+		return cfg, fmt.Errorf("picos: instance counts must be 1..255, got %d TRS / %d DCT", cfg.NumTRS, cfg.NumDCT)
 	}
 	if cfg.Timing == (Timing{}) {
 		cfg.Timing = DefaultTiming()
 	}
 	if cfg.VMReserve == 0 {
 		cfg.VMReserve = trace.MaxDeps + 1
+	}
+	return cfg, nil
+}
+
+// New builds an accelerator from cfg. Zero-valued fields get defaults.
+func New(cfg Config) (*Picos, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	p := &Picos{cfg: cfg}
 	p.gw = newGateway(p)
@@ -124,7 +146,60 @@ func New(cfg Config) (*Picos, error) {
 		p.dct = append(p.dct, newDCT(uint8(i), p))
 	}
 	p.gw.initCredits()
+	p.rebuildHorizon()
 	return p, nil
+}
+
+// Reset returns the accelerator to the state a fresh New(cfg) would
+// produce while keeping every allocation it can: task/version/dependence
+// memories, queue buffers and the horizon heap are scrubbed in place and
+// only reallocated when cfg changes their shape (instance counts, DM
+// associativity). A Reset accelerator is indistinguishable from a fresh
+// one — including after a wedged run that left queues and memories
+// occupied — which is what lets harnesses keep a warm engine pool
+// instead of rebuilding the machine per run.
+func (p *Picos) Reset(cfg Config) error {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return err
+	}
+	p.cfg = cfg
+	p.now = 0
+	p.maxBusy = 0
+	p.stats = Stats{}
+
+	for i := cfg.NumTRS; i < len(p.trs); i++ {
+		p.trs[i] = nil
+	}
+	if len(p.trs) > cfg.NumTRS {
+		p.trs = p.trs[:cfg.NumTRS]
+	}
+	for _, t := range p.trs {
+		t.reset()
+	}
+	for len(p.trs) < cfg.NumTRS {
+		p.trs = append(p.trs, newTRS(uint8(len(p.trs)), p))
+	}
+
+	for i := cfg.NumDCT; i < len(p.dct); i++ {
+		p.dct[i] = nil
+	}
+	if len(p.dct) > cfg.NumDCT {
+		p.dct = p.dct[:cfg.NumDCT]
+	}
+	for _, d := range p.dct {
+		d.reset(cfg.Design)
+	}
+	for len(p.dct) < cfg.NumDCT {
+		p.dct = append(p.dct, newDCT(uint8(len(p.dct)), p))
+	}
+
+	p.gw.reset()
+	p.ts.reset()
+	p.arb.reset()
+	p.gw.initCredits()
+	p.rebuildHorizon()
+	return nil
 }
 
 // Config returns the configuration the accelerator was built with.
@@ -133,8 +208,14 @@ func (p *Picos) Config() Config { return p.cfg }
 // Now returns the current cycle.
 func (p *Picos) Now() uint64 { return p.now }
 
-// Step advances the model by one cycle. Unit evaluation order is
-// irrelevant because every channel is a registered FIFO.
+// Step advances the model by one cycle, evaluating every unit — the
+// plainest possible reference semantics, kept deliberately free of
+// scheduling cleverness so the cycle-stepped loop stays the ground
+// truth the event-driven fast path is differentially tested against.
+// Unit evaluation order is irrelevant because every channel is a
+// registered FIFO. (The fast path advances with stepDue instead, which
+// skips units the horizon heap proves cannot act; the two are
+// equivalent by construction and by the equivalence suite.)
 func (p *Picos) Step() {
 	now := p.now
 	for _, d := range p.dct {
@@ -149,6 +230,38 @@ func (p *Picos) Step() {
 	p.now++
 }
 
+// stepDue advances the model by one cycle like Step, but only evaluates
+// units that can possibly act: the horizon key says the unit is due, it
+// is dirty (its key may be stale, so stepping is the conservative
+// choice; an early-stamped queue can never make a unit act before the
+// head's visibility cycle, so a skipped unit's step is provably a
+// no-op), or it is an admission-blocked GW / stalled DCT head whose
+// per-cycle retry must run for exact stall accounting — and can succeed
+// within this very cycle when another unit's release frees resources.
+func (p *Picos) stepDue() {
+	now := p.now
+	for _, d := range p.dct {
+		if d.headStalled || p.hkey[d.hid] <= now || p.hdirty[d.hid] {
+			d.step(now)
+		}
+	}
+	for _, t := range p.trs {
+		if p.hkey[t.hid] <= now || p.hdirty[t.hid] {
+			t.step(now)
+		}
+	}
+	if p.hkey[p.ts.hid] <= now || p.hdirty[p.ts.hid] {
+		p.ts.step(now)
+	}
+	if p.hkey[p.arb.hid] <= now || p.hdirty[p.arb.hid] {
+		p.arb.step(now)
+	}
+	if p.gw.blocked || p.hkey[p.gw.hid] <= now || p.hdirty[p.gw.hid] {
+		p.gw.step(now)
+	}
+	p.now++
+}
+
 // NextEvent returns the earliest cycle, clamped to the current one, at
 // which any unit can make progress without external input: every unit
 // exposes the visibility stamp of its next consumable queue head gated
@@ -157,30 +270,19 @@ func (p *Picos) Step() {
 // Submit/NotifyFinish (admission-blocked and conflict-stalled heads do
 // not count: their per-cycle retries provably re-fail until an external
 // finish frees resources, and skipping them is what the fast path is
-// for).
+// for). The answer comes from the incremental horizon heap: only units
+// whose state changed since the last call are re-polled, so planning a
+// wake is O(dirty · log units), not a rescan of every queue head.
 func (p *Picos) NextEvent() (uint64, bool) {
-	next, ok := uint64(0), false
-	consider := func(at uint64, uok bool) {
-		if !uok {
-			return
-		}
-		if at < p.now {
-			at = p.now
-		}
-		if !ok || at < next {
-			next, ok = at, true
-		}
+	p.flushHorizon()
+	at := p.hkey[p.hheap[0]]
+	if at == noEvent {
+		return 0, false
 	}
-	consider(p.gw.nextEvent())
-	for _, t := range p.trs {
-		consider(t.nextEvent())
+	if at < p.now {
+		at = p.now
 	}
-	for _, d := range p.dct {
-		consider(d.nextEvent())
-	}
-	consider(p.ts.nextEvent())
-	consider(p.arb.nextEvent())
-	return next, ok
+	return at, true
 }
 
 // ReadyAt returns the cycle the Task Scheduler's current dispatch
@@ -205,7 +307,7 @@ func (p *Picos) RunTo(cycle uint64) {
 		if next > p.now {
 			p.skipTo(next)
 		}
-		p.Step()
+		p.stepDue()
 	}
 }
 
@@ -232,7 +334,7 @@ func (p *Picos) RunToReady(cycle uint64) {
 			p.skipTo(next)
 		}
 		ready := p.ts.readyLen()
-		p.Step()
+		p.stepDue()
 		if p.ts.readyLen() > ready {
 			return
 		}
@@ -252,7 +354,7 @@ func (p *Picos) RunOut() {
 		if next > p.now {
 			p.skipTo(next)
 		}
-		p.Step()
+		p.stepDue()
 	}
 }
 
@@ -322,6 +424,7 @@ func (p *Picos) Submit(id uint32, deps []trace.Dep) error {
 		}
 	}
 	p.gw.newQ.push(submittedTask{id: id, deps: deps}, p.now+1)
+	p.markDirty(p.gw.hid)
 	p.stats.TasksSubmitted++
 	return nil
 }
@@ -329,6 +432,7 @@ func (p *Picos) Submit(id uint32, deps []trace.Dep) error {
 // NotifyFinish returns a finished task to the GW (F1).
 func (p *Picos) NotifyFinish(h TaskHandle) {
 	p.gw.finQ.push(h, p.now+1)
+	p.markDirty(p.gw.hid)
 }
 
 // PopReady hands one ready task to a worker, if any is dispatchable.
@@ -351,23 +455,13 @@ func (p *Picos) InFlight() int {
 // Idle reports that stepping without external input cannot change state:
 // every unit is quiescent and every queue is empty, except for
 // admission-blocked or conflict-stalled heads that only an external
-// finish can release.
+// finish can release. The check is O(1) on the horizon heap: a unit is
+// active exactly when it has a future event or a running busy timer, so
+// "no horizon anywhere and the clock has passed every busy deadline" is
+// the whole condition.
 func (p *Picos) Idle() bool {
-	now := p.now
-	if p.gw.active(now) || p.arb.active(now) || p.ts.active(now) {
-		return false
-	}
-	for _, t := range p.trs {
-		if t.active(now) {
-			return false
-		}
-	}
-	for _, d := range p.dct {
-		if d.active(now) {
-			return false
-		}
-	}
-	return true
+	p.flushHorizon()
+	return p.hkey[p.hheap[0]] == noEvent && p.maxBusy <= p.now
 }
 
 // Stats returns the run counters.

@@ -45,6 +45,22 @@ func newTaskMemory() *taskMemory {
 	return m
 }
 
+// reset returns the memory to its just-built state in place: live slots
+// are scrubbed (released ones are already zero) and the free list is
+// rebuilt in the deterministic fresh order, so allocation sequences
+// after a Reset match a fresh machine exactly.
+func (m *taskMemory) reset() {
+	for i := range m.entries {
+		if m.entries[i].used {
+			m.entries[i] = tmEntry{}
+		}
+	}
+	m.free = m.free[:0]
+	for i := tmSlots - 1; i >= 0; i-- {
+		m.free = append(m.free, uint16(i))
+	}
+}
+
 // alloc claims a free slot.
 func (m *taskMemory) alloc() (uint16, bool) {
 	if len(m.free) == 0 {

@@ -17,10 +17,22 @@ type trsUnit struct {
 
 	busyUntil uint64
 	busy      uint64 // accumulated busy cycles (stats)
+	hid       int32  // horizon-heap slot
 }
 
 func newTRS(id uint8, p *Picos) *trsUnit {
 	return &trsUnit{id: id, p: p, tm: newTaskMemory(), timing: &p.cfg.Timing}
+}
+
+// reset scrubs the unit back to its just-built state, keeping the task
+// memory and queue storage.
+func (u *trsUnit) reset() {
+	u.tm.reset()
+	u.newQ.reset()
+	u.statusQ.reset()
+	u.wakeQ.reset()
+	u.finTaskQ.reset()
+	u.busyUntil, u.busy = 0, 0
 }
 
 // allocSlot services the GW's New Entry Request.
@@ -51,6 +63,8 @@ func (u *trsUnit) step(now uint64) {
 func (u *trsUnit) consume(now, cost uint64) uint64 {
 	u.busyUntil = now + cost
 	u.busy += cost
+	u.p.markDirty(u.hid)
+	u.p.noteBusy(u.busyUntil)
 	return u.busyUntil
 }
 
@@ -120,6 +134,7 @@ func (u *trsUnit) maybeReady(slot uint16, e *tmEntry, at uint64) {
 	}
 	e.sent = true
 	u.p.ts.inQ.push(readyTaskPkt{task: TaskHandle{TRS: u.id, Slot: slot}, id: e.id}, at+u.timing.TRSPipe)
+	u.p.markDirty(u.p.ts.hid)
 }
 
 // handleFinishedTask performs the finish walk (F3): read TM0, emit one

@@ -36,10 +36,21 @@ type tsUnit struct {
 
 	busyUntil uint64
 	busy      uint64
+	hid       int32 // horizon-heap slot
 }
 
 func newTS(p *Picos) *tsUnit {
 	return &tsUnit{p: p, timing: &p.cfg.Timing, policy: p.cfg.Policy}
+}
+
+// reset scrubs the unit back to its just-built state, re-reading the
+// scheduling policy from the (possibly new) config.
+func (u *tsUnit) reset() {
+	u.policy = u.p.cfg.Policy
+	u.inQ.reset()
+	u.fifo.Reset()
+	u.lifo.Reset()
+	u.busyUntil, u.busy = 0, 0
 }
 
 func (u *tsUnit) step(now uint64) {
@@ -51,6 +62,8 @@ func (u *tsUnit) step(now uint64) {
 		done := now + u.timing.TSDispatch
 		u.busyUntil = done
 		u.busy += u.timing.TSDispatch
+		u.p.markDirty(u.hid)
+		u.p.noteBusy(done)
 		item := stamped[ReadyTask]{at: done + u.timing.TSPipe, v: ReadyTask{Handle: pkt.task, ID: pkt.id}}
 		if u.policy == SchedLIFO {
 			u.lifo.Push(item)

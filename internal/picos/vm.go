@@ -53,6 +53,21 @@ func newVersionMemory(capacity int) *versionMemory {
 	return m
 }
 
+// reset returns the memory to its just-built state in place: live
+// entries are scrubbed (released ones are already zero) and the free
+// list is rebuilt in the deterministic fresh order.
+func (m *versionMemory) reset() {
+	for i := range m.entries {
+		if m.entries[i].used {
+			m.entries[i] = vmEntry{}
+		}
+	}
+	m.free = m.free[:0]
+	for i := len(m.entries) - 1; i >= 0; i-- {
+		m.free = append(m.free, uint16(i))
+	}
+}
+
 // alloc claims a free entry, zeroed. ok is false when the VM is full —
 // the memory-capacity stall the paper's deadlock discussion is about.
 func (m *versionMemory) alloc() (uint16, bool) {

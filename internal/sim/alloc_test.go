@@ -1,0 +1,44 @@
+//go:build !race
+
+// Allocation-regression lock for the warm sweep hot path. The race
+// detector changes allocation behaviour, so this only builds without it.
+
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
+)
+
+// maxWarmRunTraceAllocs bounds a warm sim.RunTrace iteration on a
+// pooled Picos engine. The steady-state cost is only what escapes into
+// the Result — the start/finish/order schedule arrays, the Result and
+// stats values, and the per-unit busy snapshot — roughly ten
+// allocations; everything else (accelerator memories, FIFOs, worker
+// heaps, the horizon heap) is pool-reused. Headroom covers pool misses
+// when a GC lands mid-measurement.
+const maxWarmRunTraceAllocs = 24
+
+// TestWarmRunTraceAllocs locks the steady-state allocation count of a
+// warm sweep iteration: build the trace once, then re-run it through
+// the pooled engine as Sweep does per grid point.
+func TestWarmRunTraceAllocs(t *testing.T) {
+	spec := sim.Spec{Engine: "picos-hw", Workload: "case2"}.WithDefaults()
+	tr, err := sim.BuildWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := sim.RunTrace(tr, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the engine pool and grow every buffer to steady state
+	run()
+	if avg := testing.AllocsPerRun(50, run); avg > maxWarmRunTraceAllocs {
+		t.Errorf("warm RunTrace allocates %.1f times per run; lock is %d", avg, maxWarmRunTraceAllocs)
+	}
+}

@@ -1,0 +1,56 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
+)
+
+// reuseEngines is every registered engine: the three pooled HIL
+// platforms plus the scratch-pooled software models.
+var reuseEngines = []string{"picos-hw", "picos-comm", "picos-full", "nanos", "perfect"}
+
+// TestEngineReuseEquivalence (the registry-level half of the engine-
+// reuse suite; the strict fresh-vs-pooled comparison lives in
+// internal/hil): every engine runs the equivalence workload matrix
+// twice through the warm engine pools, with the case7+8way wedge run
+// interleaved between passes so the second pass starts from engines
+// that just digested a deadlocked run. Both passes must produce
+// byte-identical Result JSON — pooled state must never leak between
+// runs.
+func TestEngineReuseEquivalence(t *testing.T) {
+	wedge := sim.Spec{Engine: "picos-hw", Workload: "case7", Design: "8way", Watchdog: 500_000}
+	type key struct{ engine, workload string }
+	firstPass := map[key]string{}
+	for pass := 0; pass < 2; pass++ {
+		for _, engine := range reuseEngines {
+			// Poison the pools with a wedged run before each engine's
+			// block; its partial state must be fully Reset away.
+			if wres, err := sim.Run(wedge); err != nil {
+				t.Fatalf("wedge run: %v", err)
+			} else if !wres.Wedged {
+				t.Fatal("wedge spec did not wedge")
+			}
+			for _, base := range equivalenceWorkloads() {
+				spec := base
+				spec.Engine = engine
+				res, err := sim.Run(spec)
+				if err != nil {
+					t.Fatalf("pass %d: %s on %s: %v", pass, engine, spec.Workload, err)
+				}
+				j := resultJSON(t, res)
+				k := key{engine, spec.Workload}
+				if pass == 0 {
+					firstPass[k] = j
+					continue
+				}
+				if firstPass[k] != j {
+					t.Errorf("%s on %s: pooled rerun diverges\npass1: %s\npass2: %s",
+						engine, spec.Workload, firstPass[k], j)
+				}
+			}
+		}
+	}
+}
