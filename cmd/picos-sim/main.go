@@ -39,6 +39,10 @@ func main() {
 		workers  = flag.Int("workers", sim.DefaultWorkers, "worker count")
 		nTRS     = flag.Int("trs", 0, "TRS instances (default 1)")
 		nDCT     = flag.Int("dct", 0, "DCT instances (default 1)")
+		admiss   = flag.String("admission", "", "GW admission policy: credits (default), slots")
+		conflict = flag.String("conflict", "", "DM conflict handling: sidetrack (default), block")
+		newq     = flag.Int("newq", 0, "bound the accelerator's new-task submission buffer (0: unbounded)")
+		runAhead = flag.Int("runahead", 0, "Full-system creation run-ahead window (0: default 16, negative: unbounded)")
 		ff       = flag.Bool("ff", true, "event-driven fast path (results identical; disable to debug with per-cycle stepping)")
 		verify   = flag.Bool("verify", true, "check the schedule against the dependence oracle")
 		showStat = flag.Bool("stats", false, "print accelerator statistics")
@@ -63,15 +67,19 @@ func main() {
 		fail(fmt.Errorf("-mode %s only applies to the picos engine (use -engine picos-%s)", *mode, *mode))
 	}
 	spec := sim.Spec{
-		Engine:   eng,
-		Workload: workloadName(*traceIn, *app, *caseNo, *workload),
-		Problem:  *problem,
-		Block:    *block,
-		Workers:  *workers,
-		Design:   *dm,
-		Policy:   *policy,
-		NumTRS:   *nTRS,
-		NumDCT:   *nDCT,
+		Engine:    eng,
+		Workload:  workloadName(*traceIn, *app, *caseNo, *workload),
+		Problem:   *problem,
+		Block:     *block,
+		Workers:   *workers,
+		Design:    *dm,
+		Policy:    *policy,
+		Admission: *admiss,
+		Conflict:  *conflict,
+		NumTRS:    *nTRS,
+		NumDCT:    *nDCT,
+		NewQDepth: *newq,
+		RunAhead:  *runAhead,
 	}
 	if !*ff {
 		spec.FastForward = sim.Bool(false)

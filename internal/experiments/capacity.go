@@ -16,8 +16,8 @@ func init() {
 // capacityFamilies are the dependence-pattern families the capacity map
 // sweeps, ordered from local to global communication.
 var capacityFamilies = []string{
-	"no_comm", "stencil_1d", "stencil_1d_periodic", "nearest", "spread",
-	"random_nearest", "fft", "tree", "dom", "all_to_all",
+	"no_comm", "stencil_1d", "stencil_1d_periodic", "stencil_2d", "wavefront",
+	"nearest", "spread", "random_nearest", "fft", "tree", "dom", "all_to_all",
 }
 
 // capacityEngines are the engine columns of the per-engine view.
@@ -45,16 +45,26 @@ type CapacityCell struct {
 }
 
 // capacityPattern renders the sweep's workload spec for one family. The
-// full-size grid is 128 points x 16 steps: 256 live buffers, enough to
-// overflow the 8-way direct hash under the malloc layout (16 reachable
-// sets x 8 ways = 128) while the 16-way and Pearson designs still hold
-// it — the same capacity cliff Table II shows for SparseLu.
+// full-size 1-D grid is 128 points x 16 steps: 256 live buffers, enough
+// to overflow the 8-way direct hash under the malloc layout (16
+// reachable sets x 8 ways = 128) while the 16-way and Pearson designs
+// still hold it — the same capacity cliff Table II shows for SparseLu.
+// The 2-D families get a 16x8 grid, the same 128 points per step.
 func capacityPattern(family, layout string, opt Options) string {
-	width, steps := 128, 16
+	width, steps, height := 128, 16, 0
+	if family == "stencil_2d" || family == "wavefront" {
+		width, height = 16, 8
+	}
 	if opt.Quick {
 		width, steps = 12, 8
+		if height > 0 {
+			width, height = 4, 3
+		}
 	}
 	s := fmt.Sprintf("%s%s?width=%d&steps=%d", sim.PatternPrefix, family, width, steps)
+	if height > 0 {
+		s += fmt.Sprintf("&height=%d", height)
+	}
 	if layout != patterns.DefaultLayout {
 		s += "&layout=" + layout
 	}

@@ -71,6 +71,13 @@ func (e Engine) config(spec sim.Spec) (Config, error) {
 	if cfg.Picos.Wake, err = picos.ParseWake(spec.Wake); err != nil {
 		return cfg, err
 	}
+	if cfg.Picos.Conflict, err = picos.ParseConflict(spec.Conflict); err != nil {
+		return cfg, err
+	}
+	cfg.Picos.NewQDepth = spec.NewQDepth
+	if spec.RunAhead != 0 {
+		cfg.RunAhead = spec.RunAhead
+	}
 	if spec.NumTRS > 0 {
 		cfg.Picos.NumTRS = spec.NumTRS
 	}

@@ -99,6 +99,14 @@ func (m MasterTiming) SubmitCost(nDeps int) uint64 {
 	return m.SubmitBase + uint64(nDeps)*m.SubmitPerDep
 }
 
+// DefaultRunAhead is the FullSystem master's creation run-ahead window:
+// the number of descriptors the Nanos++ master keeps created but not yet
+// accepted by the accelerator's submission buffer before it pauses
+// creation. Sized like the prototype's descriptor ring; it only ever
+// binds when submissions backpressure (a bounded Picos.NewQDepth behind
+// a saturated gateway), since an unbounded queue accepts immediately.
+const DefaultRunAhead = 16
+
 // Config configures a platform run.
 type Config struct {
 	Mode    Mode
@@ -109,6 +117,13 @@ type Config struct {
 	// Watchdog aborts the run if no task starts or finishes for this
 	// many cycles (0: default 100M).
 	Watchdog uint64
+	// RunAhead bounds the FullSystem master's created-but-unsubmitted
+	// descriptor window: while a submission is backpressured (the
+	// accelerator's bounded new-task queue is full), the master keeps
+	// creating tasks until this many descriptors are waiting, then
+	// parks. 0 means DefaultRunAhead; negative disables the bound
+	// (infinite run-ahead).
+	RunAhead int
 	// FastForward selects the event-driven fast path: the runner jumps
 	// the clock straight to the next worker completion, link delivery or
 	// accelerator-internal event instead of stepping every cycle. Results
@@ -128,6 +143,7 @@ func DefaultConfig() Config {
 		Picos:       picos.DefaultConfig(),
 		Comm:        DefaultCommTiming(),
 		Master:      DefaultMasterTiming(),
+		RunAhead:    DefaultRunAhead,
 		FastForward: true,
 	}
 }

@@ -1,0 +1,133 @@
+package hil
+
+import (
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/picos"
+	"repro/internal/trace"
+)
+
+// runAheadTrace is a small but saturating workload: short tasks whose
+// chains keep the accelerator busy while submissions back up behind a
+// tiny submission buffer.
+func runAheadTrace() *trace.Trace {
+	return patterns.MustBuild(patterns.Params{
+		Family: "stencil_1d", Width: 8, Steps: 6,
+		Len: 50, K: patterns.DefaultK, Seed: 1,
+		Layout: "malloc", Fields: 2, Height: 1, Regions: 1,
+	})
+}
+
+// TestBoundedNewQNeverLosesTasks is the regression test for the
+// once-ignored Submit error on the busNew delivery path: with the
+// submission buffer bounded to a single entry, every mode must park and
+// retry rejected registrations until the accelerator accepts them — all
+// tasks complete, none are dropped, and the run does not wedge.
+func TestBoundedNewQNeverLosesTasks(t *testing.T) {
+	tr := runAheadTrace()
+	n := uint64(len(tr.Tasks))
+	for _, mode := range []Mode{HWOnly, HWComm, FullSystem} {
+		for _, ff := range []bool{true, false} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.FastForward = ff
+			cfg.RunAhead = 2
+			cfg.Picos.NewQDepth = 1
+			res, err := Run(tr, cfg)
+			if err != nil {
+				t.Fatalf("%s ff=%v: %v", mode, ff, err)
+			}
+			if res.Wedged {
+				t.Fatalf("%s ff=%v: wedged at %d with a retrying submitter", mode, ff, res.WedgedAt)
+			}
+			if res.Stats.TasksSubmitted != n || res.Stats.TasksCompleted != n {
+				t.Fatalf("%s ff=%v: %d submitted / %d completed, want %d — a rejected registration was dropped",
+					mode, ff, res.Stats.TasksSubmitted, res.Stats.TasksCompleted, n)
+			}
+			if len(res.Order) != int(n) {
+				t.Fatalf("%s ff=%v: only %d tasks ran", mode, ff, len(res.Order))
+			}
+		}
+	}
+}
+
+// TestRunAheadWindowBounds: with a bounded submission buffer, the
+// Full-system master may never hold more created-but-unsubmitted
+// descriptors than its run-ahead window. The trace outgrows the 256 TM
+// slots, so admission stalls, the one-slot buffer stays full and
+// descriptors pile into the window. The window is observable from the
+// outside as submitted-so-far lagging created-so-far; here we assert
+// the stronger internal invariant through a manual runner.
+func TestRunAheadWindowBounds(t *testing.T) {
+	// 640 tasks outgrow the 256 TM slots, and at 100k cycles each the
+	// completion (= admission) rate stays far below the master's ~3.1k
+	// cycles per creation, so descriptors pile up behind the one-slot
+	// buffer until the window binds.
+	tr := patterns.MustBuild(patterns.Params{
+		Family: "no_comm", Width: 320, Steps: 2,
+		Len: 100_000, K: patterns.DefaultK, Seed: 1,
+		Layout: "malloc", Fields: 2, Height: 1, Regions: 1,
+	})
+	var r runner
+	cfg := DefaultConfig()
+	cfg.Mode = FullSystem
+	cfg.FastForward = false
+	cfg.RunAhead = 3
+	cfg.Picos.NewQDepth = 1
+	if err := r.reset(tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	maxAhead := 0
+	for i := 0; i < 5_000_000 && r.done < len(tr.Tasks); i++ {
+		now := r.p.Now()
+		r.stepWorkers(now)
+		r.stepDeliveries(now)
+		r.stepSubmits(now)
+		r.stepMaster(now)
+		r.stepBus(now)
+		r.dispatch(now)
+		if r.createdAhead > maxAhead {
+			maxAhead = r.createdAhead
+		}
+		if maxAhead > 3 {
+			t.Fatalf("created-but-unsubmitted window reached %d at cycle %d, bound is 3", maxAhead, now)
+		}
+		if maxAhead == 3 && i > 1_500_000 {
+			break // bound proven held across a long saturated stretch
+		}
+		r.p.Step()
+	}
+	if maxAhead < 3 {
+		t.Fatalf("window never filled (max %d): the workload does not exercise run-ahead", maxAhead)
+	}
+}
+
+// TestUnboundedQueueKeepsLegacyBehavior: with the default unbounded
+// submission buffer, the default run-ahead window (16 descriptors) never
+// binds — the link drains created descriptors far faster than the
+// master creates them — so results are identical to an infinite window,
+// the calibrated Table IV behavior. (A window of 1 WOULD bind even
+// here: the master then waits out each submission's link occupancy and
+// flight before creating again.)
+func TestUnboundedQueueKeepsLegacyBehavior(t *testing.T) {
+	tr := runAheadTrace()
+	base := DefaultConfig()
+	base.Mode = FullSystem
+	bounded := base
+	bounded.RunAhead = DefaultRunAhead
+	unbounded := base
+	unbounded.RunAhead = -1
+	a, err := Run(tr, bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Stats != b.Stats {
+		t.Fatalf("run-ahead window changed an unbounded-queue run: makespan %d vs %d", a.Makespan, b.Makespan)
+	}
+	_ = picos.ErrNewQFull // the knob this suite exists for
+}

@@ -1,6 +1,7 @@
 package hil
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/picos"
@@ -68,6 +69,23 @@ type runner struct {
 	// Full-system thrTask ~ create+submit+send, as in Table IV).
 	masterNext int
 	masterFree uint64
+	// createdAhead counts FullSystem descriptors created but not yet
+	// accepted by the accelerator's new-task queue (waiting for the
+	// link, in flight, or parked after an ErrNewQFull rejection). The
+	// master keeps creating while createdAhead < cfg.RunAhead — the
+	// creation run-ahead window — and pauses, with the descriptor
+	// pipeline full, once the window is exhausted.
+	createdAhead int
+
+	// feedNext is the HW-only/HW+comm preload cursor under a bounded
+	// new-task queue: tasks [feedNext, len) have not been handed to the
+	// accelerator yet and are submitted (HWOnly) as the queue drains.
+	feedNext int
+	// parkedNew holds tasks whose Submit was rejected with ErrNewQFull
+	// at link delivery: the descriptor is parked, in arrival order, and
+	// retried every evaluated cycle until the queue accepts it — a
+	// rejected registration is never dropped.
+	parkedNew queue.FIFO[uint32]
 
 	pendingNew queue.FIFO[stampedTask]      // created tasks awaiting the link
 	pendingFin queue.FIFO[picos.TaskHandle] // worker completions awaiting the link
@@ -111,6 +129,9 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	if cfg.Master == (MasterTiming{}) {
 		cfg.Master = DefaultMasterTiming()
 	}
+	if cfg.RunAhead == 0 {
+		cfg.RunAhead = DefaultRunAhead
+	}
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("hil: %w", err)
 	}
@@ -145,6 +166,9 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	r.busyH = r.busyH[:0]
 
 	r.masterNext, r.masterFree = 0, 0
+	r.createdAhead = 0
+	r.feedNext = len(tr.Tasks)
+	r.parkedNew.Reset()
 	r.pendingNew.Reset()
 	r.pendingFin.Reset()
 	r.deliveries.Reset()
@@ -160,10 +184,18 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 
 	switch cfg.Mode {
 	case HWOnly:
+		// Preload the trace. With a bounded new-task queue the submission
+		// buffer fills; the rest feeds in from feedNext as it drains.
+		r.feedNext = 0
 		for i := range tr.Tasks {
-			if err := r.p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps); err != nil {
+			err := r.p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps)
+			if errors.Is(err, picos.ErrNewQFull) {
+				break
+			}
+			if err != nil {
 				return err
 			}
+			r.feedNext = i + 1
 		}
 	case HWComm:
 		for i := range tr.Tasks {
@@ -185,9 +217,62 @@ func (r *runner) scrub() {
 	r.start, r.finish, r.order = nil, nil, nil
 }
 
-func (r *runner) pendingWork() bool {
+// liveWork reports queued work that always makes progress by itself:
+// link messages and fetched tasks. Backpressured submissions (see
+// backpressured) are NOT included — they progress only while the
+// accelerator's new-task queue has room.
+func (r *runner) liveWork() bool {
 	return r.pendingNew.Len() > 0 || r.pendingFin.Len() > 0 || r.deliveries.Len() > 0 ||
 		r.readyBacklog.Len() > 0
+}
+
+func (r *runner) pendingWork() bool {
+	return r.liveWork() || r.backpressured()
+}
+
+// backpressured reports that tasks are waiting on new-task queue space:
+// parked rejections or an unfinished preload feed. Their retry can only
+// succeed after the GW pops the queue — an accelerator-internal event —
+// so while this holds the fast path adds the accelerator's event horizon
+// to its wake candidates.
+func (r *runner) backpressured() bool {
+	return r.parkedNew.Len() > 0 || r.feedNext < len(r.tr.Tasks)
+}
+
+// masterWindowOpen reports whether the FullSystem master may create the
+// next task: the run-ahead window has room (cfg.RunAhead < 0 disables
+// the bound).
+func (r *runner) masterWindowOpen() bool {
+	return r.cfg.RunAhead < 0 || r.createdAhead < r.cfg.RunAhead
+}
+
+// stepSubmits retries parked submissions and advances the preload feed
+// while the accelerator's new-task queue has room. Every task submitted
+// here was validated before the run, so only ErrNewQFull can come back.
+func (r *runner) stepSubmits(now uint64) {
+	for r.p.NewQRoom() {
+		idx, ok := r.parkedNew.Peek()
+		if !ok {
+			break
+		}
+		task := &r.tr.Tasks[idx]
+		if err := r.p.Submit(task.ID, task.Deps); err != nil {
+			return // queue refilled mid-loop; keep the descriptor parked
+		}
+		r.parkedNew.Pop()
+		if r.cfg.Mode == FullSystem {
+			r.createdAhead--
+		}
+		r.lastProgress = now
+	}
+	for r.parkedNew.Len() == 0 && r.feedNext < len(r.tr.Tasks) && r.p.NewQRoom() {
+		task := &r.tr.Tasks[r.feedNext]
+		if err := r.p.Submit(task.ID, task.Deps); err != nil {
+			return
+		}
+		r.feedNext++
+		r.lastProgress = now
+	}
 }
 
 func (r *runner) run() (*Result, error) {
@@ -208,6 +293,7 @@ func (r *runner) runRef() (*Result, error) {
 		now := r.p.Now()
 		r.stepWorkers(now)
 		r.stepDeliveries(now)
+		r.stepSubmits(now)
 		r.stepMaster(now)
 		r.stepBus(now)
 		r.dispatch(now)
@@ -234,13 +320,28 @@ func (r *runner) runRef() (*Result, error) {
 // not count as a future event: only an external finish could release
 // it, and there is none left.)
 func (r *runner) wedged(now uint64) bool {
-	if !r.p.Idle() || r.pendingWork() {
+	if !r.p.Idle() {
+		return false
+	}
+	if r.liveWork() {
+		return false
+	}
+	// Parked or unfed tasks can still progress only while the new-task
+	// queue has room (stepSubmits ran this cycle, so room here means the
+	// queue refused them for another reason — impossible — or they will
+	// submit next cycle); with the queue full they are as dead as the
+	// accelerator behind it.
+	if r.backpressured() && r.p.NewQRoom() {
 		return false
 	}
 	if len(r.busyH) > 0 {
 		return false
 	}
-	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
+	// A master with tasks left to create is alive only while its
+	// run-ahead window has room (or it is still paying for the previous
+	// creation); a window pinned full by a dead accelerator is not.
+	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) &&
+		(r.masterWindowOpen() || r.masterFree > now) {
 		return false
 	}
 	if r.p.ReadyCount() > 0 {
@@ -280,6 +381,7 @@ func (r *runner) runFast() (*Result, error) {
 		now := r.p.Now()
 		r.stepWorkers(now)
 		r.stepDeliveries(now)
+		r.stepSubmits(now)
 		r.stepMaster(now)
 		r.stepBus(now)
 		r.dispatch(now)
@@ -391,7 +493,10 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)
 	}
-	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
+	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) && r.masterWindowOpen() {
+		// A window-blocked master resumes only when a submission is
+		// accepted, and every acceptance happens at a delivery or parked
+		// retry — cycles already covered by the candidates here.
 		consider(r.masterFree)
 	}
 	if st, sok := r.pendingNew.Peek(); sok && st.at > now {
@@ -401,6 +506,15 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 		(r.pendingFin.Len() > 0 || r.pendingNew.Len() > 0 ||
 			(interested && r.p.ReadyCount() > 0)) {
 		consider(r.busFree)
+	}
+	if r.backpressured() {
+		// Parked or unfed tasks wait for new-task queue space, which
+		// opens at a GW admission — an accelerator-internal event — so
+		// every accelerator event becomes a (conservative) wake
+		// candidate while the backpressure lasts.
+		if ne, ok2 := r.p.NextEvent(); ok2 {
+			consider(ne)
+		}
 	}
 	return next, ok
 }
@@ -434,11 +548,31 @@ func (r *runner) stepDeliveries(now uint64) {
 		r.deliveries.Pop()
 		switch d.msg.kind {
 		case busNew:
+			if r.parkedNew.Len() > 0 {
+				// Keep submission order: earlier rejections go first.
+				r.parkedNew.Push(d.msg.task)
+				break
+			}
 			task := &r.tr.Tasks[d.msg.task]
-			// Traces are validated before the run; a rejection here is a
-			// harness bug, surfaced through the drain check (submitted
-			// counter stays short).
-			_ = r.p.Submit(task.ID, task.Deps)
+			err := r.p.Submit(task.ID, task.Deps)
+			switch {
+			case errors.Is(err, picos.ErrNewQFull):
+				// The submission buffer is full: park the descriptor and
+				// retry until the queue accepts it. A rejected
+				// registration is never dropped — losing it would wedge
+				// the run and fail the drain check.
+				r.parkedNew.Push(d.msg.task)
+			case err != nil:
+				// Traces are validated before the run, so a non-capacity
+				// rejection is impossible; if the model ever produces
+				// one, surface it through the drain check (submitted
+				// counter stays short) rather than dropping silently.
+				_ = err
+			default:
+				if r.cfg.Mode == FullSystem {
+					r.createdAhead--
+				}
+			}
 		case busReady:
 			r.readyInFlight--
 			r.readyBacklog.Push(d.msg.rt)
@@ -459,6 +593,12 @@ func (r *runner) stepMaster(now uint64) {
 	if r.masterNext >= len(r.tr.Tasks) || r.masterFree > now {
 		return
 	}
+	if !r.masterWindowOpen() {
+		// Run-ahead window exhausted: the master parks with the next
+		// descriptor ready and resumes the moment a submission is
+		// accepted downstream.
+		return
+	}
 	task := &r.tr.Tasks[r.masterNext]
 	cost := task.CreateCost
 	if cost == 0 {
@@ -470,6 +610,7 @@ func (r *runner) stepMaster(now uint64) {
 	r.masterFree = now + cost
 	r.pendingNew.Push(stampedTask{at: r.masterFree, idx: uint32(r.masterNext)})
 	r.masterNext++
+	r.createdAhead++
 }
 
 // stepBus arbitrates the AXI link: ready retrievals first (keep workers
@@ -583,6 +724,9 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 	if r.busCanActNow(now) {
 		return 0, false
 	}
+	if r.backpressured() && r.p.NewQRoom() {
+		return 0, false
+	}
 	next := uint64(0)
 	consider := func(t uint64) {
 		if t > now && (next == 0 || t < next) {
@@ -595,7 +739,7 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)
 	}
-	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) {
+	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) && r.masterWindowOpen() {
 		consider(r.masterFree)
 	}
 	if st, ok := r.pendingNew.Peek(); ok {

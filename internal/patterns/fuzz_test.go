@@ -39,3 +39,32 @@ func FuzzParsePattern(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseDAG drives arbitrary bytes through the dagfile parser: it
+// must never panic, and whatever it accepts must be a validated,
+// replayable trace (every task's dependence list within the hardware
+// limits, IDs dense, durations non-zero).
+func FuzzParseDAG(f *testing.F) {
+	f.Add([]byte(`digraph g { a [dur=10]; a -> b; b -> "c.1" [x=1]; }`))
+	f.Add([]byte(`digraph g { a -> b -> c -> d; }`))
+	f.Add([]byte(`[{"name":"a","dur":5},{"name":"b","after":["a"]}]`))
+	f.Add([]byte(`digraph g { a -> b; b -> a; }`))
+	f.Add([]byte(`strict digraph { x; }`))
+	f.Add([]byte(`digraph g { a // comment
+	b # other comment
+	a -> b }`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"not":"an array"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseDAG(data)
+		if err != nil {
+			return
+		}
+		if len(tr.Tasks) == 0 {
+			t.Fatal("accepted graph built an empty trace")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted graph built an invalid trace: %v", err)
+		}
+	})
+}

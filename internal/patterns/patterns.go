@@ -44,6 +44,10 @@ const (
 	DefaultK      = 3
 	DefaultSeed   = 1
 	DefaultLayout = "malloc"
+	// DefaultHeight is the y-extent of the 2-D families (stencil_2d,
+	// wavefront): a width x height grid of points per timestep. 1-D
+	// families always have height 1.
+	DefaultHeight = 8
 	// DefaultFields is the buffer multiplicity per point: 2 is
 	// task-bench's num_fields default (Jacobi-style double buffering, so
 	// a step's reads bind to the previous step's writes). fields=1 is
@@ -80,6 +84,28 @@ type Params struct {
 	// Fields is the number of buffers each point cycles through across
 	// steps (task-bench's num_fields); see DefaultFields.
 	Fields int
+	// Height is the y-extent of the 2-D families: each timestep holds
+	// Width*Height points, point i sitting at (i%Width, i/Width). 1 for
+	// the 1-D families (which reject the parameter).
+	Height int
+	// Gaps carves deterministic holes into the grid: every Gaps-th point
+	// (i%Gaps == Gaps-1) is inactive — it runs no tasks, and reads that
+	// would name it are skipped — the task-bench "gaps" variant that
+	// thins the dependence structure the way SparseLu's empty blocks do.
+	// 0 or 1 means no holes.
+	Gaps int
+	// Regions gives every task Regions address regions: each point owns
+	// one buffer per region, far apart in the address space (different
+	// DM regions), and a task carries an inout dependence on every
+	// region of its point plus in dependences on every region of its
+	// input points — the h264dec-deblock shape where one task touches
+	// the Y/U/V planes of its own and its neighbors' macroblocks.
+	// Default 1.
+	Regions int
+	// Path is the graph file of the dagfile family, which replays an
+	// arbitrary DAG (DOT or JSON, see ParseDAG) instead of generating a
+	// grid. Only dagfile accepts (and requires) it.
+	Path string
 	// Layout selects the address layout of the point buffers:
 	//
 	//	malloc  - glibc-style 32KB heap blocks (stride 0x8010): buffers
@@ -105,12 +131,22 @@ var layoutStrides = map[string]uint64{
 // the real benchmarks' arenas.
 const patternBase = 0x70000000
 
+// regionStride separates a point's address regions (Params.Regions):
+// far enough apart that no layout's point footprint can reach the next
+// region (the widest grid spans well under 2^40 bytes), with a low-bit
+// offset so the direct-hash designs see region r of a point in a
+// different DM set than region 0 (set delta 17 per region, coprime to
+// the 64 sets).
+const regionStride = uint64(1<<40) | 0x44
+
 // family is one dependence-pattern family: inputs returns the previous-
 // step points that (t,i) reads, for t >= 1. Implementations may return
 // i itself or duplicates; Build filters both.
 type family struct {
 	desc     string
 	needPow2 bool
+	// is2D marks the families whose per-step grid is Width x Height.
+	is2D bool
 	// freshAddr gives every task its own buffer (no cross-step
 	// chaining): the fully-independent control family.
 	freshAddr bool
@@ -232,7 +268,54 @@ var families = map[string]family{
 			return out
 		},
 	},
+	"stencil_2d": {
+		desc: "5-point stencil on a width x height grid: each point reads itself and its four edge neighbors of the previous step",
+		is2D: true,
+		inputs: func(p Params, t, i int) []int {
+			x, y := i%p.Width, i/p.Width
+			out := make([]int, 0, 5)
+			out = append(out, i)
+			if x > 0 {
+				out = append(out, i-1)
+			}
+			if x < p.Width-1 {
+				out = append(out, i+1)
+			}
+			if y > 0 {
+				out = append(out, i-p.Width)
+			}
+			if y < p.Height-1 {
+				out = append(out, i+p.Width)
+			}
+			return out
+		},
+	},
+	"wavefront": {
+		desc: "2-D wavefront (dom_2d): each point reads itself and its west and north neighbors of the previous step, the Smith-Waterman sweep",
+		is2D: true,
+		inputs: func(p Params, t, i int) []int {
+			x, y := i%p.Width, i/p.Width
+			out := make([]int, 0, 3)
+			out = append(out, i)
+			if x > 0 {
+				out = append(out, i-1)
+			}
+			if y > 0 {
+				out = append(out, i-p.Width)
+			}
+			return out
+		},
+	},
+	"dagfile": {
+		desc: "replays an arbitrary task graph from a DOT or JSON file (path=<file>); see ParseDAG for the format",
+	},
 }
+
+// points returns the number of grid points per timestep.
+func (p Params) points() int { return p.Width * p.Height }
+
+// hole reports whether grid point i is inactive under the Gaps knob.
+func (p Params) hole(i int) bool { return p.Gaps > 1 && i%p.Gaps == p.Gaps-1 }
 
 // Families lists the pattern family names, sorted.
 func Families() []string {
@@ -255,18 +338,23 @@ func Describe(name string) string { return families[name].desc }
 func Parse(s string) (Params, error) {
 	name, query, _ := strings.Cut(s, "?")
 	p := Params{
-		Family: name,
-		Width:  DefaultWidth,
-		Steps:  DefaultSteps,
-		Len:    DefaultLen,
-		K:      DefaultK,
-		Seed:   DefaultSeed,
-		Layout: DefaultLayout,
-		Fields: DefaultFields,
+		Family:  name,
+		Width:   DefaultWidth,
+		Steps:   DefaultSteps,
+		Len:     DefaultLen,
+		K:       DefaultK,
+		Seed:    DefaultSeed,
+		Layout:  DefaultLayout,
+		Fields:  DefaultFields,
+		Height:  1,
+		Regions: 1,
 	}
 	fam, ok := families[name]
 	if !ok {
 		return p, fmt.Errorf("patterns: unknown family %q (have %s)", name, strings.Join(Families(), ", "))
+	}
+	if fam.is2D {
+		p.Height = DefaultHeight
 	}
 	vals, err := url.ParseQuery(query)
 	if err != nil {
@@ -275,6 +363,11 @@ func Parse(s string) (Params, error) {
 	for key, vs := range vals {
 		if len(vs) != 1 {
 			return p, fmt.Errorf("patterns: %s: parameter %q given %d times", name, key, len(vs))
+		}
+		if name == "dagfile" && key != "path" {
+			// The replayed graph IS the workload: grid parameters would
+			// be silently inert, so they are rejected instead.
+			return p, fmt.Errorf("patterns: dagfile: parameter %s=%q: the dagfile family only takes path", key, vs[0])
 		}
 		v := vs[0]
 		var perr error
@@ -298,8 +391,28 @@ func Parse(s string) (Params, error) {
 				perr = fmt.Errorf("unknown layout %q (have malloc, aligned, spread)", v)
 			}
 			p.Layout = v
+		case "height":
+			if !fam.is2D {
+				perr = fmt.Errorf("only the 2-D families take a height")
+				break
+			}
+			p.Height, perr = parseInt(v, 1, 1<<12)
+		case "gaps":
+			p.Gaps, perr = parseInt(v, 2, 1<<16)
+		case "regions":
+			p.Regions, perr = parseInt(v, 1, 8)
+		case "path":
+			if name != "dagfile" {
+				perr = fmt.Errorf("only the dagfile family takes a path")
+				break
+			}
+			if v == "" {
+				perr = fmt.Errorf("empty path")
+				break
+			}
+			p.Path = v
 		default:
-			perr = fmt.Errorf("unknown parameter (have width, steps, len, jitter, k, seed, fields, layout)")
+			perr = fmt.Errorf("unknown parameter (have width, steps, len, jitter, k, seed, fields, layout, height, gaps, regions, path)")
 		}
 		if perr != nil {
 			return p, fmt.Errorf("patterns: %s: parameter %s=%q: %w", name, key, v, perr)
@@ -308,8 +421,14 @@ func Parse(s string) (Params, error) {
 	if fam.needPow2 && p.Width&(p.Width-1) != 0 {
 		return p, fmt.Errorf("patterns: %s: width must be a power of two, got %d", name, p.Width)
 	}
-	if p.Width*p.Steps > 1<<22 {
-		return p, fmt.Errorf("patterns: %s: width*steps = %d exceeds the 4M-task cap", name, p.Width*p.Steps)
+	if name == "dagfile" {
+		if p.Path == "" {
+			return p, fmt.Errorf("patterns: dagfile: a path=<file> parameter is required")
+		}
+		return p, nil
+	}
+	if p.points()*p.Steps > 1<<22 {
+		return p, fmt.Errorf("patterns: %s: width*height*steps = %d exceeds the 4M-task cap", name, p.points()*p.Steps)
 	}
 	return p, nil
 }
@@ -342,8 +461,20 @@ func parseUint(v string, lo, hi uint64) (uint64, error) {
 // as the trace name: family-w<width>-s<steps> plus any non-default
 // parameters.
 func (p Params) Name() string {
+	if p.Family == "dagfile" {
+		return "dagfile-" + strings.Map(func(r rune) rune {
+			if r == '/' || r == '\\' {
+				return '_'
+			}
+			return r
+		}, p.Path)
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s-w%d-s%d", p.Family, p.Width, p.Steps)
+	if p.Height > 1 {
+		fmt.Fprintf(&b, "%s-w%dx%d-s%d", p.Family, p.Width, p.Height, p.Steps)
+	} else {
+		fmt.Fprintf(&b, "%s-w%d-s%d", p.Family, p.Width, p.Steps)
+	}
 	if p.Len != DefaultLen {
 		fmt.Fprintf(&b, "-len%d", p.Len)
 	}
@@ -359,6 +490,12 @@ func (p Params) Name() string {
 	if p.Fields != DefaultFields {
 		fmt.Fprintf(&b, "-f%d", p.Fields)
 	}
+	if p.Gaps > 1 {
+		fmt.Fprintf(&b, "-g%d", p.Gaps)
+	}
+	if p.Regions > 1 {
+		fmt.Fprintf(&b, "-r%d", p.Regions)
+	}
 	if p.Layout != DefaultLayout {
 		fmt.Fprintf(&b, "-%s", p.Layout)
 	}
@@ -369,8 +506,15 @@ func (p Params) Name() string {
 // Parse, modulo parameter ordering): "family?width=16&steps=10&...".
 func (p Params) Spec() string {
 	q := url.Values{}
+	if p.Family == "dagfile" {
+		q.Set("path", p.Path)
+		return p.Family + "?" + q.Encode()
+	}
 	q.Set("width", strconv.Itoa(p.Width))
 	q.Set("steps", strconv.Itoa(p.Steps))
+	if fam := families[p.Family]; fam.is2D && p.Height != DefaultHeight {
+		q.Set("height", strconv.Itoa(p.Height))
+	}
 	if p.Len != DefaultLen {
 		q.Set("len", strconv.FormatUint(p.Len, 10))
 	}
@@ -385,6 +529,12 @@ func (p Params) Spec() string {
 	}
 	if p.Fields != DefaultFields {
 		q.Set("fields", strconv.Itoa(p.Fields))
+	}
+	if p.Gaps > 1 {
+		q.Set("gaps", strconv.Itoa(p.Gaps))
+	}
+	if p.Regions > 1 {
+		q.Set("regions", strconv.Itoa(p.Regions))
 	}
 	if p.Layout != DefaultLayout {
 		q.Set("layout", p.Layout)
@@ -408,6 +558,9 @@ func Build(p Params) (*trace.Trace, error) {
 	if !ok {
 		return nil, fmt.Errorf("patterns: unknown family %q (have %s)", p.Family, strings.Join(Families(), ", "))
 	}
+	if p.Family == "dagfile" {
+		return buildDAGFile(p)
+	}
 	stride := layoutStrides[p.Layout]
 	if stride == 0 {
 		return nil, fmt.Errorf("patterns: unknown layout %q (have malloc, aligned, spread)", p.Layout)
@@ -415,34 +568,51 @@ func Build(p Params) (*trace.Trace, error) {
 	if p.Fields < 1 {
 		p.Fields = DefaultFields
 	}
+	if p.Height < 1 {
+		p.Height = 1
+	}
+	if p.Regions < 1 {
+		p.Regions = 1
+	}
+	points := p.points()
 	buf := func(i, t int) uint64 {
 		return patternBase + uint64(i*p.Fields+t%p.Fields)*stride
 	}
 
 	tr := &trace.Trace{Name: "pattern-" + p.Name()}
-	tr.Tasks = make([]trace.Task, 0, p.Width*p.Steps)
+	tr.Tasks = make([]trace.Task, 0, points*p.Steps)
 	seen := make(map[uint64]bool, trace.MaxDeps)
+	// addRegions appends one dependence per address region of a point
+	// buffer, deduplicated and capped at the hardware's per-task limit.
+	addRegions := func(deps []trace.Dep, base uint64, dir trace.Direction) []trace.Dep {
+		for r := 0; r < p.Regions; r++ {
+			a := base + uint64(r)*regionStride
+			if seen[a] || len(deps) == trace.MaxDeps {
+				continue
+			}
+			seen[a] = true
+			deps = append(deps, trace.Dep{Addr: a, Dir: dir})
+		}
+		return deps
+	}
 	for t := 0; t < p.Steps; t++ {
-		for i := 0; i < p.Width; i++ {
+		for i := 0; i < points; i++ {
+			if p.hole(i) {
+				continue // inactive point: no task this (or any) step
+			}
 			id := uint32(len(tr.Tasks))
 			own := buf(i, t)
 			if fam.freshAddr {
-				own = patternBase + uint64(t*p.Width+i)*stride
+				own = patternBase + uint64(t*points+i)*stride
 			}
 			deps := make([]trace.Dep, 0, trace.MaxDeps)
-			deps = append(deps, trace.Dep{Addr: own, Dir: trace.InOut})
-			seen[own] = true
+			deps = addRegions(deps, own, trace.InOut)
 			if t > 0 {
 				for _, j := range fam.inputs(p, t, i) {
-					if j < 0 || j >= p.Width {
+					if j < 0 || j >= points || p.hole(j) {
 						continue
 					}
-					a := buf(j, t-1)
-					if seen[a] || len(deps) == trace.MaxDeps {
-						continue
-					}
-					seen[a] = true
-					deps = append(deps, trace.Dep{Addr: a, Dir: trace.In})
+					deps = addRegions(deps, buf(j, t-1), trace.In)
 				}
 			}
 			for _, d := range deps {
@@ -454,6 +624,9 @@ func Build(p Params) (*trace.Trace, error) {
 			}
 			tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps, Duration: dur})
 		}
+	}
+	if len(tr.Tasks) == 0 {
+		return nil, fmt.Errorf("patterns: %s: every grid point is a gap, no tasks to run", p.Name())
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("patterns: %s built an invalid trace: %w", p.Name(), err)

@@ -10,8 +10,9 @@ import (
 
 func TestFamiliesListed(t *testing.T) {
 	want := []string{
-		"all_to_all", "dom", "fft", "nearest", "no_comm", "random_nearest",
-		"spread", "stencil_1d", "stencil_1d_periodic", "tree", "trivial",
+		"all_to_all", "dagfile", "dom", "fft", "nearest", "no_comm",
+		"random_nearest", "spread", "stencil_1d", "stencil_1d_periodic",
+		"stencil_2d", "tree", "trivial", "wavefront",
 	}
 	got := Families()
 	if len(got) != len(want) {
@@ -101,10 +102,17 @@ func build(t *testing.T, spec string) *trace.Trace {
 
 func TestBuildShapesAndValidity(t *testing.T) {
 	for _, fam := range Families() {
+		if fam == "dagfile" {
+			continue // replays a file; covered by the dagfile tests
+		}
 		spec := fam + "?width=8&steps=5"
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
 		tr := build(t, spec)
-		if len(tr.Tasks) != 40 {
-			t.Errorf("%s: %d tasks, want width*steps = 40", fam, len(tr.Tasks))
+		if want := p.Width * p.Height * 5; len(tr.Tasks) != want {
+			t.Errorf("%s: %d tasks, want width*height*steps = %d", fam, len(tr.Tasks), want)
 		}
 		if err := tr.Validate(); err != nil {
 			t.Errorf("%s: invalid trace: %v", fam, err)
@@ -113,7 +121,7 @@ func TestBuildShapesAndValidity(t *testing.T) {
 			t.Errorf("%s: trace name %q", fam, tr.Name)
 		}
 		// Step 0 carries no inputs: exactly the owner dependence.
-		for i := 0; i < 8; i++ {
+		for i := 0; i < p.Width*p.Height; i++ {
 			if n := len(tr.Tasks[i].Deps); n != 1 {
 				t.Errorf("%s: step-0 task %d has %d deps, want 1", fam, i, n)
 			}
@@ -290,5 +298,100 @@ func TestJitterBoundsDurations(t *testing.T) {
 	}
 	if !varied {
 		t.Error("jitter=25 produced constant durations")
+	}
+}
+
+// TestStencil2DShape: the 5-point stencil on a width x height grid. With
+// double-buffered fields an interior point reads itself and four edge
+// neighbors of the previous step (6 deps with the owner); corners lose
+// two neighbors.
+func TestStencil2DShape(t *testing.T) {
+	tr := build(t, "stencil_2d?width=6&height=4&steps=2")
+	if len(tr.Tasks) != 6*4*2 {
+		t.Fatalf("%d tasks, want 48", len(tr.Tasks))
+	}
+	step1 := func(x, y int) int { return 24 + y*6 + x }
+	if n := len(tr.Tasks[step1(2, 1)].Deps); n != 6 {
+		t.Errorf("interior point: %d deps, want 6", n)
+	}
+	if n := len(tr.Tasks[step1(0, 0)].Deps); n != 4 {
+		t.Errorf("corner point: %d deps, want 4 (owner + self + 2 neighbors)", n)
+	}
+}
+
+// TestWavefrontShape: the dom_2d sweep reads west and north of the
+// previous step; the origin reads only itself.
+func TestWavefrontShape(t *testing.T) {
+	tr := build(t, "wavefront?width=5&height=3&steps=2")
+	step1 := func(x, y int) int { return 15 + y*5 + x }
+	if n := len(tr.Tasks[step1(2, 1)].Deps); n != 4 {
+		t.Errorf("interior point: %d deps, want 4 (owner + self + west + north)", n)
+	}
+	if n := len(tr.Tasks[step1(0, 0)].Deps); n != 2 {
+		t.Errorf("origin: %d deps, want 2", n)
+	}
+	// Height defaults for the 2-D families, and 1-D families reject it.
+	p, err := Parse("wavefront")
+	if err != nil || p.Height != DefaultHeight {
+		t.Errorf("wavefront default height = %d (err %v), want %d", p.Height, err, DefaultHeight)
+	}
+	if _, err := Parse("stencil_1d?height=4"); err == nil {
+		t.Error("stencil_1d accepted a height")
+	}
+}
+
+// TestGapsThinTheGrid: every gaps-th point is inactive — no tasks, and
+// reads that would name it are skipped.
+func TestGapsThinTheGrid(t *testing.T) {
+	tr := build(t, "no_comm?width=8&steps=3&gaps=4")
+	// Points 3 and 7 are holes: 6 tasks per step.
+	if len(tr.Tasks) != 18 {
+		t.Fatalf("%d tasks, want 18", len(tr.Tasks))
+	}
+	tr = build(t, "stencil_1d?width=8&steps=2&gaps=4")
+	// Step-1 point 2 reads {1, 2} of the previous step; neighbor 3 is a
+	// hole and drops out: owner + 2 reads.
+	var task2 = tr.Tasks[6+2] // 6 active points per step, point 2 is the third
+	if len(task2.Deps) != 3 {
+		t.Errorf("point beside a hole: %d deps, want 3", len(task2.Deps))
+	}
+	if _, err := Parse("no_comm?gaps=1"); err == nil {
+		t.Error("gaps=1 (everything a hole) should be rejected")
+	}
+	// An all-holes grid cannot happen (gaps >= 2 keeps point 0 active).
+	tr = build(t, "trivial?width=2&steps=1&gaps=2")
+	if len(tr.Tasks) != 1 {
+		t.Errorf("width-2 gaps=2: %d tasks, want 1", len(tr.Tasks))
+	}
+}
+
+// TestRegionsMultiAddress: regions=k gives every task k inout regions of
+// its own point and k read regions per input, the h264dec-deblock shape.
+func TestRegionsMultiAddress(t *testing.T) {
+	tr := build(t, "no_comm?width=4&steps=2&regions=3")
+	t0 := tr.Tasks[0]
+	if len(t0.Deps) != 3 {
+		t.Fatalf("step-0 task: %d deps, want 3 owner regions", len(t0.Deps))
+	}
+	for r := 1; r < 3; r++ {
+		if d := t0.Deps[r].Addr - t0.Deps[r-1].Addr; d != uint64(1<<40)|0x44 {
+			t.Errorf("region stride %#x, want %#x", d, uint64(1<<40)|0x44)
+		}
+		if !t0.Deps[r].Dir.Writes() {
+			t.Errorf("owner region %d is not inout", r)
+		}
+	}
+	t1 := tr.Tasks[4]
+	// Owner 3 regions + 3 read regions of the same point's previous
+	// step (double-buffered, so distinct addresses).
+	if len(t1.Deps) != 6 {
+		t.Errorf("step-1 task: %d deps, want 6", len(t1.Deps))
+	}
+	// The per-task cap still holds when regions multiply wide families.
+	tr = build(t, "all_to_all?width=8&steps=2&regions=4")
+	for i := range tr.Tasks {
+		if len(tr.Tasks[i].Deps) > trace.MaxDeps {
+			t.Fatalf("task %d exceeds MaxDeps with %d deps", i, len(tr.Tasks[i].Deps))
+		}
 	}
 }

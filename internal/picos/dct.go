@@ -15,15 +15,39 @@ type dctUnit struct {
 	finQ    regFIFO[finishDepPkt] // from TRS via ARB (F3)
 
 	// Head-of-line stall state for newDepQ: a dependence that cannot be
-	// stored (DM set full or VM exhausted) blocks the queue — and with
-	// it, registration of every later dependence routed here — until a
-	// release frees space. Blocking in order is what keeps wake-up
-	// semantics (and deadlock freedom) intact. stall records which
-	// per-cycle counter the retries feed, so a fast-forwarded stretch can
+	// stored blocks the queue — and with it, registration of every later
+	// dependence routed here — until a release frees space. Under the
+	// default ConflictSidetrack policy only VM exhaustion and second-set
+	// conflicts stall the head this way; a first DM-set conflict parks in
+	// the sidetrack register below instead. stall records which per-cycle
+	// counter the retries feed, so a fast-forwarded stretch can
 	// batch-account exactly what the cycle-by-cycle retries would have.
 	headStalled     bool
 	conflictCounted bool
 	stall           stallKind
+
+	// Conflict sidetrack register (ConflictSidetrack): one dependence
+	// whose DM set was full, parked out of the queue so registration of
+	// later dependences keeps flowing. The parked dependence retries
+	// every cycle with strict priority over the queue, which preserves
+	// program order per address (a later dependence on the same address
+	// maps to the same — still full — set and can never overtake) and
+	// keeps the set closed to younger insertions, so the head-of-line
+	// deadlock-freedom argument carries over unchanged. parkedStall
+	// records why the last retry failed (the set may drain into a VM
+	// shortage), for the same batch-accounting as the head stall.
+	hasParked   bool
+	parked      newDepPkt
+	parkedSet   int
+	parkedStall stallKind
+	// parkedRetryAt schedules the one retry that a release arriving while
+	// the registration engine was mid-operation could not attempt
+	// immediately: the engine frees at busyUntil, and without surfacing
+	// that cycle as an event the fast path would sleep through a retry
+	// the per-cycle reference loop performs (and that may now succeed).
+	// Zero means no retry is owed; failed retries clear it, because a
+	// retry can only start succeeding after another release.
+	parkedRetryAt uint64
 
 	busyUntil    uint64 // registration engine
 	busyUntilFin uint64 // release engine (overlapped in the prototype)
@@ -31,8 +55,8 @@ type dctUnit struct {
 	hid          int32 // horizon-heap slot
 }
 
-// stallKind labels why the head of newDepQ cannot be stored, i.e. which
-// Stats counter every retry cycle feeds.
+// stallKind labels why a dependence cannot be stored, i.e. which Stats
+// counter every retry cycle feeds.
 type stallKind uint8
 
 const (
@@ -70,8 +94,13 @@ func (u *dctUnit) reset(design DMDesign) {
 	u.newDepQ.reset()
 	u.finQ.reset()
 	u.headStalled, u.conflictCounted, u.stall = false, false, stallNone
+	u.hasParked, u.parked, u.parkedSet, u.parkedStall = false, newDepPkt{}, 0, stallNone
+	u.parkedRetryAt = 0
 	u.busyUntil, u.busyUntilFin, u.busy = 0, 0, 0
 }
+
+// sidetracked reports whether the conflict sidetrack is enabled.
+func (u *dctUnit) sidetracked() bool { return u.p.cfg.Conflict == ConflictSidetrack }
 
 func (u *dctUnit) step(now uint64) {
 	// Release engine: frees DM ways and VM entries — including the very
@@ -85,25 +114,102 @@ func (u *dctUnit) step(now uint64) {
 		u.p.markDirty(u.hid)
 		u.handleFinish(pkt, now)
 	}
-	for u.busyUntil <= now {
-		if pkt, ok := u.newDepQ.peek(now); ok {
-			if u.tryNewDep(pkt, now) {
-				u.newDepQ.pop(now)
+	// Sidetrack retry port: the parked dependence retries once per cycle
+	// (when the registration engine is free) with priority over the
+	// queue, and charges its stall counter every cycle it stays parked —
+	// exactly what a stalled queue head would have charged. skipTo
+	// batch-accounts the same charge across fast-forwarded stretches.
+	if u.hasParked {
+		if u.busyUntil <= now {
+			u.parkedRetryAt = 0
+			if kind := u.tryNewDep(u.parked, now); kind == stallNone {
+				u.hasParked = false
+				u.parked = newDepPkt{}
+				// The head (possibly stalled behind this very set) is
+				// re-attempted once the engine frees; put it back on the
+				// horizon so the fast path wakes for that attempt. Its
+				// conflictCounted marker survives so a re-stall does not
+				// count the same dependence twice.
 				u.headStalled = false
-				u.conflictCounted = false
 				u.stall = stallNone
-				continue
-			}
-			// Stalled: retry next cycle, and drop the head from the
-			// horizon — only a release can make the retry succeed.
-			if !u.headStalled {
-				u.headStalled = true
 				u.p.markDirty(u.hid)
+			} else {
+				u.parkedStall = kind
 			}
+		}
+		if u.hasParked {
+			if u.parkedStall == stallVMFull {
+				u.p.stats.VMStallCycles++
+			} else {
+				u.p.stats.DMConflictStallCycles++
+			}
+		}
+	}
+	for u.busyUntil <= now {
+		pkt, ok := u.newDepQ.peek(now)
+		if !ok {
+			return
+		}
+		kind := u.tryNewDep(pkt, now)
+		if kind == stallNone {
+			u.newDepQ.pop(now)
+			u.headStalled = false
+			u.conflictCounted = false
+			u.stall = stallNone
+			continue
+		}
+		if kind == stallDMSet && u.sidetracked() && !u.hasParked {
+			// Park the conflict and keep registering: the dependence
+			// found its set full — one DM conflict, counted unless this
+			// head was already counted while waiting on a different set —
+			// and moves to the sidetrack so later dependences (which the
+			// creation pipeline keeps delivering) still flow.
+			u.newDepQ.pop(now)
+			u.hasParked = true
+			u.parked = pkt
+			u.parkedSet = u.dm.index(pkt.addr)
+			u.parkedStall = stallDMSet
+			if !u.conflictCounted {
+				u.p.stats.DMConflicts++
+			}
+			u.p.stats.DMConflictStallCycles++
+			u.headStalled = false
+			u.conflictCounted = false
+			u.stall = stallNone
+			u.p.markDirty(u.hid)
 			u.busyUntil = now + 1
 			u.p.noteBusy(u.busyUntil)
 			return
 		}
+		// Stalled: retry next cycle, and drop the head from the horizon —
+		// only a release can make the retry succeed.
+		if !u.headStalled {
+			u.headStalled = true
+			u.p.markDirty(u.hid)
+		}
+		if kind == stallVMFull {
+			if !u.conflictCounted {
+				u.p.stats.VMStallEvents++
+				u.conflictCounted = true
+			}
+			u.p.stats.VMStallCycles++
+			u.stall = stallVMFull
+		} else {
+			// A head conflicting while the sidetrack is occupied waits in
+			// order. If it waits on a different set than the parked
+			// dependence, that is a distinct saturated set — a conflict of
+			// its own; the same set is the episode the sidetrack already
+			// counted (the head inherits it when the slot frees, without
+			// recounting).
+			if !u.conflictCounted && (!u.sidetracked() || u.dm.index(pkt.addr) != u.parkedSet) {
+				u.p.stats.DMConflicts++
+				u.conflictCounted = true
+			}
+			u.p.stats.DMConflictStallCycles++
+			u.stall = stallDMSet
+		}
+		u.busyUntil = now + 1
+		u.p.noteBusy(u.busyUntil)
 		return
 	}
 }
@@ -124,10 +230,11 @@ func (u *dctUnit) sendWake(pkt wakePkt, at uint64) {
 	u.p.arb.route(arbMsg{kind: arbWake, wake: pkt}, at)
 }
 
-// tryNewDep registers one dependence (flow N5). It returns false when
-// the dependence cannot be stored yet (DM conflict or VM capacity),
-// which stalls the queue head.
-func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) bool {
+// tryNewDep registers one dependence (flow N5). It returns stallNone on
+// success, or the reason the dependence cannot be stored yet (DM set
+// full or VM capacity); the caller decides whether that stalls the queue
+// head or parks in the sidetrack, and does the stall accounting.
+func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) stallKind {
 	st := &u.p.stats
 	if ref, hit := u.dm.lookup(pkt.addr); hit {
 		e := u.dm.at(ref)
@@ -137,8 +244,7 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) bool {
 			// New producer: open a new version behind the current one.
 			idx, ok := u.vm.alloc()
 			if !ok {
-				u.stallVM(st)
-				return false
+				return stallVMFull
 			}
 			nv := u.vm.at(idx)
 			nv.dm = ref
@@ -192,13 +298,12 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) bool {
 			u.sendStatus(status, done+u.timing.DCTPipe)
 		}
 		st.DepsProcessed++
-		return true
+		return stallNone
 	}
 
 	// Miss: first live appearance of the address.
 	if u.vm.freeCount() == 0 {
-		u.stallVM(st)
-		return false
+		return stallVMFull
 	}
 	// Probe for a free way before allocating VM so a conflict does not
 	// leak a version entry.
@@ -206,13 +311,7 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) bool {
 	ref, ok := u.dm.insert(pkt.addr, idx, !pkt.dir.Writes())
 	if !ok {
 		u.vm.release(idx)
-		if !u.conflictCounted {
-			st.DMConflicts++
-			u.conflictCounted = true
-		}
-		st.DMConflictStallCycles++
-		u.stall = stallDMSet
-		return false
+		return stallDMSet
 	}
 	nv := u.vm.at(idx)
 	nv.dm = ref
@@ -234,16 +333,7 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) bool {
 	if live := u.vm.live(); live > st.MaxVMLive {
 		st.MaxVMLive = live
 	}
-	return true
-}
-
-func (u *dctUnit) stallVM(st *Stats) {
-	if !u.conflictCounted {
-		st.VMStallEvents++
-		u.conflictCounted = true
-	}
-	st.VMStallCycles++
-	u.stall = stallVMFull
+	return stallNone
 }
 
 // handleFinish releases one dependence of a finished task (F4): mark the
@@ -256,6 +346,13 @@ func (u *dctUnit) handleFinish(pkt finishDepPkt, now uint64) {
 	u.busy += u.timing.DCTFinDep
 	u.p.noteBusy(done)
 	u.p.gw.returnCredit(u.id)
+	if u.hasParked && u.busyUntil > now {
+		// This release may free the parked dependence's set, but the
+		// registration engine is mid-operation: owe a retry at the cycle
+		// it frees (see parkedRetryAt).
+		u.parkedRetryAt = u.busyUntil
+		u.p.markDirty(u.hid)
+	}
 	v := u.vm.at(pkt.vm.Idx)
 	if !v.used {
 		u.p.stats.ProtocolErrors++
@@ -302,10 +399,11 @@ func (u *dctUnit) completeVersion(idx uint16, at uint64) {
 
 // nextEvent returns the earliest cycle at which the DCT can make
 // progress on its own: a release on the finish engine or a registration
-// on the new-dependence engine. A stalled head is excluded — its retries
-// cannot succeed until a release (an event in its own right) frees
-// space, and the stall cycles they would burn are batch-accounted by
-// Picos.skipTo using the recorded stall kind.
+// on the new-dependence engine. A stalled head and a parked sidetrack
+// dependence are excluded — their retries cannot succeed until a release
+// (an event in its own right) frees space, and the stall cycles they
+// would burn in between are batch-accounted by Picos.skipTo using the
+// recorded stall kinds.
 func (u *dctUnit) nextEvent() (uint64, bool) {
 	next, ok := uint64(0), false
 	if at, qok := u.finQ.headAt(); qok {
@@ -316,11 +414,17 @@ func (u *dctUnit) nextEvent() (uint64, bool) {
 			next, ok = c, true
 		}
 	}
+	if u.hasParked && u.parkedRetryAt > 0 {
+		if !ok || u.parkedRetryAt < next {
+			next, ok = u.parkedRetryAt, true
+		}
+	}
 	return next, ok
 }
 
-// active reports pending work. A stalled head with nothing else going on
-// does not count as active: only an external finish can unblock it.
+// active reports pending work. A stalled head or a parked dependence
+// with nothing else going on does not count as active: only an external
+// finish can unblock either.
 func (u *dctUnit) active(now uint64) bool {
 	if u.busyUntil > now || u.busyUntilFin > now || !u.finQ.empty() {
 		return true
@@ -328,5 +432,6 @@ func (u *dctUnit) active(now uint64) bool {
 	if u.newDepQ.empty() {
 		return false
 	}
+	// A blocked head only unblocks via external finish notifications.
 	return !u.headStalled
 }

@@ -58,3 +58,16 @@ func ParseWake(s string) (WakeOrder, error) {
 		return 0, fmt.Errorf("picos: unknown wake order %q (want last-first or first-first)", s)
 	}
 }
+
+// ParseConflict resolves a DCT conflict-handling policy; empty means the
+// sidetrack default.
+func ParseConflict(s string) (ConflictPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "sidetrack":
+		return ConflictSidetrack, nil
+	case "block":
+		return ConflictBlock, nil
+	default:
+		return 0, fmt.Errorf("picos: unknown conflict policy %q (want sidetrack or block)", s)
+	}
+}

@@ -1,6 +1,7 @@
 package picos
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/trace"
@@ -24,6 +25,48 @@ type Config struct {
 	// Wake selects the consumer-chain wake order (ablation for the Lu
 	// corner case of Section V-A).
 	Wake WakeOrder
+	// Conflict selects how the DCT handles a DM set conflict: the
+	// default ConflictSidetrack parks the conflicting dependence in a
+	// one-entry retry register so registration keeps flowing (matching
+	// the prototype's Table II conflict counts); ConflictBlock is the
+	// earlier strict head-of-line stall, kept as an ablation.
+	Conflict ConflictPolicy
+	// NewQDepth bounds the GW new-task queue, modeling the finite
+	// memory-mapped submission buffer: Submit returns ErrNewQFull when
+	// the queue holds this many tasks, and the submitter must retry —
+	// the backpressure that makes creation run-ahead observable. 0 (the
+	// default) keeps the queue unbounded, which is how the paper's HIL
+	// platform preloads whole traces.
+	NewQDepth int
+}
+
+// ConflictPolicy selects how the DCT handles a full DM set.
+type ConflictPolicy uint8
+
+const (
+	// ConflictSidetrack (default) parks the conflicting dependence in a
+	// single retry register with priority over the queue, so later
+	// dependences keep registering while the saturated set drains. Each
+	// dependence still registers only after every older dependence on
+	// its address (same address means same set, and the parked entry has
+	// strict priority on freed ways), so schedules stay race-free; what
+	// changes is that arrivals keep flowing — and keep colliding — while
+	// a set is saturated, which is what the prototype's Table II
+	// conflict counters measure.
+	ConflictSidetrack ConflictPolicy = iota
+	// ConflictBlock stalls the whole registration path head-of-line on
+	// the first unstorable dependence, the pre-sidetrack model: strictly
+	// in-order, but it self-throttles arrivals during saturation and
+	// under-counts conflicts relative to the prototype.
+	ConflictBlock
+)
+
+// String names the conflict policy.
+func (c ConflictPolicy) String() string {
+	if c == ConflictBlock {
+		return "block"
+	}
+	return "sidetrack"
 }
 
 // WakeOrder selects how a producer-consumer chain is woken when the
@@ -125,6 +168,9 @@ func normalizeConfig(cfg Config) (Config, error) {
 	}
 	if cfg.VMReserve == 0 {
 		cfg.VMReserve = trace.MaxDeps + 1
+	}
+	if cfg.NewQDepth < 0 {
+		return cfg, fmt.Errorf("picos: NewQDepth must be >= 0 (0 = unbounded), got %d", cfg.NewQDepth)
 	}
 	return cfg, nil
 }
@@ -241,7 +287,7 @@ func (p *Picos) Step() {
 func (p *Picos) stepDue() {
 	now := p.now
 	for _, d := range p.dct {
-		if d.headStalled || p.hkey[d.hid] <= now || p.hdirty[d.hid] {
+		if d.headStalled || d.hasParked || p.hkey[d.hid] <= now || p.hdirty[d.hid] {
 			d.step(now)
 		}
 	}
@@ -373,6 +419,16 @@ func (p *Picos) skipTo(cycle uint64) {
 		p.stats.GWBlockedCycles += delta
 	}
 	for _, d := range p.dct {
+		if d.hasParked {
+			// The parked retry provably re-fails every skipped cycle (a
+			// release would be an event, ending the skip), charging the
+			// same per-cycle stall its in-queue wait would have.
+			if d.parkedStall == stallVMFull {
+				p.stats.VMStallCycles += delta
+			} else {
+				p.stats.DMConflictStallCycles += delta
+			}
+		}
 		if !d.headStalled {
 			continue
 		}
@@ -407,11 +463,20 @@ func (p *Picos) StepTo(cycle uint64) {
 	p.skipTo(cycle)
 }
 
-// Submit pushes a new task into the GW's new-task queue (N1). The queue
-// models the memory-mapped submission buffer and does not reject tasks
-// for capacity; admission control happens at the GW. It fails only for
-// tasks the hardware cannot represent: more than MaxDeps dependences
-// (the TMX holds 15) or duplicate addresses within one task.
+// ErrNewQFull is returned by Submit when Config.NewQDepth bounds the
+// new-task queue and it is full. The task was NOT queued: the submitter
+// owns the descriptor and must retry — dropping it would lose the task,
+// which the platform's drain check (submitted vs completed counts)
+// surfaces as a harness bug.
+var ErrNewQFull = errors.New("picos: new-task queue full")
+
+// Submit pushes a new task into the GW's new-task queue (N1), which
+// models the memory-mapped submission buffer. With the default unbounded
+// queue it fails only for tasks the hardware cannot represent: more than
+// MaxDeps dependences (the TMX holds 15) or duplicate addresses within
+// one task. With Config.NewQDepth set it additionally returns ErrNewQFull
+// when the buffer is full, and the caller must park the descriptor and
+// retry — the backpressure edge of the creation run-ahead pipeline.
 func (p *Picos) Submit(id uint32, deps []trace.Dep) error {
 	if len(deps) > trace.MaxDeps {
 		return fmt.Errorf("picos: task %d has %d dependences; the TMX holds %d", id, len(deps), trace.MaxDeps)
@@ -423,10 +488,21 @@ func (p *Picos) Submit(id uint32, deps []trace.Dep) error {
 			}
 		}
 	}
+	if !p.NewQRoom() {
+		return ErrNewQFull
+	}
 	p.gw.newQ.push(submittedTask{id: id, deps: deps}, p.now+1)
 	p.markDirty(p.gw.hid)
 	p.stats.TasksSubmitted++
 	return nil
+}
+
+// NewQRoom reports whether the GW new-task queue can accept a Submit
+// right now: always true with the default unbounded queue, and true
+// while the queue holds fewer than Config.NewQDepth tasks otherwise.
+// Platform harnesses use it to decide between submitting and parking.
+func (p *Picos) NewQRoom() bool {
+	return p.cfg.NewQDepth <= 0 || p.gw.newQ.len() < p.cfg.NewQDepth
 }
 
 // NotifyFinish returns a finished task to the GW (F1).
@@ -489,6 +565,9 @@ func (p *Picos) Drained() error {
 		}
 		if live := d.dm.live(); live != 0 {
 			return fmt.Errorf("picos: DCT%d leaks %d DM entries", i, live)
+		}
+		if d.hasParked {
+			return fmt.Errorf("picos: DCT%d still parks a conflicting dependence of task %v", i, d.parked.task)
 		}
 	}
 	if p.ts.readyLen() != 0 {

@@ -40,6 +40,10 @@ func equivalenceWorkloads() []sim.Spec {
 		"pattern:all_to_all?width=8&steps=8",
 		"pattern:random_nearest?width=12&steps=10&k=4&jitter=10",
 		"pattern:tree?width=16&steps=8&fields=1",
+		"pattern:stencil_2d?width=6&height=4&steps=8",
+		"pattern:wavefront?width=5&height=4&steps=8",
+		"pattern:stencil_1d?width=16&steps=10&gaps=5",
+		"pattern:nearest?width=8&steps=8&k=3&regions=3",
 	} {
 		specs = append(specs, sim.Spec{Workload: pattern})
 	}
@@ -122,6 +126,26 @@ func TestFastPathEquivalenceKnobs(t *testing.T) {
 		{"first-first", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Wake = "first-first" }},
 		{"4trs4dct", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.NumTRS = 4; s.NumDCT = 4 }},
 		{"1worker", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Workers = 1 }},
+		// Creation run-ahead pipeline: a bounded submission buffer makes
+		// Submit reject and the platform park/retry (the descriptor feed
+		// in HW-only, the link-delivery parking in the comm modes, plus
+		// the master's run-ahead window in Full-system). The fast path
+		// must reproduce the per-cycle loop's retry timing exactly.
+		{"newq1", []string{"case2", "heat"}, func(s *sim.Spec) { s.NewQDepth = 1 }},
+		{"newq-runahead", []string{"case2", "sparselu", "heat"}, func(s *sim.Spec) { s.NewQDepth = 4; s.RunAhead = 2 }},
+		{"newq-8way-slots", []string{"sparselu", "heat"}, func(s *sim.Spec) {
+			s.NewQDepth = 8
+			s.RunAhead = 6
+			s.Design = "8way"
+			s.Admission = "slots"
+		}},
+		// The pre-sidetrack head-of-line conflict policy stays exact too.
+		{"conflict-block", []string{"case4", "heat"}, func(s *sim.Spec) {
+			s.Conflict = "block"
+			s.Design = "8way"
+			s.Admission = "slots"
+		}},
+		{"runahead-unbounded", []string{"case2"}, func(s *sim.Spec) { s.NewQDepth = 2; s.RunAhead = -1 }},
 	}
 	for _, engine := range equivalenceEngines {
 		for _, k := range knobs {
@@ -129,6 +153,9 @@ func TestFastPathEquivalenceKnobs(t *testing.T) {
 				spec := sim.Spec{Engine: engine, Workload: workload}
 				if workload == "heat" {
 					spec.Problem = 512
+				}
+				if workload == "sparselu" {
+					spec.Problem = 768
 				}
 				k.mut(&spec)
 				t.Run(engine+"/"+k.name+"/"+workload, func(t *testing.T) {

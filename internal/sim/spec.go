@@ -34,8 +34,17 @@ type Spec struct {
 	Policy    string `json:"policy,omitempty"`    // TS policy: fifo (default), lifo
 	Admission string `json:"admission,omitempty"` // GW admission: credits (default), slots
 	Wake      string `json:"wake,omitempty"`      // wake order: last-first (default), first-first
+	Conflict  string `json:"conflict,omitempty"`  // DM conflict handling: sidetrack (default), block
 	NumTRS    int    `json:"num_trs,omitempty"`   // TRS instances (default 1)
 	NumDCT    int    `json:"num_dct,omitempty"`   // DCT instances (default 1)
+
+	// Creation run-ahead pipeline knobs (the Picos HIL engines).
+	// NewQDepth bounds the accelerator's memory-mapped submission buffer
+	// (0 = unbounded, the preloading default); RunAhead bounds the
+	// Full-system master's created-but-unsubmitted descriptor window
+	// (0 = hil.DefaultRunAhead, negative = unbounded).
+	NewQDepth int `json:"newq_depth,omitempty"`
+	RunAhead  int `json:"run_ahead,omitempty"`
 
 	// Watchdog bounds the simulated cycle count (0: engine default).
 	Watchdog uint64 `json:"watchdog,omitempty"`
