@@ -40,9 +40,11 @@ func main() {
 		nTRS     = flag.Int("trs", 0, "TRS instances (default 1)")
 		nDCT     = flag.Int("dct", 0, "DCT instances (default 1)")
 		admiss   = flag.String("admission", "", "GW admission policy: credits (default), slots")
+		wake     = flag.String("wake", "", "TS wake order on task finish: last-first (default), first-first")
 		conflict = flag.String("conflict", "", "DM conflict handling: sidetrack (default), block")
 		newq     = flag.Int("newq", 0, "bound the accelerator's new-task submission buffer (0: unbounded)")
 		runAhead = flag.Int("runahead", 0, "Full-system creation run-ahead window (0: default 16, negative: unbounded)")
+		watchdog = flag.Uint64("watchdog", 0, "abort the run after this many simulated cycles (0: engine default)")
 		ff       = flag.Bool("ff", true, "event-driven fast path (results identical; disable to debug with per-cycle stepping)")
 		verify   = flag.Bool("verify", true, "check the schedule against the dependence oracle")
 		showStat = flag.Bool("stats", false, "print accelerator statistics")
@@ -75,11 +77,13 @@ func main() {
 		Design:    *dm,
 		Policy:    *policy,
 		Admission: *admiss,
+		Wake:      *wake,
 		Conflict:  *conflict,
 		NumTRS:    *nTRS,
 		NumDCT:    *nDCT,
 		NewQDepth: *newq,
 		RunAhead:  *runAhead,
+		Watchdog:  *watchdog,
 	}
 	if !*ff {
 		spec.FastForward = sim.Bool(false)

@@ -1,0 +1,48 @@
+package fidelity
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFastReportByteStable locks the determinism the repository
+// promises end to end: building the fast fidelity report twice — two
+// full simulation sweeps plus two renders — must produce byte-identical
+// markdown. Any nondeterministic source in the engines or any
+// map-iteration-order dependence in the renderer shows up here as a
+// byte diff long before it corrupts a golden file. (The static half of
+// the same guarantee is enforced at the source level by picoslint's
+// determinism analyzer.)
+func TestFastReportByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fidelity comparisons skipped in -short mode")
+	}
+	render := func() []byte {
+		rep, err := Compare(Options{SkipFig11: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		a, b := first, second
+		for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+			a, b = a[1:], b[1:]
+		}
+		t.Fatalf("fidelity report differs between two identical runs near %q vs %q",
+			trimTo(a, 80), trimTo(b, 80))
+	}
+}
+
+func trimTo(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}

@@ -249,6 +249,8 @@ func (r *runner) masterWindowOpen() bool {
 // stepSubmits retries parked submissions and advances the preload feed
 // while the accelerator's new-task queue has room. Every task submitted
 // here was validated before the run, so only ErrNewQFull can come back.
+//
+//picos:hotpath
 func (r *runner) stepSubmits(now uint64) {
 	for r.p.NewQRoom() {
 		idx, ok := r.parkedNew.Peek()
@@ -375,6 +377,8 @@ func (r *runner) wedgedResult(now uint64) *Result {
 // the accelerator's internal events (and batch-accounts its stall
 // counters) on the way, so the observable schedule and statistics are
 // bit-identical to runRef.
+//
+//picos:hotpath
 func (r *runner) runFast() (*Result, error) {
 	n := len(r.tr.Tasks)
 	for r.done < n || !r.p.Idle() || r.pendingWork() {
@@ -461,8 +465,11 @@ func (r *runner) readyInterest() bool {
 // harmless (the loop re-evaluates and finds nothing to do); the
 // candidates are chosen so it can never wake too late. interested is
 // the caller's readyInterest() value for this cycle.
+//
+//picos:hotpath
 func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 	next, ok := uint64(0), false
+	//lint:ignore hotalloc consider never leaves this frame, so escape analysis stack-allocates it; TestWarmRunTraceAllocs holds the zero-alloc line
 	consider := func(t uint64) {
 		if t <= now {
 			t = now + 1
@@ -522,6 +529,8 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 // stepWorkers retires finished executions: busy workers pop off the
 // completion heap in (until, idx) order — exactly the order the
 // per-cycle reference retires them — until the head is still running.
+//
+//picos:hotpath
 func (r *runner) stepWorkers(now uint64) {
 	for len(r.busyH) > 0 && r.busyH[0].until <= now {
 		idx := r.busyH.pop().idx
@@ -539,6 +548,8 @@ func (r *runner) stepWorkers(now uint64) {
 // stepDeliveries lands in-flight link messages. The FIFO is ordered by
 // landing stamp (see the field comment), so landing is popping the
 // due prefix.
+//
+//picos:hotpath
 func (r *runner) stepDeliveries(now uint64) {
 	for {
 		d, ok := r.deliveries.Peek()
@@ -586,6 +597,8 @@ func (r *runner) stepDeliveries(now uint64) {
 // stepMaster runs the ARM-side Nanos++ creation/submission path: one
 // task per grant; the created descriptor becomes available to the link
 // at masterFree.
+//
+//picos:hotpath
 func (r *runner) stepMaster(now uint64) {
 	if r.cfg.Mode != FullSystem {
 		return
@@ -616,6 +629,8 @@ func (r *runner) stepMaster(now uint64) {
 // stepBus arbitrates the AXI link: ready retrievals first (keep workers
 // fed), then finished notifications (free accelerator resources), then
 // new submissions.
+//
+//picos:hotpath
 func (r *runner) stepBus(now uint64) {
 	if r.cfg.Mode == HWOnly || r.busFree > now {
 		return
@@ -657,6 +672,8 @@ func (r *runner) stepBus(now uint64) {
 // dispatch hands ready tasks to idle workers: directly from the TS in
 // HW-only mode, from the fetched backlog in the comm modes. The idle
 // heap hands out the lowest index first, like the old linear scan.
+//
+//picos:hotpath
 func (r *runner) dispatch(now uint64) {
 	for len(r.idleH) > 0 {
 		var rt picos.ReadyTask
@@ -673,6 +690,7 @@ func (r *runner) dispatch(now uint64) {
 	}
 }
 
+//picos:hotpath
 func (r *runner) startWorkerAt(i int, rt picos.ReadyTask, now uint64) {
 	dur := r.tr.Tasks[rt.ID].Duration
 	r.workers[i] = rt
@@ -709,6 +727,8 @@ func (r *runner) busCanActNow(now uint64) bool {
 
 // quiescentUntil reports the next cycle anything can happen, when the
 // platform is provably idle until then.
+//
+//picos:hotpath
 func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 	if !r.p.Idle() {
 		return 0, false
@@ -728,6 +748,7 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 		return 0, false
 	}
 	next := uint64(0)
+	//lint:ignore hotalloc consider never leaves this frame, so escape analysis stack-allocates it; TestWarmRunTraceAllocs holds the zero-alloc line
 	consider := func(t uint64) {
 		if t > now && (next == 0 || t < next) {
 			next = t

@@ -1,0 +1,15 @@
+package lint
+
+// Analyzers returns the full registry in stable order. The driver runs
+// all of them by default; -run selects a subset, but suppression
+// validation always resolves analyzer names against this full set so a
+// filtered run never misreports a valid ignore as unknown.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		DirtyHorizon,
+		ErrDiscipline,
+		HotAlloc,
+		SpecKnob,
+	}
+}

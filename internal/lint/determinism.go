@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repository's byte-identical-results
+// guarantee on everything under internal/: the differential equivalence
+// suite, the golden fidelity report and the committed benchmark
+// baselines are all byte-compared, so a single nondeterministic source
+// anywhere in the model or its renderers silently invalidates them.
+//
+// Two rules:
+//
+//  1. No nondeterministic source in non-test internal code: wall-clock
+//     reads (time.Now/Since/Until), process-seeded randomness (math/rand,
+//     math/rand/v2, crypto/rand) and environment reads (os.Getenv and
+//     friends) are forbidden. internal/detrand — the shared splitmix64
+//     hash — is the only sanctioned randomness.
+//
+//  2. No output in map order: a `for ... range m` over a map whose body
+//     emits (writes to an io.Writer, a strings.Builder, appends rendered
+//     values) produces a different byte stream every run. The sanctioned
+//     idiom is collect-keys-then-sort: a map-range body that only
+//     appends the key variable to a slice is recognized as the first
+//     half of that idiom and left alone.
+var Determinism = &Analyzer{
+	Name:    "determinism",
+	Doc:     "forbid wall-clock, ambient randomness, env reads and map-ordered output in internal packages",
+	Applies: appliesInternalNonDetrand,
+	Run:     runDeterminism,
+}
+
+// appliesInternalNonDetrand scopes the analyzer to internal packages,
+// excluding internal/detrand (the sanctioned randomness implementation
+// itself).
+func appliesInternalNonDetrand(p *Package) bool {
+	if !strings.Contains(p.Path+"/", "/internal/") {
+		return false
+	}
+	return !strings.HasSuffix(p.Path, "/detrand")
+}
+
+// forbiddenImports maps import paths to the reason they are banned.
+var forbiddenImports = map[string]string{
+	"math/rand":    "process-seeded randomness; use internal/detrand (splitmix64) so runs stay byte-identical",
+	"math/rand/v2": "process-seeded randomness; use internal/detrand (splitmix64) so runs stay byte-identical",
+	"crypto/rand":  "nondeterministic randomness; use internal/detrand (splitmix64) so runs stay byte-identical",
+}
+
+// forbiddenCalls maps package path -> function names whose call sites
+// leak nondeterminism into results.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+		"Hostname":  "host-dependent value",
+	},
+}
+
+// emittingMethods are method names whose call inside a map-range body
+// means "this loop renders output in map order".
+var emittingMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, im := range file.Imports {
+			path := strings.Trim(im.Path.Value, `"`)
+			if why, bad := forbiddenImports[path]; bad {
+				pass.Reportf(im.Pos(), "import of %s: %s", path, why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if pkgPath, name, ok := calleePkgFunc(info, node); ok {
+					if names, found := forbiddenCalls[pkgPath]; found {
+						if why, bad := names[name]; bad {
+							pass.Reportf(node.Pos(), "%s.%s: %s leaks into results; internal code must be deterministic", pkgPath, name, why)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags map-range loops that emit output in iteration
+// order. The collect-keys idiom — a body that only appends the key
+// variable to a slice, to be sorted afterwards — is allowed.
+func checkMapRange(pass *Pass, loop *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	t := info.TypeOf(loop.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	keyName := ""
+	if id, ok := loop.Key.(*ast.Ident); ok {
+		keyName = id.Name
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && emittingMethods[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "emits output while ranging over a map: iteration order changes every run; collect keys, sort, then emit")
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) >= 2 {
+			// append(keys, k) — the first half of the sorted-keys idiom —
+			// is fine; appending anything else snapshots map order into a
+			// slice that downstream code will treat as stable.
+			if len(call.Args) == 2 && call.Ellipsis == token.NoPos {
+				if arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok && keyName != "" && arg.Name == keyName {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "appends map-ordered values while ranging over a map; append only the key and sort, or sort a key slice first")
+		}
+		return true
+	})
+}

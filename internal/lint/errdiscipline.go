@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscipline enforces errors.Is comparison for sentinel errors. The
+// simulator's sentinels (picos.ErrNewQFull is the load-bearing one: the
+// Full-system master's submit loop keys its back-off on it) are today
+// returned bare, which makes `err == ErrNewQFull` work — until someone
+// wraps the rejection with fmt.Errorf("%w", ...) context and every
+// pointer comparison in the tree silently turns false. errors.Is costs
+// nothing and survives wrapping, so the analyzer flags any == / != /
+// switch-case comparison whose operand is an exported package-level
+// error sentinel (an error-typed variable named Err...).
+var ErrDiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "sentinel errors must be compared with errors.Is, not == / != / switch",
+	Run:  runErrDiscipline,
+}
+
+func runErrDiscipline(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				if node.Op != token.EQL && node.Op != token.NEQ {
+					return true
+				}
+				if name, ok := sentinelError(info, node.X); ok {
+					reportSentinelCompare(pass, node.Pos(), node.Op, name)
+				} else if name, ok := sentinelError(info, node.Y); ok {
+					reportSentinelCompare(pass, node.Pos(), node.Op, name)
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } compares with ==.
+				if node.Tag == nil {
+					return true
+				}
+				if !isErrorType(info.TypeOf(node.Tag)) {
+					return true
+				}
+				for _, stmt := range node.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelError(info, e); ok {
+							pass.Reportf(e.Pos(),
+								"switch case compares %s by identity; use if errors.Is(err, %s) so the check survives wrapping", name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportSentinelCompare(pass *Pass, pos token.Pos, op token.Token, name string) {
+	verb := "=="
+	if op == token.NEQ {
+		verb = "!="
+	}
+	pass.Reportf(pos, "%s compared with %s; use errors.Is so the check survives error wrapping", name, verb)
+}
+
+// sentinelError reports whether expr denotes a package-level error
+// variable named Err... (the sentinel convention), returning its name.
+func sentinelError(info *types.Info, expr ast.Expr) (string, bool) {
+	var obj types.Object
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	// Package-level only: the parent scope of a package var is the
+	// package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == types.Universe.Lookup("error").(*types.TypeName)
+}

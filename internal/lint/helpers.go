@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// chainString renders an identifier/selector chain ("p.gw.newQ") and
+// reports ok=false for anything more exotic (calls, indexing) — the
+// analyzers only reason about plain field chains.
+func chainString(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := chainString(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.ParenExpr:
+		return chainString(x.X)
+	}
+	return "", false
+}
+
+// hasDirective reports whether a doc comment contains the given
+// machine-readable directive line (e.g. "//picos:hotpath").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveArgs returns the arguments of a doc-comment directive line,
+// e.g. directiveArgs(doc, "//picos:ignores-knobs") on a comment
+// "//picos:ignores-knobs A,B reason..." returns ["A,B", "reason..."].
+func directiveArgs(doc *ast.CommentGroup, directive string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, directive); ok {
+			if rest == "" {
+				return nil, true
+			}
+			if rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			return strings.Fields(rest), true
+		}
+	}
+	return nil, false
+}
+
+// calleePkgFunc resolves a call of the form pkgname.Func(...) to its
+// package path and function name; ok is false for anything else (method
+// calls, locals, builtins).
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// structOf dereferences pointers and named types down to a struct type;
+// nil when t is not (a pointer to) a struct.
+func structOf(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// structHasField reports whether the (possibly pointed-to) struct type
+// has a field with the given name.
+func structHasField(t types.Type, field string) bool {
+	st := structOf(t)
+	if st == nil {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverName returns the receiver identifier of a method declaration
+// ("" for functions and anonymous receivers).
+func receiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}
+
+// receiverTypeName returns the named type of a method's receiver
+// ("gateway" for func (g *gateway) ...); "" for plain functions.
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver regFIFO[T]
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}

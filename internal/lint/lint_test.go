@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe is one expectation parsed from a // want `regex` comment.
+type wantRe struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantLineRe = regexp.MustCompile("// want((?:\\s+`[^`]*`)+)")
+var wantChunkRe = regexp.MustCompile("`([^`]*)`")
+
+// parseWants scans every .go file under root for // want expectations.
+// Multiple backtick-delimited regexps may follow one // want marker;
+// each must match a distinct diagnostic on that line.
+func parseWants(t *testing.T, root string) []*wantRe {
+	t.Helper()
+	var wants []*wantRe
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantLineRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, chunk := range wantChunkRe.FindAllStringSubmatch(m[1], -1) {
+				re, rerr := regexp.Compile(chunk[1])
+				if rerr != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", rel, line, chunk[1], rerr)
+				}
+				wants = append(wants, &wantRe{file: rel, line: line, re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// extra is a line-independent expectation for diagnostics whose source
+// line cannot carry a // want comment (malformed //lint:ignore
+// directives swallow everything to end of line).
+type extra struct {
+	file string
+	re   string
+}
+
+// checkModule loads one testdata mini-module, runs the full analyzer
+// suite and verifies the findings against the // want comments plus the
+// given extras. Every finding must be expected and every expectation
+// must fire.
+func checkModule(t *testing.T, name string, extras []extra) {
+	t.Helper()
+	root := filepath.Join("testdata", name)
+	suite, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+	diags := suite.Run(Analyzers())
+	wants := parseWants(t, root)
+
+	var unmatched []Diagnostic
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				continue outer
+			}
+		}
+		unmatched = append(unmatched, d)
+	}
+	for _, ex := range extras {
+		re := regexp.MustCompile(ex.re)
+		found := -1
+		for i, d := range unmatched {
+			if d.File == ex.file && re.MatchString(d.Message) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("%s: expected a finding in %s matching %q; none left", name, ex.file, ex.re)
+			continue
+		}
+		unmatched = append(unmatched[:found], unmatched[found+1:]...)
+	}
+	for _, d := range unmatched {
+		t.Errorf("%s: unexpected finding: %s", name, d.String())
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected finding matching %q; got none", name, w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismTestdata(t *testing.T) {
+	checkModule(t, "determinism", []extra{
+		{file: filepath.Join("internal", "model", "malformed.go"), re: `needs an analyzer name and a reason`},
+		{file: filepath.Join("internal", "model", "malformed.go"), re: `has no reason; unexplained suppressions`},
+	})
+}
+
+func TestDirtyHorizonTestdata(t *testing.T)  { checkModule(t, "dirtyhorizon", nil) }
+func TestHotAllocTestdata(t *testing.T)      { checkModule(t, "hotalloc", nil) }
+func TestSpecKnobTestdata(t *testing.T)      { checkModule(t, "specknob", nil) }
+func TestErrDisciplineTestdata(t *testing.T) { checkModule(t, "errdiscipline", nil) }
+
+// TestFilteredRunKeepsForeignIgnores proves the -run semantics: running
+// a subset of analyzers must neither call another analyzer's valid
+// ignore unknown nor stale. The hotalloc module carries a hotalloc
+// ignore; a determinism-only run must not complain about it.
+func TestFilteredRunKeepsForeignIgnores(t *testing.T) {
+	suite, err := Load(filepath.Join("testdata", "hotalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := suite.Run([]*Analyzer{Determinism})
+	for _, d := range diags {
+		t.Errorf("determinism-only run reported: %s", d.String())
+	}
+}
+
+// TestRerunIsStable proves Run is idempotent on one loaded suite: the
+// driver and the harness both depend on re-running without residue
+// (used flags, stale diagnostics).
+func TestRerunIsStable(t *testing.T) {
+	suite, err := Load(filepath.Join("testdata", "errdiscipline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := suite.Run(Analyzers())
+	second := suite.Run(Analyzers())
+	if len(first) != len(second) {
+		t.Fatalf("run 1 found %d diagnostics, run 2 found %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("diagnostic %d differs between runs: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestRealTreeClean runs the whole suite over this repository: the tree
+// must stay finding-free (true positives get fixed, the rest carry
+// justified suppressions). This is the same gate CI's lint lane
+// enforces via cmd/picoslint.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	suite, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range suite.Run(Analyzers()) {
+		t.Errorf("repository finding: %s", d.String())
+	}
+}

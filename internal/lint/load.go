@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The whole loader shares one file set and one source-based importer for
+// the standard library: srcimporter caches every stdlib package it
+// type-checks, so repeated Loads (the driver, then each testdata
+// mini-module in the tests) pay the stdlib cost once per process. The
+// importer is not documented as concurrency-safe, so Load serializes.
+var (
+	loadMu      sync.Mutex
+	sharedFset  = token.NewFileSet()
+	stdImporter = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// moduleImporter resolves module-internal imports from the packages
+// type-checked so far (Load checks in topological order, so a dependency
+// is always ready first) and everything else through the stdlib source
+// importer.
+type moduleImporter struct {
+	modulePath string
+	local      map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.modulePath || strings.HasPrefix(path, m.modulePath+"/") {
+		if pkg, ok := m.local[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("lint: module package %s not loaded (import cycle or load order bug)", path)
+	}
+	return stdImporter.Import(path)
+}
+
+// parsedPkg is a package between parsing and type-checking.
+type parsedPkg struct {
+	path    string
+	dir     string
+	name    string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// Load walks the module rooted at dir (the directory holding go.mod),
+// parses every non-test package outside testdata trees, and type-checks
+// them in dependency order. Test files are deliberately excluded: the
+// invariants the suite enforces (determinism, hot-path allocation
+// discipline) apply to shipped code, and tests legitimately use
+// math/rand, fmt and friends.
+func Load(dir string) (*Suite, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	suite := &Suite{Fset: sharedFset, ModulePath: modulePath, Root: root}
+
+	var parsed []*parsedPkg
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		// A nested go.mod starts a different module; stay out of it.
+		if path != root {
+			if _, statErr := os.Stat(filepath.Join(path, "go.mod")); statErr == nil {
+				return filepath.SkipDir
+			}
+		}
+		pkg, perr := parseDir(suite, root, modulePath, path)
+		if perr != nil {
+			return perr
+		}
+		if pkg != nil {
+			parsed = append(parsed, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ordered, err := topoSort(parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{modulePath: modulePath, local: map[string]*types.Package{}}
+	for _, p := range ordered {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, terr := conf.Check(p.path, sharedFset, p.files, info)
+		if terr != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", p.path, terr)
+		}
+		imp.local[p.path] = tpkg
+		pkg := &Package{
+			Path:  p.path,
+			Dir:   p.dir,
+			Name:  p.name,
+			Files: p.files,
+			Types: tpkg,
+			Info:  info,
+		}
+		suite.Packages = append(suite.Packages, pkg)
+		for _, f := range p.files {
+			suite.collectSuppressions(f)
+		}
+	}
+	return suite, nil
+}
+
+// parseDir parses the non-test Go files of one directory into a
+// parsedPkg; nil when the directory holds no Go files.
+func parseDir(suite *Suite, root, modulePath, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modulePath
+	if rel != "." {
+		importPath = modulePath + "/" + filepath.ToSlash(rel)
+	}
+
+	p := &parsedPkg{path: importPath, dir: dir}
+	seenImports := map[string]bool{}
+	for _, n := range names {
+		file, perr := parser.ParseFile(suite.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, fmt.Errorf("lint: %w", perr)
+		}
+		if p.name == "" {
+			p.name = file.Name.Name
+		} else if p.name != file.Name.Name {
+			return nil, fmt.Errorf("lint: %s: mixed package names %s and %s", dir, p.name, file.Name.Name)
+		}
+		p.files = append(p.files, file)
+		for _, im := range file.Imports {
+			path := strings.Trim(im.Path.Value, `"`)
+			if (path == modulePath || strings.HasPrefix(path, modulePath+"/")) && !seenImports[path] {
+				seenImports[path] = true
+				p.imports = append(p.imports, path)
+			}
+		}
+	}
+	return p, nil
+}
+
+// topoSort orders packages so every package follows its module-internal
+// imports, ties broken by import path for deterministic analysis order.
+func topoSort(pkgs []*parsedPkg) ([]*parsedPkg, error) {
+	byPath := map[string]*parsedPkg{}
+	for _, p := range pkgs {
+		byPath[p.path] = p
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].path < pkgs[j].path })
+
+	var ordered []*parsedPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *parsedPkg) error
+	visit = func(p *parsedPkg) error {
+		switch state[p.path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p.path)
+		case 2:
+			return nil
+		}
+		state[p.path] = 1
+		for _, dep := range p.imports {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.path] = 2
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is not a module root: %w", filepath.Dir(gomod), err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module path in %s", gomod)
+}

@@ -1,0 +1,378 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// IgnoresKnobsDirective lets an engine package declare which sim.Spec
+// knobs it deliberately does not honor:
+//
+//	//picos:ignores-knobs Design,Policy,Wake <reason...>
+//
+// The analyzer validates the list both ways: a listed knob the engine
+// actually reads is a stale entry, and a listed name that is not a Spec
+// field is a typo. Both are findings.
+const IgnoresKnobsDirective = "//picos:ignores-knobs"
+
+// SpecKnob enforces that every sim.Spec field is actually threaded
+// through the system: read (or explicitly disclaimed) by every
+// registered engine, and bound by at least one CLI flag in a command
+// package. The Spec exists so a sweep is "a slice of plain data" — a
+// knob an engine silently drops, or a knob no binary can set, breaks
+// that contract invisibly: the run accepts the spec and simulates
+// something else.
+//
+// Mechanics: the analyzer finds the package that defines Spec (package
+// name "sim"), records its field set, which fields the sim framework
+// itself consumes (reads outside spec.go — Engine and Workload routing,
+// workload building), and what each Spec method reads (so an engine
+// calling FastPath() is credited with FastForward). Engine packages are
+// those that call sim.Register; each must read every non-framework
+// field or list it in a //picos:ignores-knobs directive. Command
+// packages are scanned for field bindings (keyed Spec literals, field
+// assignments, &spec.Field passed to flag.*Var); a field bound by no
+// command is reported at its declaration.
+var SpecKnob = &Analyzer{
+	Name:   "specknob",
+	Doc:    "every sim.Spec field must reach each engine's config and at least one CLI flag",
+	Run:    runSpecKnob,
+	Finish: finishSpecKnob,
+}
+
+// specEngineUse records one engine package's relationship to Spec.
+type specEngineUse struct {
+	pkgPath     string
+	registerPos token.Pos
+	reads       map[string]bool
+	methodCalls map[string]bool
+	ignores     map[string]token.Pos // knob -> directive position
+	ignorePos   token.Pos
+}
+
+// specFacts is the cross-package scratch of the analyzer.
+type specFacts struct {
+	simPath     string
+	specType    *types.TypeName
+	fields      []string
+	fieldPos    map[string]token.Pos
+	simConsumed map[string]bool     // read by the sim framework outside spec.go
+	methodReads map[string][]string // Spec method -> receiver fields it reads
+	cliBound    map[string]bool     // bound in some command package
+	engines     []*specEngineUse
+}
+
+func specKnobFacts(pass *Pass) *specFacts {
+	return pass.Suite.Fact("specknob", func() any {
+		return &specFacts{
+			fieldPos:    map[string]token.Pos{},
+			simConsumed: map[string]bool{},
+			methodReads: map[string][]string{},
+			cliBound:    map[string]bool{},
+		}
+	}).(*specFacts)
+}
+
+func runSpecKnob(pass *Pass) {
+	facts := specKnobFacts(pass)
+	pkg := pass.Pkg
+
+	if pkg.Name == "sim" && pkg.Types.Scope().Lookup("Spec") != nil {
+		collectSpecShape(pass, facts)
+		return
+	}
+	if facts.specType == nil {
+		return // no Spec in this module; nothing to enforce
+	}
+	if pkg.IsCommand() {
+		collectCLIBindings(pass, facts)
+		return
+	}
+	if pos, ok := registersEngine(pkg, facts.simPath); ok {
+		collectEngineUse(pass, facts, pos)
+	}
+}
+
+// collectSpecShape records the Spec field set, the fields the sim
+// framework consumes itself, and the per-method field reads.
+func collectSpecShape(pass *Pass, facts *specFacts) {
+	pkg := pass.Pkg
+	obj, ok := pkg.Types.Scope().Lookup("Spec").(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	facts.simPath = pkg.Path
+	facts.specType = obj
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		facts.fields = append(facts.fields, f.Name())
+		facts.fieldPos[f.Name()] = f.Pos()
+	}
+
+	specFile := pass.Suite.Fset.Position(obj.Pos()).Filename
+	for _, file := range pkg.Files {
+		filename := pass.Suite.Fset.Position(file.Pos()).Filename
+		if filename == specFile {
+			// spec.go: record what each Spec method reads of its receiver,
+			// so callers of the method are credited with those fields.
+			for _, decl := range file.Decls {
+				fn, isFn := decl.(*ast.FuncDecl)
+				if !isFn || fn.Recv == nil || fn.Body == nil || receiverTypeName(fn) != "Spec" {
+					continue
+				}
+				recv := receiverName(fn)
+				seen := map[string]bool{}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					sel, isSel := n.(*ast.SelectorExpr)
+					if !isSel {
+						return true
+					}
+					if base, isId := sel.X.(*ast.Ident); isId && base.Name == recv {
+						if _, isField := facts.fieldPos[sel.Sel.Name]; isField && !seen[sel.Sel.Name] {
+							seen[sel.Sel.Name] = true
+							facts.methodReads[fn.Name.Name] = append(facts.methodReads[fn.Name.Name], sel.Sel.Name)
+						}
+					}
+					return true
+				})
+			}
+			continue
+		}
+		// Any other sim file: field reads here are framework consumption
+		// (Engine/Workload routing, workload construction).
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			if isSpecBase(pkg.Info, facts, sel.X) {
+				if _, isField := facts.fieldPos[sel.Sel.Name]; isField {
+					facts.simConsumed[sel.Sel.Name] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSpecBase reports whether expr has (a pointer to) the sim.Spec type.
+func isSpecBase(info *types.Info, facts *specFacts, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil || facts.specType == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == facts.specType
+}
+
+// registersEngine reports whether the package calls sim.Register and
+// returns the call position (the anchor for missing-knob findings).
+func registersEngine(pkg *Package, simPath string) (token.Pos, bool) {
+	for _, file := range pkg.Files {
+		var pos token.Pos
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p, name, ok := calleePkgFunc(pkg.Info, call); ok && p == simPath && name == "Register" {
+				pos, found = call.Pos(), true
+				return false
+			}
+			return true
+		})
+		if found {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// collectEngineUse records which Spec fields an engine package reads,
+// which Spec methods it calls, and its ignores-knobs declaration.
+func collectEngineUse(pass *Pass, facts *specFacts, registerPos token.Pos) {
+	pkg := pass.Pkg
+	use := &specEngineUse{
+		pkgPath:     pkg.Path,
+		registerPos: registerPos,
+		reads:       map[string]bool{},
+		methodCalls: map[string]bool{},
+		ignores:     map[string]token.Pos{},
+	}
+	for _, file := range pkg.Files {
+		collectIgnoresKnobs(pass, facts, use, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isSpecBase(pkg.Info, facts, sel.X) {
+				return true
+			}
+			if _, isField := facts.fieldPos[sel.Sel.Name]; isField {
+				use.reads[sel.Sel.Name] = true
+			} else {
+				use.methodCalls[sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+	facts.engines = append(facts.engines, use)
+}
+
+// collectIgnoresKnobs parses //picos:ignores-knobs directives from the
+// file's comments (package doc or any declaration doc).
+func collectIgnoresKnobs(pass *Pass, facts *specFacts, use *specEngineUse, file *ast.File) {
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(c.Text)
+			rest, ok := strings.CutPrefix(text, IgnoresKnobsDirective)
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				pass.Reportf(c.Pos(), "%s needs a knob list and a reason", IgnoresKnobsDirective)
+				continue
+			}
+			use.ignorePos = c.Pos()
+			for _, knob := range strings.Split(fields[0], ",") {
+				knob = strings.TrimSpace(knob)
+				if knob == "" {
+					continue
+				}
+				if _, isField := facts.fieldPos[knob]; !isField {
+					pass.Reportf(c.Pos(), "%s names %s, which is not a sim.Spec field", IgnoresKnobsDirective, knob)
+					continue
+				}
+				use.ignores[knob] = c.Pos()
+			}
+		}
+	}
+}
+
+// collectCLIBindings records Spec fields a command package binds: keyed
+// Spec composite literals, assignments to spec fields, and &spec.Field
+// (the flag.*Var idiom).
+func collectCLIBindings(pass *Pass, facts *specFacts) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				if !isSpecLitType(pkg.Info, facts, node) {
+					return true
+				}
+				for _, elt := range node.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							facts.cliBound[key.Name] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && isSpecBase(pkg.Info, facts, sel.X) {
+						facts.cliBound[sel.Sel.Name] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if node.Op == token.AND {
+					if sel, ok := ast.Unparen(node.X).(*ast.SelectorExpr); ok && isSpecBase(pkg.Info, facts, sel.X) {
+						facts.cliBound[sel.Sel.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSpecLitType reports whether a composite literal builds a sim.Spec.
+func isSpecLitType(info *types.Info, facts *specFacts, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil || facts.specType == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == facts.specType
+}
+
+// finishSpecKnob runs the whole-module accounting once every package has
+// been scanned.
+func finishSpecKnob(pass *Pass) {
+	facts := specKnobFacts(pass)
+	if facts.specType == nil {
+		return
+	}
+
+	for _, use := range facts.engines {
+		// Credit method-mediated reads: an engine calling FastPath() reads
+		// FastForward.
+		reads := map[string]bool{}
+		for f := range use.reads {
+			reads[f] = true
+		}
+		for m := range use.methodCalls {
+			for _, f := range facts.methodReads[m] {
+				reads[f] = true
+			}
+		}
+		var missing []string
+		for _, f := range facts.fields {
+			switch {
+			case facts.simConsumed[f]:
+				// The framework routes/consumes it before the engine runs.
+			case reads[f]:
+				// Honored.
+			case use.ignores[f] != token.NoPos:
+				// Explicitly disclaimed.
+			default:
+				missing = append(missing, f)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(use.registerPos,
+				"engine %s silently drops sim.Spec knobs %s; thread them through its config or declare them with %s",
+				use.pkgPath, strings.Join(missing, ", "), IgnoresKnobsDirective)
+		}
+		// Stale disclaimers: the engine now reads a knob it claims to ignore.
+		var stale []string
+		for f := range use.ignores {
+			if reads[f] {
+				stale = append(stale, f)
+			}
+		}
+		sort.Strings(stale)
+		for _, f := range stale {
+			pass.Reportf(use.ignores[f],
+				"%s lists %s but engine %s reads it; remove the stale entry",
+				IgnoresKnobsDirective, f, use.pkgPath)
+		}
+	}
+
+	for _, f := range facts.fields {
+		if !facts.cliBound[f] {
+			pass.Reportf(facts.fieldPos[f],
+				"sim.Spec.%s is not bound by any CLI flag; a knob no binary can set only exists in tests", f)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file     string // relative path
+	line     int    // line the comment sits on
+	analyzer string // analyzer name it silences
+	reason   string // mandatory justification
+	used     bool   // did it match a finding this run
+	// malformed carries the grammar violation (missing analyzer or
+	// reason); such a directive silences nothing and is reported as a
+	// finding on every Run.
+	malformed string
+}
+
+// ignorePrefix is the suppression directive. The grammar is
+//
+//	//lint:ignore <analyzer> <reason...>
+//
+// and the comment silences findings of <analyzer> on its own line or on
+// the line immediately below (the usual place: the comment sits directly
+// above the offending statement).
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions indexes every ignore comment of a file at load
+// time. Malformed directives (no analyzer, or no reason — an
+// unexplained suppression) are recorded as malformed and reported by
+// checkSuppressions on every Run: the whole point of the grammar is
+// that every silenced finding carries its justification in the source.
+func (s *Suite) collectSuppressions(file *ast.File) {
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := c.Text
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:ignorethis — not the directive
+			}
+			position := s.Fset.Position(c.Pos())
+			su := &suppression{
+				file: s.relPath(position.Filename),
+				line: position.Line,
+			}
+			switch fields := strings.Fields(rest); len(fields) {
+			case 0:
+				su.malformed = "//lint:ignore needs an analyzer name and a reason"
+			case 1:
+				su.analyzer = fields[0]
+				su.malformed = "//lint:ignore " + fields[0] + " has no reason; unexplained suppressions are not allowed"
+			default:
+				su.analyzer = fields[0]
+				su.reason = strings.Join(fields[1:], " ")
+			}
+			s.suppressions = append(s.suppressions, su)
+		}
+	}
+}
+
+// suppressed reports whether a finding of analyzer at position is
+// covered by an ignore on the same line or the line directly above.
+func (s *Suite) suppressed(analyzer string, position token.Position) bool {
+	file := s.relPath(position.Filename)
+	for _, su := range s.suppressions {
+		if su.malformed != "" || su.analyzer != analyzer || su.file != file {
+			continue
+		}
+		if su.line == position.Line || su.line == position.Line-1 {
+			su.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// checkSuppressions reports ignores that silenced nothing this run:
+// stale suppressions hide drift exactly the way stale allowlists do, so
+// they fail the build until removed. Ignores naming an analyzer outside
+// the full registry are reported the same way (usually a typo that
+// would otherwise turn the comment into a no-op). Unknown-ness is
+// judged against Analyzers() — the complete registry — while staleness
+// is only judged for analyzers that actually ran, so a -run-filtered
+// invocation neither misreports valid ignores of other analyzers nor
+// calls them stale.
+func (s *Suite) checkSuppressions(ran []*Analyzer) {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ranSet := map[string]bool{}
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	for _, su := range s.suppressions {
+		switch {
+		case su.malformed != "":
+			s.diags = append(s.diags, Diagnostic{
+				Analyzer: "suppression",
+				File:     su.file,
+				Line:     su.line,
+				Message:  su.malformed,
+			})
+		case !known[su.analyzer]:
+			s.diags = append(s.diags, Diagnostic{
+				Analyzer: "suppression",
+				File:     su.file,
+				Line:     su.line,
+				Message:  "//lint:ignore names unknown analyzer " + su.analyzer,
+			})
+		case ranSet[su.analyzer] && !su.used:
+			s.diags = append(s.diags, Diagnostic{
+				Analyzer: "suppression",
+				File:     su.file,
+				Line:     su.line,
+				Message:  "//lint:ignore " + su.analyzer + " no longer matches any finding; remove the stale suppression",
+			})
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module detcheck
+
+go 1.21

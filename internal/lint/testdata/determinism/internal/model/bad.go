@@ -1,0 +1,36 @@
+// Package model exercises the determinism analyzer: nondeterministic
+// sources and map-ordered output in internal code are findings.
+package model
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want `import of math/rand`
+	"os"
+	"time"
+)
+
+// Seed leaks wall-clock and environment state into results.
+func Seed() int64 {
+	s := time.Now().UnixNano()         // want `time\.Now: wall-clock read`
+	if os.Getenv("MODEL_SEED") != "" { // want `os\.Getenv: environment read`
+		s = 42
+	}
+	return s + rand.Int63()
+}
+
+// Render emits counters in map iteration order.
+func Render(w io.Writer, counts map[string]int) {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s=%d\n", name, n) // want `emits output while ranging over a map`
+	}
+}
+
+// SnapshotPairs bakes map order into a slice of rendered rows.
+func SnapshotPairs(counts map[string]int) []string {
+	var rows []string
+	for name, n := range counts {
+		rows = append(rows, fmt.Sprintf("%s=%d", name, n)) // want `appends map-ordered values`
+	}
+	return rows
+}

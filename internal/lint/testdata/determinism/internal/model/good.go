@@ -1,0 +1,30 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderSorted is the sanctioned shape: collect the keys, sort, then
+// emit. The map range appends only the key, which the analyzer must
+// leave alone.
+func RenderSorted(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, counts[k])
+	}
+}
+
+// Total only folds over the map; order-independent reductions are fine.
+func Total(counts map[string]int) int {
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	return sum
+}

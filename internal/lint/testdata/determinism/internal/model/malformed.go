@@ -1,0 +1,13 @@
+package model
+
+// Malformed holds grammar-violating ignore directives. Their findings
+// are asserted programmatically in lint_test.go (a // want comment here
+// would be absorbed into the directive text itself, since a line
+// comment runs to end of line).
+func Malformed() int {
+	//lint:ignore
+	x := 1
+	//lint:ignore determinism
+	x++
+	return x
+}

@@ -1,0 +1,22 @@
+package model
+
+import "os"
+
+// Hostname carries a justified suppression: the finding exists but the
+// ignore silences it, so the harness must see nothing on that line.
+func Hostname() string {
+	//lint:ignore determinism diagnostic label only; never feeds a simulated result
+	h, _ := os.Hostname()
+	return h
+}
+
+// Stale exercises the suppression hygiene checks. The want expectations
+// ride inside the ignore reasons (a line comment runs to end of line),
+// which is harmless: the reason text is never interpreted.
+func Stale() int {
+	//lint:ignore determinism covers nothing // want `no longer matches any finding`
+	x := 1
+	//lint:ignore nosuchanalyzer whatever the reason // want `names unknown analyzer`
+	x++
+	return x
+}

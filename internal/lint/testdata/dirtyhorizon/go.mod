@@ -1,0 +1,3 @@
+module dhcheck
+
+go 1.21

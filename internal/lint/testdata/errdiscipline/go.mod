@@ -1,0 +1,3 @@
+module edcheck
+
+go 1.21

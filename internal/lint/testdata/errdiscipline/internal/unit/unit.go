@@ -1,0 +1,56 @@
+// Package unit exercises the errdiscipline analyzer: sentinel errors
+// must be compared with errors.Is, never by identity.
+package unit
+
+import "errors"
+
+// ErrQueueFull is the sentinel a bounded queue returns on overflow.
+var ErrQueueFull = errors.New("unit: queue full")
+
+// ErrDrained signals a queue with nothing left.
+var ErrDrained = errors.New("unit: drained")
+
+type queue struct {
+	items []int
+	cap   int
+}
+
+func (q *queue) push(v int) error {
+	if len(q.items) >= q.cap {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, v)
+	return nil
+}
+
+// badRetry compares sentinels by identity: both directions and the
+// switch form are findings.
+func badRetry(q *queue, v int) bool {
+	err := q.push(v)
+	if err == ErrQueueFull { // want `ErrQueueFull compared with ==`
+		return true
+	}
+	if ErrQueueFull != err { // want `ErrQueueFull compared with !=`
+		return false
+	}
+	switch err {
+	case ErrDrained: // want `switch case compares ErrDrained by identity`
+		return false
+	}
+	return false
+}
+
+// goodRetry is the sanctioned form: errors.Is survives wrapping.
+func goodRetry(q *queue, v int) bool {
+	err := q.push(v)
+	if errors.Is(err, ErrQueueFull) {
+		return true
+	}
+	// Nil checks are not sentinel comparisons and must not be flagged.
+	if err != nil {
+		return false
+	}
+	// Identity comparison of non-sentinel locals is fine too.
+	other := errors.New("local")
+	return err == other
+}

@@ -1,0 +1,3 @@
+module hacheck
+
+go 1.21

@@ -1,0 +1,3 @@
+module skcheck
+
+go 1.21

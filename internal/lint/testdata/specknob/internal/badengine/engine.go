@@ -1,0 +1,18 @@
+// Package badengine drops knobs: it reads only Workers, its
+// ignores-knobs directive lists a knob it actually reads (stale) and a
+// name that is not a Spec field (typo), and it says nothing about Debug
+// and Wake at all.
+package badengine
+
+import "skcheck/internal/sim"
+
+type Engine struct{}
+
+func (Engine) Name() string { return "bad" }
+
+//picos:ignores-knobs Depth,Workers,Bogus depth and worker count are fixed by this engine's design // want `names Bogus, which is not a sim\.Spec field` `lists Workers but engine skcheck/internal/badengine reads it`
+func (Engine) Run(spec sim.Spec) int {
+	return spec.Workers
+}
+
+func init() { sim.Register(Engine{}) } // want `engine skcheck/internal/badengine silently drops sim\.Spec knobs Debug, Wake`

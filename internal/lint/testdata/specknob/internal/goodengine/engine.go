@@ -1,0 +1,22 @@
+// Package goodengine honors every knob: reads Workers, Depth and Wake
+// directly and Debug through the DebugOn method.
+package goodengine
+
+import "skcheck/internal/sim"
+
+type Engine struct{}
+
+func (Engine) Name() string { return "good" }
+
+func (Engine) Run(spec sim.Spec) int {
+	n := spec.Workers * spec.Depth
+	if spec.Wake == "first-first" {
+		n++
+	}
+	if spec.DebugOn() {
+		n += 100
+	}
+	return n
+}
+
+func init() { sim.Register(Engine{}) }

@@ -1,0 +1,23 @@
+package sim
+
+// Engine is one registered execution model.
+type Engine interface {
+	Name() string
+	Run(spec Spec) int
+}
+
+var engines = map[string]Engine{}
+
+// Register adds an engine to the registry.
+func Register(e Engine) { engines[e.Name()] = e }
+
+// Run routes a spec to its engine. Engine and Workload are consumed
+// here, by the framework, before any engine sees the spec — so engines
+// are not expected to read them.
+func Run(spec Spec) int {
+	e, ok := engines[spec.Engine]
+	if !ok || spec.Workload == "" {
+		return -1
+	}
+	return e.Run(spec)
+}

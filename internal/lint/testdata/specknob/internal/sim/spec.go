@@ -1,0 +1,18 @@
+// Package sim is a miniature of the real registry: a Spec of knobs, an
+// engine interface and a Register function, for exercising the
+// specknob analyzer.
+package sim
+
+// Spec declares one run.
+type Spec struct {
+	Engine   string
+	Workload string
+	Workers  int
+	Depth    int
+	Wake     string // want `sim\.Spec\.Wake is not bound by any CLI flag`
+	Debug    *bool
+}
+
+// DebugOn resolves the Debug knob; engines calling it are credited with
+// reading Debug.
+func (s Spec) DebugOn() bool { return s.Debug != nil && *s.Debug }

@@ -12,6 +12,13 @@ type Engine struct{}
 func (Engine) Name() string { return "nanos" }
 
 // Run executes the trace on the software-only runtime.
+//
+// The accelerator knobs do not exist here: Nanos++ is the paper's
+// software baseline, with no gateway, DM or TS hardware to configure,
+// and its event-driven model has no per-cycle loop for FastForward to
+// select.
+//
+//picos:ignores-knobs Admission,Conflict,FastForward,NewQDepth,NumDCT,NumTRS,RunAhead,Wake accelerator-only knobs; the software runtime has no GW/DM/TS hardware and is inherently event-driven
 func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 	res, err := Run(tr, Config{Workers: spec.Workers, Watchdog: spec.Watchdog})
 	if err != nil {

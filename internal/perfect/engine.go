@@ -13,6 +13,13 @@ type Engine struct{}
 func (Engine) Name() string { return "perfect" }
 
 // Run executes the trace on the roofline scheduler.
+//
+// Only Workers reaches the roofline: it schedules by critical path in
+// one pass, so there is no hardware to configure, no cycle loop for
+// FastForward to select and no runaway simulation for Watchdog to
+// bound.
+//
+//picos:ignores-knobs Admission,Conflict,FastForward,NewQDepth,NumDCT,NumTRS,RunAhead,Wake,Watchdog zero-overhead roofline; no accelerator hardware, no cycle loop to fast-forward or bound
 func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 	res, err := Run(tr, spec.Workers)
 	if err != nil {

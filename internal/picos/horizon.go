@@ -71,6 +71,8 @@ func (p *Picos) rebuildHorizon() {
 }
 
 // markDirty schedules a unit for re-polling at the next horizon read.
+//
+//picos:hotpath
 func (p *Picos) markDirty(id int32) {
 	if !p.hdirty[id] {
 		p.hdirty[id] = true
@@ -80,6 +82,8 @@ func (p *Picos) markDirty(id int32) {
 
 // noteBusy records a busy-timer deadline; Idle() is false until the
 // clock passes the latest one.
+//
+//picos:hotpath
 func (p *Picos) noteBusy(until uint64) {
 	if until > p.maxBusy {
 		p.maxBusy = until
@@ -87,6 +91,8 @@ func (p *Picos) noteBusy(until uint64) {
 }
 
 // flushHorizon re-polls every dirty unit and restores the heap order.
+//
+//picos:hotpath
 func (p *Picos) flushHorizon() {
 	if len(p.hdlist) == 0 {
 		return
@@ -106,6 +112,8 @@ func (p *Picos) flushHorizon() {
 }
 
 // hfix restores the heap invariant around a unit whose key changed.
+//
+//picos:hotpath
 func (p *Picos) hfix(id int32) {
 	if !p.hsiftUp(p.hpos[id]) {
 		p.hsiftDown(p.hpos[id])
@@ -114,6 +122,8 @@ func (p *Picos) hfix(id int32) {
 
 // hsiftUp moves the element at heap position i toward the root; it
 // reports whether the element moved.
+//
+//picos:hotpath
 func (p *Picos) hsiftUp(i int32) bool {
 	moved := false
 	for i > 0 {
@@ -129,6 +139,8 @@ func (p *Picos) hsiftUp(i int32) bool {
 }
 
 // hsiftDown moves the element at heap position i toward the leaves.
+//
+//picos:hotpath
 func (p *Picos) hsiftDown(i int32) {
 	n := int32(len(p.hheap))
 	for {
@@ -148,6 +160,7 @@ func (p *Picos) hsiftDown(i int32) {
 	}
 }
 
+//picos:hotpath
 func (p *Picos) hswap(i, j int32) {
 	p.hheap[i], p.hheap[j] = p.hheap[j], p.hheap[i]
 	p.hpos[p.hheap[i]] = i

@@ -204,6 +204,8 @@ func New(cfg Config) (*Picos, error) {
 // one — including after a wedged run that left queues and memories
 // occupied — which is what lets harnesses keep a warm engine pool
 // instead of rebuilding the machine per run.
+//
+//picos:hotpath
 func (p *Picos) Reset(cfg Config) error {
 	cfg, err := normalizeConfig(cfg)
 	if err != nil {
@@ -262,6 +264,8 @@ func (p *Picos) Now() uint64 { return p.now }
 // registered FIFO. (The fast path advances with stepDue instead, which
 // skips units the horizon heap proves cannot act; the two are
 // equivalent by construction and by the equivalence suite.)
+//
+//picos:hotpath
 func (p *Picos) Step() {
 	now := p.now
 	for _, d := range p.dct {
@@ -284,6 +288,8 @@ func (p *Picos) Step() {
 // no-op), or it is an admission-blocked GW / stalled DCT head whose
 // per-cycle retry must run for exact stall accounting — and can succeed
 // within this very cycle when another unit's release frees resources.
+//
+//picos:hotpath
 func (p *Picos) stepDue() {
 	now := p.now
 	for _, d := range p.dct {
@@ -319,6 +325,8 @@ func (p *Picos) stepDue() {
 // for). The answer comes from the incremental horizon heap: only units
 // whose state changed since the last call are re-polled, so planning a
 // wake is O(dirty · log units), not a rescan of every queue head.
+//
+//picos:hotpath
 func (p *Picos) NextEvent() (uint64, bool) {
 	p.flushHorizon()
 	at := p.hkey[p.hheap[0]]
@@ -343,6 +351,8 @@ func (p *Picos) ReadyAt() (uint64, bool) { return p.ts.nextReadyAt() }
 // the per-cycle stall counters (GW admission blocking, DCT memory
 // stalls) the skipped retries would have accrued. A target at or before
 // the current cycle is a no-op; the clock never rewinds.
+//
+//picos:hotpath
 func (p *Picos) RunTo(cycle uint64) {
 	for p.now < cycle {
 		next, ok := p.NextEvent()
@@ -366,6 +376,8 @@ func (p *Picos) RunTo(cycle uint64) {
 // reached. Harnesses that would act on a ready task (an idle worker, a
 // free link slot) drive bursts with this instead of bouncing after
 // every internal event.
+//
+//picos:hotpath
 func (p *Picos) RunToReady(cycle uint64) {
 	for p.now < cycle {
 		next, ok := p.NextEvent()
@@ -391,6 +403,8 @@ func (p *Picos) RunToReady(cycle uint64) {
 // without external input, leaving the clock at the last one. Harnesses
 // call it once all external traffic is finished, to let the final
 // finish walks and releases drain.
+//
+//picos:hotpath
 func (p *Picos) RunOut() {
 	for {
 		next, ok := p.NextEvent()
@@ -410,6 +424,8 @@ func (p *Picos) RunOut() {
 // every cycle, and a stalled DCT head retries (and re-fails) its store
 // every cycle. Both retries are state-idempotent, so only the counters
 // need accounting.
+//
+//picos:hotpath
 func (p *Picos) skipTo(cycle uint64) {
 	if cycle <= p.now {
 		return
@@ -477,13 +493,17 @@ var ErrNewQFull = errors.New("picos: new-task queue full")
 // one task. With Config.NewQDepth set it additionally returns ErrNewQFull
 // when the buffer is full, and the caller must park the descriptor and
 // retry — the backpressure edge of the creation run-ahead pipeline.
+//
+//picos:hotpath
 func (p *Picos) Submit(id uint32, deps []trace.Dep) error {
 	if len(deps) > trace.MaxDeps {
+		//lint:ignore hotalloc cold rejection path: a malformed task aborts the run, so this never executes in a hot loop
 		return fmt.Errorf("picos: task %d has %d dependences; the TMX holds %d", id, len(deps), trace.MaxDeps)
 	}
 	for i := 0; i < len(deps); i++ {
 		for j := i + 1; j < len(deps); j++ {
 			if deps[i].Addr == deps[j].Addr {
+				//lint:ignore hotalloc cold rejection path: a malformed task aborts the run, so this never executes in a hot loop
 				return fmt.Errorf("picos: task %d repeats dependence address %#x", id, deps[i].Addr)
 			}
 		}
@@ -535,6 +555,8 @@ func (p *Picos) InFlight() int {
 // active exactly when it has a future event or a running busy timer, so
 // "no horizon anywhere and the clock has passed every busy deadline" is
 // the whole condition.
+//
+//picos:hotpath
 func (p *Picos) Idle() bool {
 	p.flushHorizon()
 	return p.hkey[p.hheap[0]] == noEvent && p.maxBusy <= p.now
