@@ -39,6 +39,8 @@ func main() {
 		workers  = flag.Int("workers", sim.DefaultWorkers, "worker count")
 		nTRS     = flag.Int("trs", 0, "TRS instances (default 1)")
 		nDCT     = flag.Int("dct", 0, "DCT instances (default 1)")
+		shash    = flag.String("shardhash", "", "address-to-shard hash with -dct > 1: xor-fold (default), low-bits")
+		shop     = flag.Int("shardhop", 0, "per-shard-crossed fabric latency in cycles (0: default 1, negative: free)")
 		admiss   = flag.String("admission", "", "GW admission policy: credits (default), slots")
 		wake     = flag.String("wake", "", "TS wake order on task finish: last-first (default), first-first")
 		conflict = flag.String("conflict", "", "DM conflict handling: sidetrack (default), block")
@@ -81,6 +83,8 @@ func main() {
 		Conflict:  *conflict,
 		NumTRS:    *nTRS,
 		NumDCT:    *nDCT,
+		ShardHash: *shash,
+		ShardHop:  *shop,
 		NewQDepth: *newq,
 		RunAhead:  *runAhead,
 		Watchdog:  *watchdog,

@@ -6,6 +6,12 @@
 // points (the wide families under worst-case aligned clustering on the
 // 8-way direct hash) surface as wedged cells, not errors.
 //
+// The JSON also carries the shard-capacity lane (cells with a non-zero
+// num_dct): the same families under a sharded DCT fabric, where the
+// design's capacity is partitioned across shards. This example is the
+// single producer of BENCH_patterns.json; the shard lane renders
+// standalone via examples/shard-capacity.
+//
 //	go run ./examples/pattern-capacity-map            # full map + JSON
 //	go run ./examples/pattern-capacity-map -quick     # reduced grid
 //	go run ./examples/pattern-capacity-map -out ""    # skip the JSON
@@ -43,6 +49,15 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	// The shard-capacity lane rides along in the same JSON, keeping this
+	// example the single producer of BENCH_patterns.json. It is rendered
+	// by examples/shard-capacity; here it is data only.
+	shardCells, err := experiments.ShardCapacityData(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells = append(cells, shardCells...)
 
 	wedged := 0
 	for _, c := range cells {

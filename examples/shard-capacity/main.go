@@ -1,0 +1,50 @@
+// Shard capacity: sweep DCT shard counts against the DM designs over
+// pattern families of increasing address spread, and render the cost of
+// partitioning the dependence-management fabric as tables and ASCII
+// heatmaps. Sharding divides the design's DM sets (and the VM) across
+// shards rather than replicating them, and inter-shard traffic pays the
+// chained shard-hop latency, so the sweep shows where per-shard
+// capacity — not raw shard count — becomes the bottleneck.
+//
+//	go run ./examples/shard-capacity            # full sweep
+//	go run ./examples/shard-capacity -quick     # reduced grid (CI smoke)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced grid (2 families, P+8way, 1 vs 4 shards)")
+	flag.Parse()
+
+	cells, err := experiments.ShardCapacityData(experiments.Options{Quick: *quick})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, t := range experiments.ShardCapacityTables(cells) {
+		if err := t.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, hm := range experiments.ShardCapacityHeatmaps(cells) {
+		if err := hm.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	wedged := 0
+	for _, c := range cells {
+		if c.Wedged {
+			wedged++
+		}
+	}
+	fmt.Printf("%d grid points, %d wedged\n", len(cells), wedged)
+}

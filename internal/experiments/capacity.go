@@ -31,6 +31,9 @@ type CapacityCell struct {
 	Engine   string `json:"engine"`
 	Design   string `json:"design"`
 	Layout   string `json:"layout"`
+	// NumDCT is the DCT shard count of the shard-capacity lane; zero
+	// (omitted in JSON) marks the single-DCT capacity-map lanes.
+	NumDCT int `json:"num_dct,omitempty"`
 
 	Wedged           bool    `json:"wedged,omitempty"`
 	WedgedAt         uint64  `json:"wedged_at,omitempty"`

@@ -6,13 +6,13 @@ import (
 	"repro/internal/paperref"
 )
 
-// goldenSummary locks the fast report's summary line: 149 of 150 cells
-// reproduce the paper within tolerance and the one Near cell is the
-// documented model gap (Table IV HW-only case4). Any model change that
-// shifts a cell across a verdict boundary — an improvement or a
-// regression — must update this line (and, for new non-Match cells, add
-// a paperref.KnownGaps entry justifying them).
-const goldenSummary = "**Summary: 149 cells match, 1 near, 0 diverge (of 150).**"
+// goldenSummary locks the fast report's summary line: every one of the
+// 150 cells reproduces the paper within tolerance and
+// paperref.KnownGaps is empty. Any model change that shifts a cell
+// across a verdict boundary — an improvement or a regression — must
+// update this line (and, for new non-Match cells, add a
+// paperref.KnownGaps entry justifying them).
+const goldenSummary = "**Summary: 150 cells match, 0 near, 0 diverge (of 150).**"
 
 func TestFastReportGolden(t *testing.T) {
 	if testing.Short() {

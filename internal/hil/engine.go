@@ -84,6 +84,14 @@ func (e Engine) config(spec sim.Spec) (Config, error) {
 	if spec.NumDCT > 0 {
 		cfg.Picos.NumDCT = spec.NumDCT
 	}
+	if cfg.Picos.ShardHash, err = picos.ParseShardHash(spec.ShardHash); err != nil {
+		return cfg, err
+	}
+	if spec.ShardHop > 0 {
+		cfg.Picos.Timing.ShardHop = uint64(spec.ShardHop)
+	} else if spec.ShardHop < 0 {
+		cfg.Picos.Timing.ShardHop = 0
+	}
 	return cfg, nil
 }
 

@@ -29,24 +29,30 @@ func TestBoundedNewQNeverLosesTasks(t *testing.T) {
 	n := uint64(len(tr.Tasks))
 	for _, mode := range []Mode{HWOnly, HWComm, FullSystem} {
 		for _, ff := range []bool{true, false} {
-			cfg := DefaultConfig()
-			cfg.Mode = mode
-			cfg.FastForward = ff
-			cfg.RunAhead = 2
-			cfg.Picos.NewQDepth = 1
-			res, err := Run(tr, cfg)
-			if err != nil {
-				t.Fatalf("%s ff=%v: %v", mode, ff, err)
-			}
-			if res.Wedged {
-				t.Fatalf("%s ff=%v: wedged at %d with a retrying submitter", mode, ff, res.WedgedAt)
-			}
-			if res.Stats.TasksSubmitted != n || res.Stats.TasksCompleted != n {
-				t.Fatalf("%s ff=%v: %d submitted / %d completed, want %d — a rejected registration was dropped",
-					mode, ff, res.Stats.TasksSubmitted, res.Stats.TasksCompleted, n)
-			}
-			if len(res.Order) != int(n) {
-				t.Fatalf("%s ff=%v: only %d tasks ran", mode, ff, len(res.Order))
+			// numDCT 1 is the calibrated machine; 4 adds the sharded
+			// fabric, whose per-shard admission credits must not strand a
+			// parked-and-retrying submission either.
+			for _, numDCT := range []int{1, 4} {
+				cfg := DefaultConfig()
+				cfg.Mode = mode
+				cfg.FastForward = ff
+				cfg.RunAhead = 2
+				cfg.Picos.NewQDepth = 1
+				cfg.Picos.NumDCT = numDCT
+				res, err := Run(tr, cfg)
+				if err != nil {
+					t.Fatalf("%s ff=%v dct=%d: %v", mode, ff, numDCT, err)
+				}
+				if res.Wedged {
+					t.Fatalf("%s ff=%v dct=%d: wedged at %d with a retrying submitter", mode, ff, numDCT, res.WedgedAt)
+				}
+				if res.Stats.TasksSubmitted != n || res.Stats.TasksCompleted != n {
+					t.Fatalf("%s ff=%v dct=%d: %d submitted / %d completed, want %d — a rejected registration was dropped",
+						mode, ff, numDCT, res.Stats.TasksSubmitted, res.Stats.TasksCompleted, n)
+				}
+				if len(res.Order) != int(n) {
+					t.Fatalf("%s ff=%v dct=%d: only %d tasks ran", mode, ff, numDCT, len(res.Order))
+				}
 			}
 		}
 	}

@@ -25,10 +25,20 @@ type busMsg struct {
 	h    picos.TaskHandle // busFin
 }
 
-// delivery is a message that has left the link and lands at cycle at.
+// deliveryBatch is how many link messages one delivery node can carry.
+// The link serializes sends, so same-stamp landings are rare (they need
+// zero-occupancy custom timings); a small inline array keeps the common
+// single-message node compact while still coalescing bursts.
+const deliveryBatch = 4
+
+// delivery is a batch of messages that have left the link and land at
+// cycle at. Messages land in msgs order — push order, which is link
+// grant order — so batching same-stamp landings into one node changes
+// how the FIFO stores them, never the order they are processed.
 type delivery struct {
-	at  uint64
-	msg busMsg
+	at   uint64
+	n    uint8
+	msgs [deliveryBatch]busMsg
 }
 
 // stampedTask is a created task available to the link from cycle at.
@@ -545,9 +555,27 @@ func (r *runner) stepWorkers(now uint64) {
 	}
 }
 
+// pushDelivery queues a landed-at-`at` link message, coalescing it into
+// the tail delivery node when the stamps match and the batch has room.
+// Stamps are non-decreasing (busFree never moves backwards), so a
+// non-matching tail stamp means a strictly later landing and a fresh
+// node keeps the FIFO ordered by at.
+//
+//picos:hotpath
+func (r *runner) pushDelivery(at uint64, msg busMsg) {
+	if tail, ok := r.deliveries.Tail(); ok && tail.at == at && int(tail.n) < len(tail.msgs) {
+		tail.msgs[tail.n] = msg
+		tail.n++
+		return
+	}
+	d := delivery{at: at, n: 1}
+	d.msgs[0] = msg
+	r.deliveries.Push(d)
+}
+
 // stepDeliveries lands in-flight link messages. The FIFO is ordered by
 // landing stamp (see the field comment), so landing is popping the
-// due prefix.
+// due prefix; each node lands its whole batch in push order.
 //
 //picos:hotpath
 func (r *runner) stepDeliveries(now uint64) {
@@ -557,40 +585,49 @@ func (r *runner) stepDeliveries(now uint64) {
 			return
 		}
 		r.deliveries.Pop()
-		switch d.msg.kind {
-		case busNew:
-			if r.parkedNew.Len() > 0 {
-				// Keep submission order: earlier rejections go first.
-				r.parkedNew.Push(d.msg.task)
-				break
-			}
-			task := &r.tr.Tasks[d.msg.task]
-			err := r.p.Submit(task.ID, task.Deps)
-			switch {
-			case errors.Is(err, picos.ErrNewQFull):
-				// The submission buffer is full: park the descriptor and
-				// retry until the queue accepts it. A rejected
-				// registration is never dropped — losing it would wedge
-				// the run and fail the drain check.
-				r.parkedNew.Push(d.msg.task)
-			case err != nil:
-				// Traces are validated before the run, so a non-capacity
-				// rejection is impossible; if the model ever produces
-				// one, surface it through the drain check (submitted
-				// counter stays short) rather than dropping silently.
-				_ = err
-			default:
-				if r.cfg.Mode == FullSystem {
-					r.createdAhead--
-				}
-			}
-		case busReady:
-			r.readyInFlight--
-			r.readyBacklog.Push(d.msg.rt)
-		case busFin:
-			r.p.NotifyFinish(d.msg.h)
+		for i := 0; i < int(d.n); i++ {
+			r.landMsg(d.msgs[i])
 		}
 		r.lastProgress = now
+	}
+}
+
+// landMsg applies one landed link message.
+//
+//picos:hotpath
+func (r *runner) landMsg(msg busMsg) {
+	switch msg.kind {
+	case busNew:
+		if r.parkedNew.Len() > 0 {
+			// Keep submission order: earlier rejections go first.
+			r.parkedNew.Push(msg.task)
+			return
+		}
+		task := &r.tr.Tasks[msg.task]
+		err := r.p.Submit(task.ID, task.Deps)
+		switch {
+		case errors.Is(err, picos.ErrNewQFull):
+			// The submission buffer is full: park the descriptor and
+			// retry until the queue accepts it. A rejected
+			// registration is never dropped — losing it would wedge
+			// the run and fail the drain check.
+			r.parkedNew.Push(msg.task)
+		case err != nil:
+			// Traces are validated before the run, so a non-capacity
+			// rejection is impossible; if the model ever produces
+			// one, surface it through the drain check (submitted
+			// counter stays short) rather than dropping silently.
+			_ = err
+		default:
+			if r.cfg.Mode == FullSystem {
+				r.createdAhead--
+			}
+		}
+	case busReady:
+		r.readyInFlight--
+		r.readyBacklog.Push(msg.rt)
+	case busFin:
+		r.p.NotifyFinish(msg.h)
 	}
 }
 
@@ -650,13 +687,13 @@ func (r *runner) stepBus(now uint64) {
 		if rt, ok := r.p.PopReady(); ok {
 			r.readyInFlight++
 			r.busFree = now + c.FetchReadyOcc
-			r.deliveries.Push(delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busReady, rt: rt}})
+			r.pushDelivery(r.busFree+c.Flight, busMsg{kind: busReady, rt: rt})
 			return
 		}
 	}
 	if h, ok := r.pendingFin.Pop(); ok {
 		r.busFree = now + c.SendFinOcc
-		r.deliveries.Push(delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busFin, h: h}})
+		r.pushDelivery(r.busFree+c.Flight, busMsg{kind: busFin, h: h})
 		return
 	}
 	if st, ok := r.pendingNew.Peek(); ok && st.at <= now {
@@ -665,7 +702,7 @@ func (r *runner) stepBus(now uint64) {
 		// master core (coupled resources); the link itself is still held
 		// for the transfer duration in both modes.
 		r.busFree = now + c.SendNewOcc
-		r.deliveries.Push(delivery{at: r.busFree + c.Flight, msg: busMsg{kind: busNew, task: st.idx}})
+		r.pushDelivery(r.busFree+c.Flight, busMsg{kind: busNew, task: st.idx})
 	}
 }
 

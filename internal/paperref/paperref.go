@@ -228,31 +228,35 @@ type KnownGap struct {
 }
 
 // KnownGaps lists the accepted model gaps of the current reproduction.
+// It is empty: every cell of the fast report matches the paper within
+// tolerance.
 //
-// (Closed in earlier revisions, kept for the record: Table II
-// sparselu/64 8way under-measured conflicts ~94 vs 239 while the model
-// stalled ALL registration head-of-line on the first full set — one
-// global stall episode absorbed every colliding arrival behind it. The
-// DCT's conflict sidetrack register now keeps registration flowing past
-// a saturated set, the way the decoupled creation/registration pipeline
-// keeps arrivals coming, and conflicts are accounted per saturated set;
-// the cell measures ~132 and is within the Table II tolerance. Before
-// the word-address hash fix the same row diverged outright: 496 vs 239
-// and 360 vs 0.)
-var KnownGaps = []KnownGap{
-	{
-		Experiment: "Table IV thrTask",
-		Cell:       "HW-only case4",
-		Why: "Measures ~37 vs the paper's 24 cycles per task (Near). Case4 " +
-			"is one producer-producer chain on a single address, so its " +
-			"task throughput is the full finish->release->wake->ready " +
-			"round trip; the model's DCT release walk plus wake routing " +
-			"costs ~13 cycles more per link than the prototype, which " +
-			"overlaps the version recycle with the wake send. The other 20 " +
-			"HW-only latency/throughput cells match within 30%, so the " +
-			"unit timings are kept.",
-	},
-}
+// (Closed in earlier revisions, kept for the record:
+//
+// Table II sparselu/64 8way under-measured conflicts ~94 vs 239 while
+// the model stalled ALL registration head-of-line on the first full
+// set — one global stall episode absorbed every colliding arrival
+// behind it. The DCT's conflict sidetrack register now keeps
+// registration flowing past a saturated set, the way the decoupled
+// creation/registration pipeline keeps arrivals coming, and conflicts
+// are accounted per saturated set; the cell measures ~132 and is
+// within the Table II tolerance. Before the word-address hash fix the
+// same row diverged outright: 496 vs 239 and 360 vs 0.
+//
+// Table IV HW-only case4 thrTask over-measured ~37 vs 24: case4 is one
+// producer-producer chain on a single address, so its throughput is
+// the full finish->release->wake->ready round trip, and the model
+// serialized work the prototype overlaps. Three coordinated timing
+// corrections closed it: the DCT release engine now issues the chain
+// wake as soon as the VM read resolves it, charging the version
+// recycle to the overlapped release timer; the TRS services
+// dependence-tracking traffic ahead of 10-cycle new-task TM0 writes;
+// and the arbiter routes by visibility stamp instead of issue order,
+// so in-flight registration statuses no longer head-of-line block
+// wakes already on the wire. The cell measures ~31 and the remaining
+// distance to the prototype's 24 is admission-phase contention shared
+// with every other matching cell.)
+var KnownGaps = []KnownGap{}
 
 // FindGap returns the KnownGaps entry covering a report line, if any.
 func FindGap(experiment, cell string) (KnownGap, bool) {

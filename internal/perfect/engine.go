@@ -19,7 +19,7 @@ func (Engine) Name() string { return "perfect" }
 // FastForward to select and no runaway simulation for Watchdog to
 // bound.
 //
-//picos:ignores-knobs Admission,Conflict,FastForward,NewQDepth,NumDCT,NumTRS,RunAhead,Wake,Watchdog zero-overhead roofline; no accelerator hardware, no cycle loop to fast-forward or bound
+//picos:ignores-knobs Admission,Conflict,FastForward,NewQDepth,NumDCT,NumTRS,RunAhead,ShardHash,ShardHop,Wake,Watchdog zero-overhead roofline; no accelerator hardware, no cycle loop to fast-forward or bound
 func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 	res, err := Run(tr, spec.Workers)
 	if err != nil {

@@ -5,10 +5,21 @@ package picos
 // forwards a bounded number of messages per cycle, adding one hop of
 // latency, so long wake chains pay per-link routing time exactly like
 // the prototype.
+//
+// Routing is visibility-ordered: the crossbar grants whichever message
+// is ready this cycle, not the one whose producing engine happened to
+// issue its send first. Messages therefore queue on (visibility stamp,
+// issue order) — a status still inside a DCT's 16-cycle registration
+// pipeline cannot head-of-line block a release or wake that is already
+// on the wire. Per-flow order is preserved: every unit engine emits with
+// non-decreasing stamps, and equal stamps fall back to issue order.
+// (The pre-fix strict-FIFO arbiter was the main reason the Table IV
+// case4 chain round trip over-measured: each link's finish and wake
+// packets waited out an unrelated in-flight registration status.)
 type arbiter struct {
 	p      *Picos
 	timing *Timing
-	in     regFIFO[arbMsg]
+	in     arbHeap
 	routed uint64
 	hid    int32 // horizon-heap slot
 }
@@ -48,16 +59,111 @@ func (a *arbiter) step(now uint64) {
 			t.wakeQ.push(m.wake, at)
 			a.p.markDirty(t.hid)
 		case arbFin:
+			// DCT-bound traffic pays the destination shard's chain
+			// distance on top of the arbiter hop (shard 0 is adjacent).
 			d := a.p.dct[m.fin.vm.DCT]
-			d.finQ.push(m.fin, at)
+			d.finQ.push(m.fin, at+uint64(m.fin.vm.DCT)*a.timing.ShardHop)
+			a.p.markDirty(d.hid)
+		case arbNewDep:
+			shard := a.p.dctOf(m.dep.addr)
+			d := a.p.dct[shard]
+			d.newDepQ.push(m.dep, at+uint64(shard)*a.timing.ShardHop)
 			a.p.markDirty(d.hid)
 		}
 	}
 }
 
 // nextEvent returns the earliest cycle at which the arbiter can route
-// its next message (it has no busy timer — only head visibility gates
+// its next message (it has no busy timer — only message visibility gates
 // it).
 func (a *arbiter) nextEvent() (uint64, bool) { return a.in.headAt() }
 
 func (a *arbiter) active(now uint64) bool { return !a.in.empty() }
+
+// arbEntry is one queued message of the visibility-ordered arbiter.
+type arbEntry struct {
+	at  uint64 // visibility stamp: earliest cycle the message can route
+	seq uint64 // issue order, the tie-break for equal stamps
+	m   arbMsg
+}
+
+// arbHeap is a binary min-heap of messages keyed (at, seq): the head is
+// the earliest-visible message, with ties resolved in issue order so
+// same-cycle sends route exactly as the pre-heap FIFO did. Storage is
+// reused across resets.
+type arbHeap struct {
+	h   []arbEntry
+	seq uint64
+}
+
+func (q *arbHeap) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+//picos:hotpath
+func (q *arbHeap) push(m arbMsg, at uint64) {
+	q.h = append(q.h, arbEntry{at: at, seq: q.seq, m: m})
+	q.seq++
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest-visible message if its stamp has
+// been reached at cycle now.
+//
+//picos:hotpath
+func (q *arbHeap) pop(now uint64) (arbMsg, bool) {
+	if len(q.h) == 0 || q.h[0].at > now {
+		return arbMsg{}, false
+	}
+	m := q.h[0].m
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = arbEntry{}
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.h) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.h) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+	return m, true
+}
+
+// headAt returns the earliest visibility stamp over all queued messages.
+func (q *arbHeap) headAt() (uint64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+func (q *arbHeap) empty() bool { return len(q.h) == 0 }
+
+// reset drops all messages and restarts issue numbering, keeping the
+// backing storage.
+func (q *arbHeap) reset() {
+	clear(q.h)
+	q.h = q.h[:0]
+	q.seq = 0
+}

@@ -70,23 +70,25 @@ func newDCT(id uint8, p *Picos) *dctUnit {
 	return &dctUnit{
 		id:     id,
 		p:      p,
-		dm:     newDepMemory(design),
-		vm:     newVersionMemory(design.Capacity()),
+		dm:     newDepMemory(design, shardSets(p.cfg.NumDCT)),
+		vm:     newVersionMemory(shardCapacity(design, p.cfg.NumDCT)),
 		timing: &p.cfg.Timing,
 	}
 }
 
 // reset scrubs the unit back to its just-built state: the dependence and
 // version memories are cleared in place and only reallocated when the
-// design changes their shape (associativity sizes both).
+// design or the shard count changes their shape (associativity and the
+// shard's partition of sets size both).
 func (u *dctUnit) reset(design DMDesign) {
-	if u.dm.ways != design.Ways() {
-		u.dm = newDepMemory(design)
+	sets := shardSets(u.p.cfg.NumDCT)
+	if u.dm.ways != design.Ways() || u.dm.numSets != sets {
+		u.dm = newDepMemory(design, sets)
 	} else {
 		u.dm.reset()
 		u.dm.design = design
 	}
-	if capacity := design.Capacity(); len(u.vm.entries) != capacity {
+	if capacity := shardCapacity(design, u.p.cfg.NumDCT); len(u.vm.entries) != capacity {
 		u.vm = newVersionMemory(capacity)
 	} else {
 		u.vm.reset()
@@ -222,12 +224,20 @@ func (u *dctUnit) consume(now, cost uint64) uint64 {
 	return u.busyUntil
 }
 
+// egress stamps a packet leaving this shard: shard k sits k fabric
+// registers away from the arbiter port, so its outbound traffic pays
+// k shard hops before it is routable. Shard 0 (every single-DCT build)
+// pays nothing.
+func (u *dctUnit) egress(at uint64) uint64 {
+	return at + uint64(u.id)*u.timing.ShardHop
+}
+
 func (u *dctUnit) sendStatus(pkt depStatusPkt, at uint64) {
-	u.p.arb.route(arbMsg{kind: arbStat, stat: pkt}, at)
+	u.p.arb.route(arbMsg{kind: arbStat, stat: pkt}, u.egress(at))
 }
 
 func (u *dctUnit) sendWake(pkt wakePkt, at uint64) {
-	u.p.arb.route(arbMsg{kind: arbWake, wake: pkt}, at)
+	u.p.arb.route(arbMsg{kind: arbWake, wake: pkt}, u.egress(at))
 }
 
 // tryNewDep registers one dependence (flow N5). It returns stallNone on
@@ -256,6 +266,7 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) stallKind {
 			e.count++
 			e.input = false
 			done := u.consume(now, u.timing.DCTNewDep)
+			nv.statusAt = done + u.timing.DCTPipe
 			u.sendStatus(depStatusPkt{
 				task: pkt.task, depIdx: pkt.depIdx,
 				vm: VMAddr{DCT: u.id, Idx: idx},
@@ -264,6 +275,7 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) stallKind {
 			// Consumer of the newest version.
 			tail.numConsumers++
 			done := u.consume(now, u.timing.DCTNewDep)
+			tail.statusAt = done + u.timing.DCTPipe
 			status := depStatusPkt{
 				task: pkt.task, depIdx: pkt.depIdx,
 				vm: VMAddr{DCT: u.id, Idx: tailIdx},
@@ -324,6 +336,7 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) stallKind {
 		nv.numConsumers = 1
 	}
 	done := u.consume(now, u.timing.DCTNewDep)
+	nv.statusAt = done + u.timing.DCTPipe
 	u.sendStatus(depStatusPkt{
 		task: pkt.task, depIdx: pkt.depIdx,
 		vm:    VMAddr{DCT: u.id, Idx: idx},
@@ -363,19 +376,21 @@ func (u *dctUnit) handleFinish(pkt finishDepPkt, now uint64) {
 		if v.chainLen > 0 {
 			// Wake the chain: from the last consumer under the paper's
 			// design (Figure 5, link 1), from the first under the
-			// ablation order.
+			// ablation order. The wake leaves as soon as the VM read
+			// resolves the target; the recycle write-back below proceeds
+			// on the engine timer (busyUntilFin) concurrently.
 			entry := v.chainTail
 			if u.p.cfg.Wake == WakeFirstFirst {
 				entry = v.chainHead
 			}
-			u.sendWake(wakePkt{task: entry, vm: pkt.vm}, done+u.timing.DCTPipe)
+			u.sendWake(wakePkt{task: entry, vm: pkt.vm}, max(now+u.timing.DCTPipe, v.statusAt))
 			u.p.stats.WakesRouted++
 		}
 	} else {
 		v.finished++
 	}
 	if v.complete() {
-		u.completeVersion(pkt.vm.Idx, done)
+		u.completeVersion(pkt.vm.Idx, now)
 	}
 }
 
@@ -387,7 +402,7 @@ func (u *dctUnit) completeVersion(idx uint16, at uint64) {
 	e := u.dm.at(v.dm)
 	if v.hasNext {
 		nv := u.vm.at(v.next)
-		u.sendWake(wakePkt{task: nv.producer, vm: VMAddr{DCT: u.id, Idx: v.next}}, at+u.timing.DCTPipe)
+		u.sendWake(wakePkt{task: nv.producer, vm: VMAddr{DCT: u.id, Idx: v.next}}, max(at+u.timing.DCTPipe, nv.statusAt))
 		u.p.stats.WakesRouted++
 		e.head = v.next
 		e.count--

@@ -76,15 +76,20 @@ type dmRef struct {
 	set, way int
 }
 
-// depMemory is the cache-like address-matching store of a DCT.
+// depMemory is the cache-like address-matching store of a DCT. A
+// single-DCT build owns all dmSets sets; a sharded fabric hands each
+// shard its partition of them (numSets = shardSets(NumDCT)), so the
+// fabric's total capacity stays the design's.
 type depMemory struct {
-	design DMDesign
-	ways   int
-	sets   [dmSets][]dmEntry
+	design  DMDesign
+	ways    int
+	numSets int
+	sets    [][]dmEntry
 }
 
-func newDepMemory(design DMDesign) *depMemory {
-	m := &depMemory{design: design, ways: design.Ways()}
+func newDepMemory(design DMDesign, numSets int) *depMemory {
+	m := &depMemory{design: design, ways: design.Ways(), numSets: numSets}
+	m.sets = make([][]dmEntry, numSets)
 	for s := range m.sets {
 		m.sets[s] = make([]dmEntry, m.ways)
 	}
@@ -114,11 +119,19 @@ func (m *depMemory) reset() {
 // of 64 sets and Table II's sparselu/64 row overshoots the paper's
 // conflict counts by 2x on 8way and reports 360 where the paper
 // measures 0 on 16way; see paperref.KnownGaps.)
+// On a sharded fabric the full-design index is folded onto the shard's
+// partition of sets; with all 64 sets present the fold is the identity.
 func (m *depMemory) index(addr uint64) int {
+	var idx int
 	if m.design == DMP8Way {
-		return pearson.Index64(addr)
+		idx = pearson.Index64(addr)
+	} else {
+		idx = int((addr >> 2) & (dmSets - 1))
 	}
-	return int((addr >> 2) & (dmSets - 1))
+	if m.numSets < dmSets {
+		idx %= m.numSets
+	}
+	return idx
 }
 
 // lookup performs the DM compare operation: it returns the entry holding

@@ -55,8 +55,12 @@ func (g *gateway) initCredits() {
 		g.vmCredits = g.vmCredits[:n]
 		g.need = g.need[:n]
 	}
+	// Each shard grants credits against its own partition of the VM:
+	// a sharded fabric divides the design's capacity, it does not
+	// multiply it, so per-shard room is shardCapacity - reserve.
+	perShard := shardCapacity(g.p.cfg.Design, g.p.cfg.NumDCT) - g.p.cfg.VMReserve
 	for i := range g.vmCredits {
-		g.vmCredits[i] = g.p.cfg.Design.Capacity() - g.p.cfg.VMReserve
+		g.vmCredits[i] = perShard
 		g.need[i] = 0
 	}
 }
@@ -124,15 +128,26 @@ func (g *gateway) step(now uint64) {
 		tu.newQ.push(newTaskPkt{slot: slot, id: t.id, numDeps: uint8(len(t.deps))},
 			now+g.timing.GWNewTask+g.timing.GWPipe)
 		p.markDirty(tu.hid)
+		sharded := len(p.dct) > 1
 		for i, d := range t.deps {
 			at := now + g.timing.GWNewTask + uint64(i+1)*g.timing.GWPerDep + g.timing.GWPipe
-			du := p.dct[p.dctOf(d.Addr)]
-			du.newDepQ.push(newDepPkt{
+			pkt := newDepPkt{
 				task:   handle,
 				depIdx: uint8(i),
 				addr:   d.Addr,
 				dir:    d.Dir,
-			}, at)
+			}
+			if sharded {
+				// On a sharded fabric the GW has no private port per
+				// shard: dependence traffic crosses the arbiter and pays
+				// the destination shard's chain distance like every
+				// other DCT-bound message.
+				p.arb.route(arbMsg{kind: arbNewDep, dep: pkt}, at)
+				continue
+			}
+			// A single DCT keeps the prototype's direct GW->DCT wiring.
+			du := p.dct[p.dctOf(d.Addr)]
+			du.newDepQ.push(pkt, at)
 			p.markDirty(du.hid)
 		}
 		p.stats.TasksAdmitted++
@@ -142,9 +157,18 @@ func (g *gateway) step(now uint64) {
 	}
 }
 
-// admit implements N2: find a TRS with a free slot (round-robin across
-// instances) and, under AdmitCredits, reserve VM credits for every
-// dependence.
+// admit implements N2 as a two-phase reserve/commit: a multi-address
+// task may span several DCT shards, and its dependences must land on
+// all of them or none — a partial registration would hold VM entries on
+// some shards while the task can never start, wedging the fabric.
+//
+// Phase 1 (reserve) debits every shard's credit pool for the task's
+// per-shard demand, rolling the debits back if any single shard lacks
+// room (the room check is per shard against that shard's partition of
+// the VM, not against the pooled total: one saturated shard must block
+// the task even when the others are empty). Phase 2 (commit) binds the
+// reservation to a TRS slot; if no slot is free the reservation is
+// rolled back and the task retries, leaving the pools untouched.
 func (g *gateway) admit(deps []trace.Dep) (uint8, uint16, bool) {
 	credits := g.p.cfg.Admission == AdmitCredits
 	need := g.need
@@ -155,23 +179,30 @@ func (g *gateway) admit(deps []trace.Dep) (uint8, uint16, bool) {
 		for _, d := range deps {
 			need[g.p.dctOf(d.Addr)]++
 		}
+		// Phase 1: reserve on every shard, rolling back on the first
+		// shard without room.
 		for i := range g.p.dct {
 			if need[i] > g.vmCredits[i] {
+				for j := 0; j < i; j++ {
+					g.vmCredits[j] += need[j]
+				}
 				return 0, 0, false
 			}
+			g.vmCredits[i] -= need[i]
 		}
 	}
+	// Phase 2: commit the reservation to a TRS slot.
 	n := len(g.p.trs)
 	for i := 0; i < n; i++ {
 		u := g.p.trs[(g.rrTRS+i)%n]
 		if slot, ok := u.allocSlot(); ok {
 			g.rrTRS = (g.rrTRS + i + 1) % n
-			if credits {
-				for j := range g.p.dct {
-					g.vmCredits[j] -= need[j]
-				}
-			}
 			return u.id, slot, true
+		}
+	}
+	if credits {
+		for j := range g.p.dct {
+			g.vmCredits[j] += need[j]
 		}
 	}
 	return 0, 0, false

@@ -42,8 +42,8 @@ func TestDMDesignGeometry(t *testing.T) {
 }
 
 func TestDepMemoryIndexing(t *testing.T) {
-	direct := newDepMemory(DM8Way)
-	p8 := newDepMemory(DMP8Way)
+	direct := newDepMemory(DM8Way, dmSets)
+	p8 := newDepMemory(DMP8Way, dmSets)
 	addr := uint64(0xABCD40)
 	if direct.index(addr) != int((addr>>2)&63) {
 		t.Fatal("direct index must be addr[7:2] (the 32-bit-word address low 6 bits)")
@@ -54,7 +54,7 @@ func TestDepMemoryIndexing(t *testing.T) {
 }
 
 func TestDepMemoryInsertLookupFree(t *testing.T) {
-	m := newDepMemory(DM8Way)
+	m := newDepMemory(DM8Way, dmSets)
 	// Fill one set with 8 aligned addresses: stride 256 keeps the
 	// word-address index bits [7:2] identical.
 	refs := make([]dmRef, 8)

@@ -106,12 +106,14 @@ type arbMsg struct {
 	wake wakePkt
 	fin  finishDepPkt
 	stat depStatusPkt
+	dep  newDepPkt
 }
 
 type arbKind uint8
 
 const (
-	arbWake arbKind = iota // TRS -> TRS or DCT -> TRS wake
-	arbFin                 // TRS -> DCT finish release
-	arbStat                // DCT -> TRS dependence status
+	arbWake   arbKind = iota // TRS -> TRS or DCT -> TRS wake
+	arbFin                   // TRS -> DCT finish release
+	arbStat                  // DCT -> TRS dependence status
+	arbNewDep                // GW -> DCT dependence fan-out (sharded fabric only)
 )

@@ -59,6 +59,19 @@ func ParseWake(s string) (WakeOrder, error) {
 	}
 }
 
+// ParseShardHash resolves an address-to-shard hash; empty means the
+// xor-fold default.
+func ParseShardHash(s string) (ShardHash, error) {
+	switch strings.ToLower(s) {
+	case "", "xor-fold":
+		return ShardXorFold, nil
+	case "low-bits":
+		return ShardLowBits, nil
+	default:
+		return 0, fmt.Errorf("picos: unknown shard hash %q (want xor-fold or low-bits)", s)
+	}
+}
+
 // ParseConflict resolves a DCT conflict-handling policy; empty means the
 // sidetrack default.
 func ParseConflict(s string) (ConflictPolicy, error) {

@@ -38,6 +38,37 @@ type Config struct {
 	// default) keeps the queue unbounded, which is how the paper's HIL
 	// platform preloads whole traces.
 	NewQDepth int
+	// ShardHash selects how addresses are partitioned across DCT shards
+	// when NumDCT > 1 (single-DCT builds never consult it).
+	ShardHash ShardHash
+}
+
+// ShardHash selects the address-to-shard partition function of a
+// sharded (NumDCT > 1) dependence-management fabric. The same address
+// must always map to the same shard so its whole version chain lives
+// together; what the hash controls is how evenly unrelated addresses
+// spread — and therefore how evenly the partitioned DM/VM capacity and
+// the per-shard registration engines are loaded.
+type ShardHash uint8
+
+const (
+	// ShardXorFold (default) is a 64-bit xor-fold multiply mix: block
+	// addresses from any allocator layout spread near-uniformly, so
+	// per-shard capacity is used evenly.
+	ShardXorFold ShardHash = iota
+	// ShardLowBits takes the low word-address bits — the cheapest
+	// possible hardware, kept as an ablation. Strided allocations
+	// cluster onto few shards, concentrating load and capacity pressure
+	// the way the low-bit DM index of Section V-A clusters sets.
+	ShardLowBits
+)
+
+// String names the shard hash.
+func (s ShardHash) String() string {
+	if s == ShardLowBits {
+		return "low-bits"
+	}
+	return "xor-fold"
 }
 
 // ConflictPolicy selects how the DCT handles a full DM set.
@@ -172,7 +203,32 @@ func normalizeConfig(cfg Config) (Config, error) {
 	if cfg.NewQDepth < 0 {
 		return cfg, fmt.Errorf("picos: NewQDepth must be >= 0 (0 = unbounded), got %d", cfg.NewQDepth)
 	}
+	// Sharding partitions the design's DM/VM capacity instead of
+	// multiplying it; a slice too thin to hold one full task's worth of
+	// dependences could never admit under credits and would stall
+	// unrecoverably without them.
+	if shardCapacity(cfg.Design, cfg.NumDCT) <= cfg.VMReserve {
+		return cfg, fmt.Errorf("picos: %d DCT shards leave %d VM entries per shard, not above the %d-entry admission reserve; use fewer shards or a larger design",
+			cfg.NumDCT, shardCapacity(cfg.Design, cfg.NumDCT), cfg.VMReserve)
+	}
 	return cfg, nil
+}
+
+// shardSets returns the DM sets owned by each of numDCT shards: the
+// design's total set count partitioned across the shards (at least one
+// set each), so adding shards divides capacity instead of growing it.
+func shardSets(numDCT int) int {
+	if numDCT <= 1 {
+		return dmSets
+	}
+	return max(1, dmSets/numDCT)
+}
+
+// shardCapacity returns the DM/VM entries of one shard: its share of
+// sets times the design's associativity ("the corresponding VM is ...
+// coherent with the DM size" holds per shard).
+func shardCapacity(design DMDesign, numDCT int) int {
+	return shardSets(numDCT) * design.Ways()
 }
 
 // New builds an accelerator from cfg. Zero-valued fields get defaults.
@@ -598,11 +654,19 @@ func (p *Picos) Drained() error {
 	return nil
 }
 
-// dctOf partitions addresses across DCT instances. The same address must
-// always map to the same DCT so its whole version chain lives together.
+// dctOf partitions addresses across DCT shards with the configured
+// ShardHash. The same address must always map to the same shard so its
+// whole version chain lives together.
+//
+//picos:hotpath
 func (p *Picos) dctOf(addr uint64) int {
 	if len(p.dct) == 1 {
 		return 0
+	}
+	if p.cfg.ShardHash == ShardLowBits {
+		// Word-address low bits (operand bits [1:0] are constant zero,
+		// as for the direct DM index).
+		return int((addr >> 2) % uint64(len(p.dct)))
 	}
 	h := addr
 	h ^= h >> 33

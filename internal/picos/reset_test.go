@@ -99,8 +99,11 @@ func sameRun(t *testing.T, label string, fresh, reused *runResult) {
 }
 
 // resetConfigs is the cross-shape matrix Reset must handle: same config,
-// policy flip, design change (different VM capacity and DM ways), and a
-// multi-unit future architecture (different unit and heap shapes).
+// policy flip, design change (different VM capacity and DM ways), a
+// multi-unit future architecture (different unit and heap shapes), and
+// sharded fabrics whose per-shard DM/VM partitions grow and shrink with
+// the shard count (8 shards of 8 sets back to one shard of 64, and a
+// shard-count change combined with a ways change).
 func resetConfigs() []Config {
 	return []Config{
 		{},
@@ -108,6 +111,8 @@ func resetConfigs() []Config {
 		{Design: DM16Way},
 		{Design: DM8Way, Admission: AdmitSlotsOnly},
 		{NumTRS: 4, NumDCT: 4},
+		{NumDCT: 8, ShardHash: ShardLowBits},
+		{NumDCT: 2, Design: DM16Way},
 	}
 }
 

@@ -38,6 +38,12 @@ type Timing struct {
 	// Arbiter.
 	ArbHop       uint64 // latency added per routed message
 	ArbBandwidth int    // messages routed per cycle
+	// ShardHop is the extra latency per shard crossed by inter-shard
+	// dependence traffic when the DCT is sharded (NumDCT > 1): the
+	// shards hang off the arbiter port in a chain, so a message to or
+	// from shard k pays k extra register stages each way. Shard 0 — and
+	// therefore every single-DCT configuration — pays nothing.
+	ShardHop uint64
 
 	// Task Scheduler.
 	TSDispatch uint64 // occupancy per ready task queued/dispatched
@@ -66,6 +72,7 @@ func DefaultTiming() Timing {
 
 		ArbHop:       1,
 		ArbBandwidth: 2,
+		ShardHop:     1,
 
 		TSDispatch: 4,
 		TSPipe:     1,

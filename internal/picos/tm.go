@@ -22,6 +22,7 @@ type tmDep struct {
 // #Ready Dep. and the consumer sections (Section III-A).
 type tmEntry struct {
 	used      bool
+	inserted  bool // TM0 write done (id/numDeps valid)
 	id        uint32
 	numDeps   uint8
 	readyDeps uint8
@@ -89,9 +90,12 @@ func (m *taskMemory) live() int { return tmSlots - len(m.free) }
 
 // findDepByVM returns the index of the task's dependence backed by vm.
 // The TMX scan is how the TRS resolves wake packets, which carry only
-// (task, VM address).
+// (task, VM address). It scans the whole TMX row rather than the first
+// numDeps records: TMX writes (statuses) may land before the TM0 write
+// that publishes numDeps, since the tracking traffic is serviced ahead
+// of new-task insertions.
 func (e *tmEntry) findDepByVM(vm VMAddr) (int, bool) {
-	for i := 0; i < int(e.numDeps); i++ {
+	for i := range e.deps {
 		if e.deps[i].registered && e.deps[i].vm == vm {
 			return i, true
 		}

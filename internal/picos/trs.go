@@ -39,11 +39,18 @@ func (u *trsUnit) reset() {
 func (u *trsUnit) allocSlot() (uint16, bool) { return u.tm.alloc() }
 
 func (u *trsUnit) step(now uint64) {
+	// Dependence-tracking traffic (statuses, wakes, finish walks) is
+	// serviced before new-task insertions: the release->wake->ready round
+	// trip of an in-flight chain must not queue behind 10-cycle TM0
+	// writes for tasks that are not runnable yet, or chained workloads
+	// pace at the insertion rate plus the round trip instead of hiding
+	// one under the other (the prototype keeps Table IV case4 at the
+	// case2 rate precisely because retirement preempts insertion).
+	// Statuses stay ahead of wakes: a wake targeting a dependence whose
+	// status lands the same cycle must observe the registered entry.
+	// Starving insertions is safe — every admitted task already holds
+	// its TM0 slot, so delaying the write only delays that task.
 	for u.busyUntil <= now {
-		if pkt, ok := u.newQ.pop(now); ok {
-			u.handleNewTask(pkt, now)
-			continue
-		}
 		if pkt, ok := u.statusQ.pop(now); ok {
 			u.handleStatus(pkt, now)
 			continue
@@ -54,6 +61,10 @@ func (u *trsUnit) step(now uint64) {
 		}
 		if pkt, ok := u.finTaskQ.pop(now); ok {
 			u.handleFinishedTask(pkt, now)
+			continue
+		}
+		if pkt, ok := u.newQ.pop(now); ok {
+			u.handleNewTask(pkt, now)
 			continue
 		}
 		return
@@ -75,6 +86,7 @@ func (u *trsUnit) handleNewTask(pkt newTaskPkt, now uint64) {
 	e := u.tm.at(pkt.slot)
 	e.id = pkt.id
 	e.numDeps = pkt.numDeps
+	e.inserted = true
 	u.maybeReady(pkt.slot, e, done)
 }
 
@@ -128,8 +140,11 @@ func (u *trsUnit) handleWake(pkt wakePkt, now uint64) {
 }
 
 // maybeReady sends the task to the TS once every dependence is ready.
+// Readiness can only be judged after the TM0 write published numDeps:
+// statuses serviced ahead of the insertion accumulate in readyDeps and
+// are re-evaluated when handleNewTask lands.
 func (u *trsUnit) maybeReady(slot uint16, e *tmEntry, at uint64) {
-	if e.sent || e.readyDeps != e.numDeps {
+	if !e.inserted || e.sent || e.readyDeps != e.numDeps {
 		return
 	}
 	e.sent = true

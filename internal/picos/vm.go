@@ -29,6 +29,16 @@ type vmEntry struct {
 	// Next version of the same address, if any.
 	hasNext bool
 	next    uint16
+
+	// statusAt is the visibility stamp of the newest status packet
+	// emitted for this version. Wakes for the version are clamped to it:
+	// the DCT cannot reference a TMX dependence entry before the status
+	// that writes it has left, and the visibility-ordered arbiter would
+	// otherwise deliver an earlier-stamped wake first (the registration
+	// engine updates VM state at operation start but its status leaves at
+	// operation end, so a release landing mid-registration can observe a
+	// consumer whose status is still in the pipeline).
+	statusAt uint64
 }
 
 // complete reports whether the version has fully drained: the producer

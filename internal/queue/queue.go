@@ -70,6 +70,17 @@ func (q *FIFO[T]) Peek() (v T, ok bool) {
 	return q.buf[q.head], true
 }
 
+// Tail returns a pointer to the most recently pushed element, for
+// in-place coalescing of adjacent entries (the HIL link batches
+// same-stamp deliveries this way). The pointer is only valid until the
+// next Push, which may grow the ring and move the storage.
+func (q *FIFO[T]) Tail() (*T, bool) {
+	if q.size == 0 {
+		return nil, false
+	}
+	return &q.buf[(q.head+q.size-1)%len(q.buf)], true
+}
+
 // Reset drops all elements but keeps the backing storage.
 func (q *FIFO[T]) Reset() {
 	var zero T

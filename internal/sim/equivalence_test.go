@@ -125,6 +125,14 @@ func TestFastPathEquivalenceKnobs(t *testing.T) {
 		{"8way-slots", []string{"case4", "heat"}, func(s *sim.Spec) { s.Design = "8way"; s.Admission = "slots" }},
 		{"first-first", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Wake = "first-first" }},
 		{"4trs4dct", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.NumTRS = 4; s.NumDCT = 4 }},
+		// Sharded dependence fabric: partitioned DM/VM, arbiter-routed
+		// GW fan-out and shard-hop distances must all batch identically
+		// on the fast path, under both shard hashes and with the hop
+		// latency ablated to zero.
+		{"2dct", []string{"case4", "heat"}, func(s *sim.Spec) { s.NumDCT = 2 }},
+		{"4dct-lowbits", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.NumDCT = 4; s.ShardHash = "low-bits" }},
+		{"4dct-freehop", []string{"case4", "heat"}, func(s *sim.Spec) { s.NumDCT = 4; s.ShardHop = -1 }},
+		{"2dct-hop4", []string{"case4", "heat"}, func(s *sim.Spec) { s.NumDCT = 2; s.ShardHop = 4 }},
 		{"1worker", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Workers = 1 }},
 		// Creation run-ahead pipeline: a bounded submission buffer makes
 		// Submit reject and the platform park/retry (the descriptor feed

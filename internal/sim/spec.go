@@ -38,6 +38,14 @@ type Spec struct {
 	NumTRS    int    `json:"num_trs,omitempty"`   // TRS instances (default 1)
 	NumDCT    int    `json:"num_dct,omitempty"`   // DCT instances (default 1)
 
+	// Sharded dependence-fabric knobs (meaningful when NumDCT > 1).
+	// ShardHash selects the address-to-shard hash: xor-fold (default) or
+	// low-bits. ShardHop is the per-shard-crossed chain latency in
+	// cycles: 0 means the calibrated default (1 cycle), a negative value
+	// models a free (0-cycle) fabric.
+	ShardHash string `json:"shard_hash,omitempty"`
+	ShardHop  int    `json:"shard_hop,omitempty"`
+
 	// Creation run-ahead pipeline knobs (the Picos HIL engines).
 	// NewQDepth bounds the accelerator's memory-mapped submission buffer
 	// (0 = unbounded, the preloading default); RunAhead bounds the
