@@ -37,6 +37,9 @@ func main() {
 		dm       = flag.String("dm", "", "DM design: 8way, 16way, p8way (default p8way)")
 		policy   = flag.String("ts", "", "task scheduler policy: fifo (default), lifo")
 		workers  = flag.Int("workers", sim.DefaultWorkers, "worker count")
+		classes  = flag.String("classes", "", "heterogeneous worker classes, e.g. 4xfast+4xslow:2.0+1xaccel:0.25@stencil_2d (instead of -workers)")
+		schedPol = flag.String("sched", "", "ready-task grant policy: fifo (default), lifo, priority, locality")
+		steal    = flag.Bool("steal", false, "per-class ready queues with deterministic work stealing")
 		nTRS     = flag.Int("trs", 0, "TRS instances (default 1)")
 		nDCT     = flag.Int("dct", 0, "DCT instances (default 1)")
 		shash    = flag.String("shardhash", "", "address-to-shard hash with -dct > 1: xor-fold (default), low-bits")
@@ -71,26 +74,38 @@ func main() {
 		fail(fmt.Errorf("-mode %s only applies to the picos engine (use -engine picos-%s)", *mode, *mode))
 	}
 	spec := sim.Spec{
-		Engine:    eng,
-		Workload:  workloadName(*traceIn, *app, *caseNo, *workload),
-		Problem:   *problem,
-		Block:     *block,
-		Workers:   *workers,
-		Design:    *dm,
-		Policy:    *policy,
-		Admission: *admiss,
-		Wake:      *wake,
-		Conflict:  *conflict,
-		NumTRS:    *nTRS,
-		NumDCT:    *nDCT,
-		ShardHash: *shash,
-		ShardHop:  *shop,
-		NewQDepth: *newq,
-		RunAhead:  *runAhead,
-		Watchdog:  *watchdog,
+		Engine:        eng,
+		Workload:      workloadName(*traceIn, *app, *caseNo, *workload),
+		Problem:       *problem,
+		Block:         *block,
+		Workers:       *workers,
+		WorkerClasses: *classes,
+		Sched:         *schedPol,
+		Steal:         *steal,
+		Design:        *dm,
+		Policy:        *policy,
+		Admission:     *admiss,
+		Wake:          *wake,
+		Conflict:      *conflict,
+		NumTRS:        *nTRS,
+		NumDCT:        *nDCT,
+		ShardHash:     *shash,
+		ShardHop:      *shop,
+		NewQDepth:     *newq,
+		RunAhead:      *runAhead,
+		Watchdog:      *watchdog,
 	}
 	if !*ff {
 		spec.FastForward = sim.Bool(false)
+	}
+	if *classes != "" {
+		// The class list fixes the worker count; only an explicit
+		// -workers flag is a genuine conflict worth the typed error.
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+		if !workersSet {
+			spec.Workers = 0
+		}
 	}
 	if spec.Workload == "" {
 		fail(fmt.Errorf("one of -app, -case, -workload or -trace is required"))

@@ -1,0 +1,58 @@
+// Hetero scaling: sweep heterogeneous worker-class mixes against the
+// pluggable grant policies (fifo, priority, locality) with and without
+// cross-class work stealing, over pattern families of increasing
+// communication, and render each lane's distance to the class-weighted
+// perfect roofline (the zero-overhead oracle running on the same class
+// mix, critical path weighted by each task's best eligible class).
+//
+// A cell at 1.00 means the accelerator's grant policy schedules the mix
+// as well as the oracle; the gap widens where the policy grants slow
+// workers work the fast ones were about to free up for, and the
+// affinity mix shows what specialization costs when the family is not
+// one of the accel class's kinds.
+//
+//	go run ./examples/hetero-scaling            # full sweep
+//	go run ./examples/hetero-scaling -quick     # reduced grid (CI smoke)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced grid (2 mixes, 2 families)")
+	flag.Parse()
+
+	cells, err := experiments.HeteroScalingData(experiments.Options{Quick: *quick})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, t := range experiments.HeteroScalingTables(cells) {
+		if err := t.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, hm := range experiments.HeteroScalingHeatmaps(cells) {
+		if err := hm.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	over := 0
+	for _, c := range cells {
+		if c.SpeedupVsPerfect > 1+1e-9 {
+			over++
+		}
+	}
+	fmt.Printf("%d grid points, %d above the weighted roofline\n", len(cells), over)
+	if over > 0 {
+		os.Exit(1)
+	}
+}

@@ -7,10 +7,13 @@
 // 8-way direct hash) surface as wedged cells, not errors.
 //
 // The JSON also carries the shard-capacity lane (cells with a non-zero
-// num_dct): the same families under a sharded DCT fabric, where the
-// design's capacity is partitioned across shards. This example is the
-// single producer of BENCH_patterns.json; the shard lane renders
-// standalone via examples/shard-capacity.
+// num_dct — the same families under a sharded DCT fabric, where the
+// design's capacity is partitioned across shards) and the
+// hetero-scaling lane (cells with a non-empty classes field —
+// heterogeneous worker-class mixes x grant policies x stealing against
+// the class-weighted perfect roofline). This example is the single
+// producer of BENCH_patterns.json; the extra lanes render standalone
+// via examples/shard-capacity and examples/hetero-scaling.
 //
 //	go run ./examples/pattern-capacity-map            # full map + JSON
 //	go run ./examples/pattern-capacity-map -quick     # reduced grid
@@ -50,14 +53,21 @@ func main() {
 		fmt.Println()
 	}
 
-	// The shard-capacity lane rides along in the same JSON, keeping this
-	// example the single producer of BENCH_patterns.json. It is rendered
-	// by examples/shard-capacity; here it is data only.
+	// The shard-capacity and hetero-scaling lanes ride along in the same
+	// JSON, keeping this example the single producer of
+	// BENCH_patterns.json. They render standalone via
+	// examples/shard-capacity and examples/hetero-scaling; here they are
+	// data only.
 	shardCells, err := experiments.ShardCapacityData(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cells = append(cells, shardCells...)
+	heteroCells, err := experiments.HeteroScalingData(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells = append(cells, heteroCells...)
 
 	wedged := 0
 	for _, c := range cells {

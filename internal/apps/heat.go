@@ -42,7 +42,8 @@ func genHeat(problem, block int) (*TraceResult, error) {
 		for j := 1; j <= b; j++ {
 			id := uint32(len(tr.Tasks))
 			tr.Tasks = append(tr.Tasks, trace.Task{
-				ID: id,
+				ID:   id,
+				Kind: tr.KindID("gs"),
 				Deps: []trace.Dep{
 					{Addr: g[i][j], Dir: trace.InOut},
 					{Addr: g[i-1][j], Dir: trace.In},

@@ -49,7 +49,7 @@ func genLu(problem, block int, modified bool) (*TraceResult, error) {
 
 	add := func(kernel string, w float64, deps ...trace.Dep) {
 		id := uint32(len(tr.Tasks))
-		tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps})
+		tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps, Kind: tr.KindID(kernel)})
 		weights = append(weights, float64(jitter(uint64(w*1000), uint64(id)+0xFACE, 10)))
 		counts[kernel]++
 	}

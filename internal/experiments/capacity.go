@@ -34,6 +34,12 @@ type CapacityCell struct {
 	// NumDCT is the DCT shard count of the shard-capacity lane; zero
 	// (omitted in JSON) marks the single-DCT capacity-map lanes.
 	NumDCT int `json:"num_dct,omitempty"`
+	// Heterogeneous-scheduling lane (hetero-scaling): the worker-class
+	// declaration, grant policy and steal flag of the run. Empty Classes
+	// marks the homogeneous capacity/shard lanes.
+	Classes string `json:"classes,omitempty"`
+	Sched   string `json:"sched,omitempty"`
+	Steal   bool   `json:"steal,omitempty"`
 
 	Wedged           bool    `json:"wedged,omitempty"`
 	WedgedAt         uint64  `json:"wedged_at,omitempty"`

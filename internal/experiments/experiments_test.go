@@ -67,6 +67,40 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 }
 
+// TestHeteroScalingRoofline: every hetero-scaling lane must respect the
+// class-weighted perfect roofline — the oracle runs on the same class
+// mix, so an accelerated lane beating it would mean the roofline is not
+// a bound (the scheduling-anomaly bug the best-of-candidates oracle
+// exists to prevent). Also pins the lane coverage: every mix carries
+// all policy x steal combinations and none of the grid wedges.
+func TestHeteroScalingRoofline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped in -short")
+	}
+	cells, err := HeteroScalingData(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[string]int{}
+	for _, c := range cells {
+		if c.Wedged {
+			t.Errorf("%s/%s/%s steal=%v wedged at %d", c.Family, c.Classes, c.Sched, c.Steal, c.WedgedAt)
+			continue
+		}
+		if c.SpeedupVsPerfect <= 0 || c.SpeedupVsPerfect > 1+1e-9 {
+			t.Errorf("%s/%s/%s steal=%v: speedup-vs-perfect %.6f outside (0,1]",
+				c.Family, c.Classes, c.Sched, c.Steal, c.SpeedupVsPerfect)
+		}
+		lanes[c.Classes]++
+	}
+	wantLanes := len(heteroPolicies) * 2 * 2 // policies x steal x quick families
+	for mix, n := range lanes {
+		if n != wantLanes {
+			t.Errorf("mix %s has %d lanes, want %d", mix, n, wantLanes)
+		}
+	}
+}
+
 func TestChartFromTable(t *testing.T) {
 	tab := &Table{
 		Title:  "sweep",

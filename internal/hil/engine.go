@@ -58,7 +58,16 @@ func (e Engine) config(spec sim.Spec) (Config, error) {
 	cfg.Workers = spec.Workers
 	cfg.Watchdog = spec.Watchdog
 	cfg.FastForward = spec.FastPath()
-	var err error
+	plan, err := spec.SchedPlan()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Classes = plan.Classes
+	cfg.Sched = plan.Policy
+	cfg.Steal = plan.Steal
+	if len(cfg.Classes) > 0 {
+		cfg.Workers = 0 // the class list fixes the worker count
+	}
 	if cfg.Picos.Design, err = picos.ParseDesign(spec.Design); err != nil {
 		return cfg, err
 	}

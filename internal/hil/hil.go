@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/picos"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -109,11 +110,24 @@ const DefaultRunAhead = 16
 
 // Config configures a platform run.
 type Config struct {
-	Mode    Mode
+	Mode Mode
+	// Workers is the homogeneous worker count. Mutually exclusive with
+	// Classes: when Classes is non-empty the worker count is the sum of
+	// the class counts and Workers must be zero.
 	Workers int
-	Picos   picos.Config
-	Comm    CommTiming
-	Master  MasterTiming
+	// Classes declares heterogeneous worker classes (per-class
+	// service-time multipliers, optional task-kind affinity). Empty
+	// means Workers identical baseline cores.
+	Classes sched.Classes
+	// Sched is the ready-task grant policy (sched.FIFO preserves the
+	// historical lowest-index semantics bit for bit).
+	Sched sched.Policy
+	// Steal enables per-class ready queues with deterministic
+	// ascending-class victim order.
+	Steal  bool
+	Picos  picos.Config
+	Comm   CommTiming
+	Master MasterTiming
 	// Watchdog aborts the run if no task starts or finishes for this
 	// many cycles (0: default 100M).
 	Watchdog uint64

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/picos"
 	"repro/internal/queue"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
 	"repro/internal/trace"
 )
 
@@ -47,14 +49,6 @@ type stampedTask struct {
 	idx uint32
 }
 
-// workerDue is one busy worker in the completion heap, ordered by
-// (until, idx) — the exact order per-cycle stepping retires workers
-// (earlier cycles first, index order within a cycle).
-type workerDue struct {
-	until uint64
-	idx   int
-}
-
 type runner struct {
 	tr  *trace.Trace
 	cfg Config
@@ -68,9 +62,21 @@ type runner struct {
 	// dispatches first, like the old linear scan); busyH is a min-heap
 	// of busy workers keyed (until, idx). Together they replace the
 	// all-worker scans in stepWorkers/dispatch/idleWorkers with O(log W)
-	// updates at dispatch and finish.
-	idleH intHeap
-	busyH dueHeap
+	// updates at dispatch and finish. With heterogeneous classes the
+	// until stamps already carry the class-scaled durations, so every
+	// fast-forward horizon derived from the heap head stays exact.
+	idleH sched.IdleHeap
+	busyH sched.DueHeap
+
+	// trivial marks the historical execution model (uniform workers,
+	// FIFO grants, no stealing), which keeps the legacy bit-exact
+	// dispatch path: ready tasks are pulled only when an idle worker
+	// exists and granted lowest-index-first. Non-trivial plans instead
+	// buffer every visible ready task in the pool (so policies see the
+	// full candidate set) and pair workers and tasks through it; idleH
+	// is unused and the pool tracks idle workers per class.
+	trivial bool
+	pool    sched.Pool[picos.TaskHandle]
 
 	// ARM master state (FullSystem): next task to create and when the
 	// master core is free again. In Full-system mode the master also
@@ -127,6 +133,15 @@ type runner struct {
 // heaps, the link queues and the in-flight buffers. Only the per-task
 // schedule arrays are freshly allocated — they escape into the Result.
 func (r *runner) reset(tr *trace.Trace, cfg Config) error {
+	if len(cfg.Classes) > 0 {
+		if cfg.Workers != 0 {
+			return fmt.Errorf("hil: both Workers (%d) and Classes (%q) set", cfg.Workers, cfg.Classes.String())
+		}
+		if err := cfg.Classes.Validate(); err != nil {
+			return err
+		}
+		cfg.Workers = cfg.Classes.Workers()
+	}
 	if cfg.Workers <= 0 {
 		return fmt.Errorf("hil: need at least 1 worker, got %d", cfg.Workers)
 	}
@@ -164,14 +179,38 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	for i := range r.workers {
 		r.workers[i] = picos.ReadyTask{}
 	}
-	if cap(r.idleH) >= cfg.Workers {
-		r.idleH = r.idleH[:cfg.Workers]
+	r.trivial = cfg.Classes.Uniform() && cfg.Sched == sched.FIFO && !cfg.Steal
+	if r.trivial {
+		if cap(r.idleH) >= cfg.Workers {
+			r.idleH = r.idleH[:cfg.Workers]
+		} else {
+			r.idleH = make(sched.IdleHeap, cfg.Workers)
+		}
+		for i := range r.idleH {
+			// Ascending indices are already a valid min-heap.
+			r.idleH[i] = i
+		}
 	} else {
-		r.idleH = make(intHeap, cfg.Workers)
-	}
-	for i := range r.idleH {
-		// Ascending indices are already a valid min-heap.
-		r.idleH[i] = i
+		r.idleH = r.idleH[:0]
+		classes := cfg.Classes
+		if len(classes) == 0 {
+			classes = sched.Single(cfg.Workers)
+		}
+		present := make([]bool, len(tr.Kinds)+1)
+		for i := range tr.Tasks {
+			present[tr.Tasks[i].Kind] = true
+		}
+		if err := classes.CheckCoverage(tr.Kinds, present); err != nil {
+			return err
+		}
+		var prio []uint64
+		if cfg.Sched == sched.Priority {
+			prio = taskgraph.Build(tr).BottomLevels()
+		}
+		r.pool.Reset(classes, cfg.Sched, cfg.Steal, tr.Kinds, prio)
+		for i := 0; i < cfg.Workers; i++ {
+			r.pool.Park(i)
+		}
 	}
 	r.busyH = r.busyH[:0]
 
@@ -349,6 +388,12 @@ func (r *runner) wedged(now uint64) bool {
 	if len(r.busyH) > 0 {
 		return false
 	}
+	// Ready tasks buffered platform-side are waiting work: with every
+	// kind's class coverage validated at reset, a grantable pairing (or
+	// a busy worker that will free one) always exists.
+	if r.poolReady() > 0 {
+		return false
+	}
 	// A master with tasks left to create is alive only while its
 	// run-ahead window has room (or it is still paying for the previous
 	// creation); a window pinned full by a dead accelerator is not.
@@ -455,12 +500,19 @@ func (r *runner) checkWatchdog() error {
 
 // readyInterest reports whether the platform would act on a task
 // becoming ready: an idle worker to dispatch to in HW-only mode, spare
-// fetch capacity on the link in the comm modes.
+// fetch capacity on the link in the comm modes. Non-trivial scheduling
+// plans buffer eagerly in HW-only mode (the policy wants every visible
+// candidate), and count the platform-side buffer against the link's
+// fetch window in the comm modes so the link still never fetches more
+// tasks than there are workers to absorb them.
 func (r *runner) readyInterest() bool {
 	if r.cfg.Mode == HWOnly {
+		if !r.trivial {
+			return true
+		}
 		return r.idleWorkers() > 0
 	}
-	return r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len()
+	return r.idleWorkers() > r.readyInFlight+r.readyBacklog.Len()+r.poolReady()
 }
 
 // nextWake returns the next cycle the platform loop must be evaluated
@@ -505,7 +557,7 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 		}
 	}
 	if len(r.busyH) > 0 {
-		consider(r.busyH[0].until)
+		consider(r.busyH[0].Until)
 	}
 	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)
@@ -542,9 +594,13 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 //
 //picos:hotpath
 func (r *runner) stepWorkers(now uint64) {
-	for len(r.busyH) > 0 && r.busyH[0].until <= now {
-		idx := r.busyH.pop().idx
-		r.idleH.push(idx)
+	for len(r.busyH) > 0 && r.busyH[0].Until <= now {
+		idx := r.busyH.Pop().Idx
+		if r.trivial {
+			r.idleH.Push(idx)
+		} else {
+			r.pool.Park(idx)
+		}
 		r.done++
 		r.lastProgress = now
 		if r.cfg.Mode == HWOnly {
@@ -707,12 +763,32 @@ func (r *runner) stepBus(now uint64) {
 }
 
 // dispatch hands ready tasks to idle workers: directly from the TS in
-// HW-only mode, from the fetched backlog in the comm modes. The idle
-// heap hands out the lowest index first, like the old linear scan.
+// HW-only mode, from the fetched backlog in the comm modes. On the
+// trivial (historical) plan the idle heap hands out the lowest index
+// first, like the old linear scan, pulling ready tasks only on demand.
+// Non-trivial plans first buffer every visible ready task into the
+// pool — policies need the full candidate set — then pair workers and
+// tasks under the configured policy.
 //
 //picos:hotpath
 func (r *runner) dispatch(now uint64) {
-	for len(r.idleH) > 0 {
+	if r.trivial {
+		for len(r.idleH) > 0 {
+			var rt picos.ReadyTask
+			var ok bool
+			if r.cfg.Mode == HWOnly {
+				rt, ok = r.p.PopReady()
+			} else {
+				rt, ok = r.readyBacklog.Pop()
+			}
+			if !ok {
+				return
+			}
+			r.startWorkerAt(r.idleH.Pop(), rt, now)
+		}
+		return
+	}
+	for {
 		var rt picos.ReadyTask
 		var ok bool
 		if r.cfg.Mode == HWOnly {
@@ -721,24 +797,48 @@ func (r *runner) dispatch(now uint64) {
 			rt, ok = r.readyBacklog.Pop()
 		}
 		if !ok {
+			break
+		}
+		r.pool.Enqueue(rt.ID, r.tr.Tasks[rt.ID].Kind, rt.Handle)
+	}
+	for {
+		w, it, ok := r.pool.Grant()
+		if !ok {
 			return
 		}
-		r.startWorkerAt(r.idleH.pop(), rt, now)
+		r.startWorkerAt(w, picos.ReadyTask{Handle: it.Payload, ID: it.ID}, now)
 	}
 }
 
 //picos:hotpath
 func (r *runner) startWorkerAt(i int, rt picos.ReadyTask, now uint64) {
 	dur := r.tr.Tasks[rt.ID].Duration
+	if !r.trivial {
+		dur = r.pool.Scale(i, dur)
+	}
 	r.workers[i] = rt
-	r.busyH.push(workerDue{until: now + dur, idx: i})
+	r.busyH.Push(sched.Due{Until: now + dur, Idx: i})
 	r.start[rt.ID] = now
 	r.finish[rt.ID] = now + dur
 	r.order = append(r.order, rt.ID)
 	r.lastProgress = now
 }
 
-func (r *runner) idleWorkers() int { return len(r.idleH) }
+func (r *runner) idleWorkers() int {
+	if r.trivial {
+		return len(r.idleH)
+	}
+	return r.pool.Idle()
+}
+
+// poolReady is the number of ready tasks buffered platform-side by a
+// non-trivial plan (zero on the trivial path, which never buffers).
+func (r *runner) poolReady() int {
+	if r.trivial {
+		return 0
+	}
+	return r.pool.Len()
+}
 
 // busHasWork reports whether any message is waiting for the link.
 func (r *runner) busHasWork(now uint64) bool {
@@ -770,7 +870,10 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 	if !r.p.Idle() {
 		return 0, false
 	}
-	if r.idleWorkers() > 0 {
+	// A non-trivial plan acts on any visible ready task (eager HW-only
+	// pop, backlog drain into the pool) regardless of idle workers; the
+	// trivial path only acts when a worker is free to take it.
+	if r.idleWorkers() > 0 || !r.trivial {
 		if r.cfg.Mode == HWOnly && r.p.ReadyCount() > 0 {
 			return 0, false
 		}
@@ -792,7 +895,7 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 		}
 	}
 	if len(r.busyH) > 0 {
-		consider(r.busyH[0].until)
+		consider(r.busyH[0].Until)
 	}
 	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)

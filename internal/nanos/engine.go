@@ -20,7 +20,21 @@ func (Engine) Name() string { return "nanos" }
 //
 //picos:ignores-knobs Admission,Conflict,FastForward,NewQDepth,NumDCT,NumTRS,RunAhead,ShardHash,ShardHop,Wake accelerator-only knobs; the software runtime has no GW/DM/TS hardware and is inherently event-driven
 func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
-	res, err := Run(tr, Config{Workers: spec.Workers, Watchdog: spec.Watchdog})
+	plan, err := spec.SchedPlan()
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Workers:  spec.Workers,
+		Classes:  plan.Classes,
+		Sched:    plan.Policy,
+		Steal:    plan.Steal,
+		Watchdog: spec.Watchdog,
+	}
+	if len(cfg.Classes) > 0 {
+		cfg.Workers = 0 // the class list fixes the worker count
+	}
+	res, err := Run(tr, cfg)
 	if err != nil {
 		return nil, err
 	}

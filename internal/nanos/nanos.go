@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/sched"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
 )
@@ -65,7 +66,22 @@ func (t *Timing) SubmissionOverhead(nDeps, threads int) uint64 {
 
 // Config configures a software-only run.
 type Config struct {
-	Workers  int
+	// Workers is the homogeneous worker count. Mutually exclusive with
+	// Classes: when Classes is non-empty the worker count is the sum of
+	// the class counts and Workers must be zero.
+	Workers int
+	// Classes declares heterogeneous worker classes (per-class
+	// service-time multipliers, optional task-kind affinity). Empty
+	// means Workers identical baseline cores. Lock-hold costs are not
+	// scaled — the runtime lock is contended by every thread equally;
+	// only task execution time is class-scaled.
+	Classes sched.Classes
+	// Sched is the ready-task grant policy (sched.FIFO preserves the
+	// historical pop-in-ready-order semantics).
+	Sched sched.Policy
+	// Steal enables per-class ready queues with deterministic
+	// ascending-class victim order.
+	Steal    bool
 	Timing   Timing
 	Watchdog uint64 // safety bound on simulated cycles (0: 1e12)
 }
@@ -133,8 +149,7 @@ type runScratch struct {
 	remaining []int32 // unfinished predecessors
 	submitted []bool
 	events    evHeap
-	ready     []int32 // FIFO ready queue
-	idle      []int   // idle worker indices (parked, waiting for work)
+	pool      sched.Pool[struct{}] // ready tasks + parked workers
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
@@ -152,12 +167,19 @@ func (s *runScratch) grab(n int) {
 		}
 	}
 	s.events = s.events[:0]
-	s.ready = s.ready[:0]
-	s.idle = s.idle[:0]
 }
 
 // Run simulates the software-only runtime on the trace.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if len(cfg.Classes) > 0 {
+		if cfg.Workers != 0 {
+			return nil, fmt.Errorf("nanos: both Workers (%d) and Classes (%q) set", cfg.Workers, cfg.Classes.String())
+		}
+		if err := cfg.Classes.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Workers = cfg.Classes.Workers()
+	}
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("nanos: need at least 1 worker, got %d", cfg.Workers)
 	}
@@ -182,6 +204,22 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = sched.Single(cfg.Workers)
+	}
+	present := make([]bool, len(tr.Kinds)+1)
+	for i := range tr.Tasks {
+		present[tr.Tasks[i].Kind] = true
+	}
+	if err := classes.CheckCoverage(tr.Kinds, present); err != nil {
+		return nil, err
+	}
+	var prio []uint64
+	if cfg.Sched == sched.Priority {
+		prio = g.BottomLevels()
+	}
+
 	s := scratchPool.Get().(*runScratch)
 	s.grab(n)
 	remaining := s.remaining
@@ -189,19 +227,20 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	for i := 0; i < n; i++ {
 		remaining[i] = int32(len(g.Pred[i]))
 	}
+	pool := &s.pool
+	pool.Reset(classes, cfg.Sched, cfg.Steal, tr.Kinds, prio)
 
 	var (
-		seq       uint64
-		lockFree  uint64
-		readyHead int
-		created   int // tasks created by the master so far
-		finished  int
+		seq      uint64
+		lockFree uint64
+		created  int // tasks created by the master so far
+		finished int
 	)
-	events, ready, idle := s.events, s.ready, s.idle
+	events := s.events
 	defer func() {
 		// Hand the (possibly grown) buffers back to the pool, emptied —
 		// error paths included.
-		s.events, s.ready, s.idle = events[:0], ready[:0], idle[:0]
+		s.events = events[:0]
 		scratchPool.Put(s)
 	}()
 	push := func(at uint64, kind evKind, who int, task int32) {
@@ -232,22 +271,17 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	push(createCost(0), evMasterCreate, -1, 0)
 	for w := 0; w < cfg.Workers; w++ {
-		idle = append(idle, w)
+		pool.Park(w)
 	}
 
-	// wakeIdle reparks an idle worker onto the ready queue at time `at`.
-	wakeIdle := func(at uint64) {
-		if len(idle) == 0 {
-			return
-		}
-		w := idle[len(idle)-1]
-		idle = idle[:len(idle)-1]
-		push(at, evWorkerIdle, w, -1)
-	}
-
+	// markReady queues a runnable task and wakes an idle worker eligible
+	// for its kind, if any is parked.
 	markReady := func(t int32, at uint64) {
-		ready = append(ready, t)
-		wakeIdle(at)
+		kind := tr.Tasks[t].Kind
+		pool.Enqueue(uint32(t), kind, struct{}{})
+		if w, ok := pool.WakeEligible(kind); ok {
+			push(at, evWorkerIdle, w, -1)
+		}
 	}
 
 	for {
@@ -273,21 +307,25 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 				push(end+createCost(created), evMasterCreate, -1, int32(created))
 			}
 		case evWorkerIdle:
-			if readyHead >= len(ready) {
-				// Spurious wake-up: park again.
-				idle = append(idle, ev.who)
+			if !pool.CanTake(ev.who) {
+				// Spurious wake-up (or nothing this worker may run): park
+				// again.
+				pool.Park(ev.who)
 				continue
 			}
 			hold := tm.inflate(tm.PopHold, threads)
 			end := acquireLock(ev.at, hold)
-			t := ready[readyHead]
-			readyHead++
+			it, _ := pool.TakeFor(ev.who)
+			t := int32(it.ID)
 			res.Start[t] = end
-			res.Finish[t] = end + g.Durations[t]
+			res.Finish[t] = end + pool.Scale(ev.who, g.Durations[t])
 			push(res.Finish[t], evWorkerDone, ev.who, t)
-			// If more work remains visible, wake another idle worker.
-			if readyHead < len(ready) {
-				wakeIdle(end)
+			// If more work remains visible, wake another idle worker that
+			// can take it.
+			if pool.Len() > 0 {
+				if w, ok := pool.WakeAny(); ok {
+					push(end, evWorkerIdle, w, -1)
+				}
 			}
 		case evWorkerDone:
 			t := ev.task

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/detrand"
+	"repro/internal/picos"
 	"repro/internal/trace"
 )
 
@@ -48,6 +49,10 @@ const (
 	// wavefront): a width x height grid of points per timestep. 1-D
 	// families always have height 1.
 	DefaultHeight = 8
+	// DefaultShards is the fabric shard count the shard layout aligns
+	// for when no shards= parameter is given — the smallest partitioned
+	// fabric (NumDCT=2).
+	DefaultShards = 2
 	// DefaultFields is the buffer multiplicity per point: 2 is
 	// task-bench's num_fields default (Jacobi-style double buffering, so
 	// a step's reads bind to the previous step's writes). fields=1 is
@@ -116,15 +121,28 @@ type Params struct {
 	//	          clustering of Heat's contiguous allocation
 	//	spread  - word-stride 65 (stride 260): buffers cover all 64 sets
 	//	          under the direct hash, isolating pure capacity effects
+	//	shard   - malloc-stride slots probed against the xor-fold fabric
+	//	          hash so every buffer of point i lands on DCT shard
+	//	          i*Shards/points: points fall into contiguous per-shard
+	//	          blocks, so a local family's dependences stay on one
+	//	          shard (only boundary tasks cross) — the best case for
+	//	          a partitioned dependence fabric, where malloc/aligned/
+	//	          spread scatter every task's chain across shards
 	Layout string
+	// Shards is the fabric shard count the shard layout aligns for
+	// (matches the engine's NumDCT under the default xor-fold hash).
+	// Only the shard layout accepts it; DefaultShards when unset.
+	Shards int
 }
 
 // layoutStrides maps each layout to the byte distance between
-// consecutive point buffers.
+// consecutive point buffers (for shard, between consecutive probe
+// slots — the layout skips slots whose xor-fold shard is wrong).
 var layoutStrides = map[string]uint64{
 	"malloc":  0x8010,
 	"aligned": 0x8000,
 	"spread":  260,
+	"shard":   0x8010,
 }
 
 // patternBase is the base address of pattern buffers, chosen away from
@@ -388,9 +406,11 @@ func Parse(s string) (Params, error) {
 			p.Fields, perr = parseInt(v, 1, 8)
 		case "layout":
 			if _, ok := layoutStrides[v]; !ok {
-				perr = fmt.Errorf("unknown layout %q (have malloc, aligned, spread)", v)
+				perr = fmt.Errorf("unknown layout %q (have malloc, aligned, spread, shard)", v)
 			}
 			p.Layout = v
+		case "shards":
+			p.Shards, perr = parseInt(v, 2, 64)
 		case "height":
 			if !fam.is2D {
 				perr = fmt.Errorf("only the 2-D families take a height")
@@ -412,7 +432,7 @@ func Parse(s string) (Params, error) {
 			}
 			p.Path = v
 		default:
-			perr = fmt.Errorf("unknown parameter (have width, steps, len, jitter, k, seed, fields, layout, height, gaps, regions, path)")
+			perr = fmt.Errorf("unknown parameter (have width, steps, len, jitter, k, seed, fields, layout, shards, height, gaps, regions, path)")
 		}
 		if perr != nil {
 			return p, fmt.Errorf("patterns: %s: parameter %s=%q: %w", name, key, v, perr)
@@ -420,6 +440,21 @@ func Parse(s string) (Params, error) {
 	}
 	if fam.needPow2 && p.Width&(p.Width-1) != 0 {
 		return p, fmt.Errorf("patterns: %s: width must be a power of two, got %d", name, p.Width)
+	}
+	// The shards knob is the shard layout's alignment target; anywhere
+	// else it would be silently inert.
+	if p.Shards != 0 && p.Layout != "shard" {
+		return p, fmt.Errorf("patterns: %s: shards=%d requires layout=shard", name, p.Shards)
+	}
+	if p.Layout == "shard" {
+		if p.Shards == 0 {
+			p.Shards = DefaultShards
+		}
+		if p.Regions > 1 {
+			// Region replicas sit regionStride apart and hash to arbitrary
+			// shards, defeating the alignment the layout promises.
+			return p, fmt.Errorf("patterns: %s: layout=shard requires regions=1, got %d", name, p.Regions)
+		}
 	}
 	if name == "dagfile" {
 		if p.Path == "" {
@@ -498,6 +533,9 @@ func (p Params) Name() string {
 	}
 	if p.Layout != DefaultLayout {
 		fmt.Fprintf(&b, "-%s", p.Layout)
+		if p.Layout == "shard" && p.Shards != DefaultShards {
+			fmt.Fprintf(&b, "%d", p.Shards)
+		}
 	}
 	return b.String()
 }
@@ -538,6 +576,9 @@ func (p Params) Spec() string {
 	}
 	if p.Layout != DefaultLayout {
 		q.Set("layout", p.Layout)
+		if p.Layout == "shard" && p.Shards != DefaultShards {
+			q.Set("shards", strconv.Itoa(p.Shards))
+		}
 	}
 	return p.Family + "?" + q.Encode()
 }
@@ -578,9 +619,38 @@ func Build(p Params) (*trace.Trace, error) {
 	buf := func(i, t int) uint64 {
 		return patternBase + uint64(i*p.Fields+t%p.Fields)*stride
 	}
+	if p.Layout == "shard" {
+		// Probe the slot grid so every buffer of point i hashes to shard
+		// i*Shards/points under the fabric's xor-fold — contiguous point
+		// blocks per shard, one extra slot skipped per miss on average.
+		nbuf := points * p.Fields
+		pointOf := func(slot int) int { return slot / p.Fields }
+		if fam.freshAddr {
+			nbuf = points * p.Steps
+			pointOf = func(slot int) int { return slot % points }
+		}
+		addrs := make([]uint64, nbuf)
+		next := uint64(patternBase)
+		for s := 0; s < nbuf; s++ {
+			target := pointOf(s) * p.Shards / points
+			for picos.Shard(picos.ShardXorFold, next, p.Shards) != target {
+				next += stride
+			}
+			addrs[s] = next
+			next += stride
+		}
+		buf = func(i, t int) uint64 { return addrs[i*p.Fields+t%p.Fields] }
+		if fam.freshAddr {
+			buf = func(i, t int) uint64 { return addrs[t*points+i] }
+		}
+	}
 
 	tr := &trace.Trace{Name: "pattern-" + p.Name()}
 	tr.Tasks = make([]trace.Task, 0, points*p.Steps)
+	// Every task of a pattern runs the family's one kernel, so the trace
+	// carries the family name as its task kind — the hook worker-class
+	// affinities (sched.Classes) attach to.
+	kind := tr.KindID(p.Family)
 	seen := make(map[uint64]bool, trace.MaxDeps)
 	// addRegions appends one dependence per address region of a point
 	// buffer, deduplicated and capped at the hardware's per-task limit.
@@ -602,7 +672,7 @@ func Build(p Params) (*trace.Trace, error) {
 			}
 			id := uint32(len(tr.Tasks))
 			own := buf(i, t)
-			if fam.freshAddr {
+			if fam.freshAddr && p.Layout != "shard" {
 				own = patternBase + uint64(t*points+i)*stride
 			}
 			deps := make([]trace.Dep, 0, trace.MaxDeps)
@@ -622,7 +692,7 @@ func Build(p Params) (*trace.Trace, error) {
 			if p.Jitter > 0 {
 				dur = detrand.Jitter(p.Len, p.Seed^uint64(id)<<1, p.Jitter)
 			}
-			tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps, Duration: dur})
+			tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Deps: deps, Duration: dur, Kind: kind})
 		}
 	}
 	if len(tr.Tasks) == 0 {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/picos"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
 )
@@ -393,5 +394,100 @@ func TestRegionsMultiAddress(t *testing.T) {
 		if len(tr.Tasks[i].Deps) > trace.MaxDeps {
 			t.Fatalf("task %d exceeds MaxDeps with %d deps", i, len(tr.Tasks[i].Deps))
 		}
+	}
+}
+
+// TestShardLayoutAlignsDeps: under layout=shard every buffer of point i
+// hashes to shard i*shards/points, so a chain family's dependences stay
+// on one shard and a local family only crosses at block boundaries.
+func TestShardLayoutAlignsDeps(t *testing.T) {
+	const shards = 4
+	shardOf := func(a uint64) int { return picos.Shard(picos.ShardXorFold, a, shards) }
+
+	// no_comm chains never leave their point, so every task is strictly
+	// single-shard, and the per-point shard is the contiguous-block map.
+	tr := build(t, "no_comm?width=32&steps=6&layout=shard&shards=4")
+	for i := range tr.Tasks {
+		want := shardOf(tr.Tasks[i].Deps[0].Addr)
+		for _, d := range tr.Tasks[i].Deps {
+			if got := shardOf(d.Addr); got != want {
+				t.Fatalf("task %d: dep %#x on shard %d, want %d", i, d.Addr, got, want)
+			}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if got, want := shardOf(tr.Tasks[i].Deps[0].Addr), i*shards/32; got != want {
+			t.Fatalf("point %d owner buffer on shard %d, want %d", i, got, want)
+		}
+	}
+
+	// stencil_1d: only tasks whose window touches a block boundary may
+	// cross; with width 32 over 4 shards that is 2 points per internal
+	// boundary, and the malloc layout scatters far more for contrast.
+	crossing := func(tr *trace.Trace) int {
+		n := 0
+		for i := range tr.Tasks {
+			first := shardOf(tr.Tasks[i].Deps[0].Addr)
+			for _, d := range tr.Tasks[i].Deps[1:] {
+				if shardOf(d.Addr) != first {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	st := build(t, "stencil_1d?width=32&steps=6&layout=shard&shards=4")
+	if got, limit := crossing(st), 2*(shards-1)*6; got > limit {
+		t.Errorf("shard layout: %d tasks cross shards, want <= %d boundary tasks", got, limit)
+	}
+	ml := build(t, "stencil_1d?width=32&steps=6")
+	if cs, cm := crossing(st), crossing(ml); cs >= cm {
+		t.Errorf("shard layout crosses %d, malloc %d — alignment gained nothing", cs, cm)
+	}
+}
+
+// TestShardParamValidation: shards requires layout=shard, which in turn
+// rejects multi-region tasks (their replicas hash to arbitrary shards).
+func TestShardParamValidation(t *testing.T) {
+	if _, err := Parse("no_comm?shards=4"); err == nil {
+		t.Error("shards without layout=shard accepted")
+	}
+	if _, err := Parse("no_comm?layout=shard&regions=2"); err == nil {
+		t.Error("layout=shard with regions=2 accepted")
+	}
+	p, err := Parse("no_comm?layout=shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards != DefaultShards {
+		t.Errorf("default shards = %d, want %d", p.Shards, DefaultShards)
+	}
+	for _, s := range []string{"no_comm?layout=shard&shards=8&width=8&steps=2"} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Parse(p.Spec())
+		if err != nil || p != q {
+			t.Errorf("round trip of %q: %+v != %+v (%v)", s, p, q, err)
+		}
+	}
+}
+
+// TestFamilyKind: every pattern task is labeled with its family as the
+// task kind, so worker-class affinities can target families.
+func TestFamilyKind(t *testing.T) {
+	tr := build(t, "fft?width=8&steps=4")
+	if len(tr.Kinds) != 1 || tr.Kinds[0] != "fft" {
+		t.Fatalf("Kinds = %v, want [fft]", tr.Kinds)
+	}
+	for i := range tr.Tasks {
+		if tr.Tasks[i].Kind != 1 {
+			t.Fatalf("task %d kind %d, want 1", i, tr.Tasks[i].Kind)
+		}
+	}
+	if got := tr.KindOf(0); got != "fft" {
+		t.Errorf("KindOf(0) = %q, want fft", got)
 	}
 }

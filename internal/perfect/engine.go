@@ -14,14 +14,24 @@ func (Engine) Name() string { return "perfect" }
 
 // Run executes the trace on the roofline scheduler.
 //
-// Only Workers reaches the roofline: it schedules by critical path in
-// one pass, so there is no hardware to configure, no cycle loop for
-// FastForward to select and no runaway simulation for Watchdog to
-// bound.
+// Only Workers and WorkerClasses reach the roofline: it schedules
+// greedily in one pass — always granting the best eligible class, so
+// the Sched policy and Steal queues have nothing to improve — and
+// there is no hardware to configure, no cycle loop for FastForward to
+// select and no runaway simulation for Watchdog to bound.
 //
-//picos:ignores-knobs Admission,Conflict,FastForward,NewQDepth,NumDCT,NumTRS,RunAhead,ShardHash,ShardHop,Wake,Watchdog zero-overhead roofline; no accelerator hardware, no cycle loop to fast-forward or bound
+//picos:ignores-knobs Admission,Conflict,FastForward,NewQDepth,NumDCT,NumTRS,RunAhead,Sched,ShardHash,ShardHop,Steal,Wake,Watchdog zero-overhead roofline; the greedy best-class grant subsumes every grant policy and steal order, and there is no accelerator hardware or cycle loop to fast-forward or bound
 func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
-	res, err := Run(tr, spec.Workers)
+	classes, err := spec.ClassPlan()
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	if len(classes) > 0 {
+		res, err = RunClasses(tr, classes)
+	} else {
+		res, err = Run(tr, spec.Workers)
+	}
 	if err != nil {
 		return nil, err
 	}

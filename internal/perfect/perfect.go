@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/sched"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
 )
@@ -29,6 +30,7 @@ type runHeap []runItem
 type runItem struct {
 	finish uint64
 	task   int32
+	worker int32 // heterogeneous path only; 0 on the homogeneous path
 }
 
 func (h runHeap) Len() int           { return len(h) }
@@ -148,6 +150,228 @@ func Run(tr *trace.Trace, workers int) (*Result, error) {
 		complete(it.task)
 		for running.Len() > 0 && (*running)[0].finish == now {
 			complete(heap.Pop(running).(runItem).task)
+		}
+	}
+
+	for _, f := range res.Finish {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	if res.Makespan > 0 {
+		res.Speedup = float64(res.Baseline) / float64(res.Makespan)
+	}
+	return res, nil
+}
+
+// RunClasses schedules the trace on a heterogeneous zero-overhead
+// platform. Greedy work-conserving scheduling is not anomaly-free under
+// heterogeneity — eagerly starting a task on a slow idle worker can lose
+// to waiting for a fast one — so a single list pass is too weak to serve
+// as a roofline. RunClasses therefore runs four achievable schedules and
+// returns the best: {becoming-ready FIFO, critical-path priority
+// weighted by each task's best eligible class} x {any eligible class,
+// best eligible class only}. Every candidate is a real schedule (it
+// passes the dependence oracle), so the minimum is achievable and the
+// property-suite "engine >= perfect" invariant stays meaningful under
+// worker classes. Uniform single-class platforms take the homogeneous
+// Run path, which this generalizes.
+func RunClasses(tr *trace.Trace, classes sched.Classes) (*Result, error) {
+	if classes.Uniform() {
+		workers := classes.Workers()
+		if len(classes) == 0 {
+			workers = 0
+		}
+		return Run(tr, workers)
+	}
+	if err := classes.Validate(); err != nil {
+		return nil, err
+	}
+	g := taskgraph.Build(tr)
+	n := g.N
+	if n == 0 {
+		return &Result{
+			Workers:  classes.Workers(),
+			Baseline: tr.Baseline(),
+			Start:    []uint64{},
+			Finish:   []uint64{},
+		}, nil
+	}
+	el := classes.Eligibility(tr.Kinds)
+	present := make([]bool, len(tr.Kinds)+1)
+	for i := range tr.Tasks {
+		present[tr.Tasks[i].Kind] = true
+	}
+	if err := classes.CheckCoverage(tr.Kinds, present); err != nil {
+		return nil, err
+	}
+
+	// Critical-path bottom levels with every task weighted by its best
+	// eligible class — the heterogeneity-aware priority key.
+	wbl := make([]uint64, n)
+	for i := n - 1; i >= 0; i-- {
+		var down uint64
+		for _, s := range g.Succ[i] {
+			if wbl[s] > down {
+				down = wbl[s]
+			}
+		}
+		m, _ := classes.BestMult(el, tr.Tasks[i].Kind)
+		wbl[i] = down + scaleMult(m, g.Durations[i])
+	}
+
+	var best *Result
+	for _, cand := range [...]struct {
+		prio     []uint64
+		bestOnly bool
+	}{
+		{nil, false}, // FIFO, any eligible class
+		{wbl, false}, // weighted critical path, any eligible class
+		{nil, true},  // FIFO, best class only
+		{wbl, true},  // weighted critical path, best class only
+	} {
+		res, err := runClassList(tr, classes, g, el, cand.prio, cand.bestOnly)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Makespan < best.Makespan {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// scaleMult is Classes.Scale for a raw multiplier.
+func scaleMult(m float64, dur uint64) uint64 {
+	if m == 1.0 {
+		return dur
+	}
+	d := uint64(float64(dur) * m)
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// runClassList is one heterogeneous list-scheduling pass: ready tasks
+// are granted in prio order (descending, becoming-ready order on ties
+// and when prio is nil) to the idle eligible worker with the smallest
+// multiplier (lowest worker index on ties); with bestOnly a task only
+// accepts classes matching its best eligible multiplier.
+func runClassList(tr *trace.Trace, classes sched.Classes, g *taskgraph.Graph, el [][]bool, prio []uint64, bestOnly bool) (*Result, error) {
+	n := g.N
+	workers := classes.Workers()
+	res := &Result{
+		Workers:  workers,
+		Baseline: tr.Baseline(),
+		Start:    make([]uint64, n),
+		Finish:   make([]uint64, n),
+	}
+
+	// Workers are expanded contiguously in class declaration order, one
+	// lowest-index-first idle heap per class.
+	classOf := make([]uint8, workers)
+	idle := make([]sched.IdleHeap, len(classes))
+	w := 0
+	for ci, c := range classes {
+		for k := 0; k < c.Count; k++ {
+			classOf[w] = uint8(ci)
+			idle[ci].Push(w)
+			w++
+		}
+	}
+	eligible := func(ci int, kind uint16) bool {
+		if el[ci] != nil && !el[ci][kind] {
+			return false
+		}
+		if !bestOnly {
+			return true
+		}
+		m, _ := classes.BestMult(el, kind)
+		return classes[ci].Mult == m
+	}
+	// bestIdle picks the idle eligible worker with the smallest
+	// multiplier; among equal multipliers, the lowest worker index.
+	bestIdle := func(kind uint16) (int, bool) {
+		bi := -1
+		for ci := range classes {
+			if len(idle[ci]) == 0 || !eligible(ci, kind) {
+				continue
+			}
+			if bi < 0 || classes[ci].Mult < classes[bi].Mult ||
+				(classes[ci].Mult == classes[bi].Mult && idle[ci][0] < idle[bi][0]) {
+				bi = ci
+			}
+		}
+		if bi < 0 {
+			return 0, false
+		}
+		return idle[bi].Pop(), true
+	}
+
+	remaining := make([]int32, n)
+	var ready []int32 // kept sorted: prio descending, becoming-ready on ties
+	insert := func(t int32) {
+		if prio == nil {
+			ready = append(ready, t)
+			return
+		}
+		i := len(ready)
+		for i > 0 && prio[ready[i-1]] < prio[t] {
+			i--
+		}
+		ready = append(ready, 0)
+		copy(ready[i+1:], ready[i:])
+		ready[i] = t
+	}
+	for i := 0; i < n; i++ {
+		remaining[i] = int32(len(g.Pred[i]))
+		if remaining[i] == 0 {
+			insert(int32(i))
+		}
+	}
+	var running runHeap
+	now := uint64(0)
+	scheduled := 0
+
+	for scheduled < n || running.Len() > 0 {
+		// Grant pass: place every ready task (in list order) that has an
+		// idle eligible worker; the rest stay ready. Placements only
+		// consume workers, so one pass is complete.
+		kept := ready[:0]
+		for _, t := range ready {
+			wi, ok := bestIdle(tr.Tasks[t].Kind)
+			if !ok {
+				kept = append(kept, t)
+				continue
+			}
+			dur := classes.Scale(int(classOf[wi]), g.Durations[t])
+			res.Start[t] = now
+			res.Finish[t] = now + dur
+			heap.Push(&running, runItem{finish: res.Finish[t], task: t, worker: int32(wi)})
+			scheduled++
+		}
+		ready = kept
+		next, ok := running.nextEvent()
+		if !ok {
+			if scheduled < n {
+				return nil, fmt.Errorf("perfect: dependence cycle detected at %d/%d tasks", scheduled, n)
+			}
+			continue
+		}
+		now = next
+		complete := func(it runItem) {
+			for _, s := range g.Succ[it.task] {
+				remaining[s]--
+				if remaining[s] == 0 {
+					insert(s)
+				}
+			}
+			idle[classOf[it.worker]].Push(int(it.worker))
+		}
+		complete(heap.Pop(&running).(runItem))
+		for running.Len() > 0 && running[0].finish == now {
+			complete(heap.Pop(&running).(runItem))
 		}
 	}
 

@@ -663,14 +663,27 @@ func (p *Picos) dctOf(addr uint64) int {
 	if len(p.dct) == 1 {
 		return 0
 	}
-	if p.cfg.ShardHash == ShardLowBits {
+	return Shard(p.cfg.ShardHash, addr, len(p.dct))
+}
+
+// Shard is the address-to-shard partition function of the dependence
+// fabric, exported so workload generators can co-locate or scatter
+// dependence addresses across shards on purpose (the patterns package's
+// layout=shard does the former).
+//
+//picos:hotpath
+func Shard(hash ShardHash, addr uint64, numDCT int) int {
+	if numDCT <= 1 {
+		return 0
+	}
+	if hash == ShardLowBits {
 		// Word-address low bits (operand bits [1:0] are constant zero,
 		// as for the direct DM index).
-		return int((addr >> 2) % uint64(len(p.dct)))
+		return int((addr >> 2) % uint64(numDCT))
 	}
 	h := addr
 	h ^= h >> 33
 	h *= 0xFF51AFD7ED558CCD
 	h ^= h >> 33
-	return int(h % uint64(len(p.dct)))
+	return int(h % uint64(numDCT))
 }

@@ -1,15 +1,17 @@
-package hil
+package sched
 
-// Small hand-rolled min-heaps for the runner's worker bookkeeping.
+// Small hand-rolled min-heaps for worker bookkeeping, factored out of
+// the HIL runner so every engine shares one implementation.
 // container/heap would box every element through an interface; these
-// keep dispatch and retirement allocation-free.
+// keep dispatch and retirement allocation-free on warm runs.
 
-// intHeap is a min-heap of worker indices: the idle-worker freelist,
+// IdleHeap is a min-heap of worker indices: the idle-worker freelist,
 // popping the lowest index first to match the reference loop's linear
 // dispatch scan.
-type intHeap []int
+type IdleHeap []int
 
-func (h *intHeap) push(v int) {
+// Push adds a worker index.
+func (h *IdleHeap) Push(v int) {
 	*h = append(*h, v)
 	s := *h
 	i := len(s) - 1
@@ -23,7 +25,8 @@ func (h *intHeap) push(v int) {
 	}
 }
 
-func (h *intHeap) pop() int {
+// Pop removes and returns the lowest worker index.
+func (h *IdleHeap) Pop() int {
 	s := *h
 	top := s[0]
 	n := len(s) - 1
@@ -49,19 +52,28 @@ func (h *intHeap) pop() int {
 	return top
 }
 
-// dueHeap is a min-heap of busy workers ordered by (until, idx): the
-// completion order per-cycle stepping produces (earlier finish cycles
-// first, worker-index order within a cycle).
-type dueHeap []workerDue
-
-func (a workerDue) less(b workerDue) bool {
-	if a.until != b.until {
-		return a.until < b.until
-	}
-	return a.idx < b.idx
+// Due is one busy worker: the cycle its task completes and its index.
+type Due struct {
+	Until uint64
+	Idx   int
 }
 
-func (h *dueHeap) push(v workerDue) {
+func (a Due) less(b Due) bool {
+	if a.Until != b.Until {
+		return a.Until < b.Until
+	}
+	return a.Idx < b.Idx
+}
+
+// DueHeap is a min-heap of busy workers ordered by (Until, Idx): the
+// completion order per-cycle stepping produces (earlier finish cycles
+// first, worker-index order within a cycle). With heterogeneous
+// classes, Until already carries the class-scaled duration, so every
+// fast-forward horizon derived from the heap head stays exact.
+type DueHeap []Due
+
+// Push adds a busy worker.
+func (h *DueHeap) Push(v Due) {
 	*h = append(*h, v)
 	s := *h
 	i := len(s) - 1
@@ -75,7 +87,8 @@ func (h *dueHeap) push(v workerDue) {
 	}
 }
 
-func (h *dueHeap) pop() workerDue {
+// Pop removes and returns the earliest-due worker.
+func (h *DueHeap) Pop() Due {
 	s := *h
 	top := s[0]
 	n := len(s) - 1

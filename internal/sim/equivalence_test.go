@@ -154,6 +154,20 @@ func TestFastPathEquivalenceKnobs(t *testing.T) {
 			s.Admission = "slots"
 		}},
 		{"runahead-unbounded", []string{"case2"}, func(s *sim.Spec) { s.NewQDepth = 2; s.RunAhead = -1 }},
+		// Heterogeneous scheduling layer: worker classes, non-FIFO grant
+		// policies and cross-class stealing all route grants through the
+		// sched.Pool path instead of the legacy lowest-index scan, and the
+		// fast path must still reproduce the per-cycle loop exactly.
+		{"hetero", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.WorkerClasses = "8xfast+4xslow:2.0" }},
+		{"hetero-affinity-priority", []string{"heat"}, func(s *sim.Spec) {
+			s.WorkerClasses = "6xfast@gs+6xslow:2.0"
+			s.Sched = "priority"
+		}},
+		{"steal-locality", []string{"case4", "heat"}, func(s *sim.Spec) {
+			s.WorkerClasses = "6xa+6xb:1.5"
+			s.Sched = "locality"
+			s.Steal = true
+		}},
 	}
 	for _, engine := range equivalenceEngines {
 		for _, k := range knobs {

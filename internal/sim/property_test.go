@@ -39,6 +39,17 @@ func randomTrace(r *rand.Rand, idx int) *trace.Trace {
 		}
 		tr.Tasks = append(tr.Tasks, task)
 	}
+	// Half of the graphs carry task kinds (a small kernel vocabulary with
+	// some tasks left unkinded), so kind-affine worker classes and the
+	// locality policy have something to bind to.
+	if idx%2 == 1 {
+		kinds := []string{"ka", "kb", "kc"}
+		for id := range tr.Tasks {
+			if r.Intn(4) > 0 {
+				tr.Tasks[id].Kind = tr.KindID(kinds[r.Intn(len(kinds))])
+			}
+		}
+	}
 	return tr
 }
 
@@ -75,6 +86,22 @@ func TestRandomGraphProperties(t *testing.T) {
 				spec.ShardHash = "low-bits"
 			}
 		}
+		// Every fourth graph runs on a heterogeneous platform: rotating
+		// class mixes (multipliers, an affinity class backed by an
+		// unrestricted one) x grant policies, with stealing on every other
+		// hetero graph. Workers stays zero — the class list fixes the
+		// count — and the roofline below is re-run with the same classes.
+		if g%4 == 3 {
+			spec.Workers = 0
+			spec.WorkerClasses = []string{
+				"5xfast+3xslow:2",
+				"2xturbo:0.5+6xbase",
+				"4xa@ka+4xb:1.5",
+				"3xfast+3xmid:1.5+2xslow:3",
+			}[(g/4)%4]
+			spec.Sched = []string{"fifo", "priority", "locality", "lifo"}[(g/4)%4]
+			spec.Steal = g%8 == 7
+		}
 
 		res, err := sim.RunTrace(tr, spec)
 		if err != nil {
@@ -102,7 +129,12 @@ func TestRandomGraphProperties(t *testing.T) {
 			t.Fatalf("graph %d on %s: schedule violates dependences: %v", g, engine, err)
 		}
 
-		perfect, err := sim.RunTrace(tr, sim.Spec{Engine: "perfect", Workers: workers})
+		perfSpec := sim.Spec{Engine: "perfect", Workers: workers}
+		if spec.WorkerClasses != "" {
+			perfSpec.Workers = 0
+			perfSpec.WorkerClasses = spec.WorkerClasses
+		}
+		perfect, err := sim.RunTrace(tr, perfSpec)
 		if err != nil {
 			t.Fatalf("graph %d on perfect: %v", g, err)
 		}

@@ -1,5 +1,12 @@
 package sim
 
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sched"
+)
+
 // DefaultWorkers is the worker count of the paper's HIL platform (12
 // PL-side hardware workers / 12 Xeon cores), used when a Spec leaves
 // Workers zero.
@@ -26,8 +33,25 @@ type Spec struct {
 	// Block is the block size for real benchmarks (default 128; 4 for
 	// h264dec, whose "block" is the macroblock grouping).
 	Block int `json:"block,omitempty"`
-	// Workers is the worker count (default DefaultWorkers).
+	// Workers is the worker count (default DefaultWorkers). Mutually
+	// exclusive with WorkerClasses, which derives the worker count from
+	// the class list; setting both is a typed construction error
+	// (ErrWorkersAndClasses).
 	Workers int `json:"workers,omitempty"`
+
+	// Heterogeneous-platform scheduling knobs (the HTS design space).
+	// WorkerClasses declares worker classes with the sched grammar, e.g.
+	// "4xfast+4xslow:2.0+1xaccel:0.25@stencil_2d,fft": count x name, an
+	// optional per-class service-time multiplier and an optional
+	// task-kind affinity list. Empty means Workers homogeneous baseline
+	// cores. Sched selects the grant policy: fifo (default, the
+	// historical lowest-index semantics), lifo, priority (critical-path
+	// bottom level), locality (prefer the class that last ran the
+	// task's kind). Steal enables per-class ready queues with
+	// deterministic ascending-class victim order.
+	WorkerClasses string `json:"worker_classes,omitempty"`
+	Sched         string `json:"sched,omitempty"`
+	Steal         bool   `json:"steal,omitempty"`
 
 	// Picos accelerator knobs; ignored by nanos and perfect.
 	Design    string `json:"design,omitempty"`    // DM design: 8way, 16way, p8way (default)
@@ -70,15 +94,57 @@ type Spec struct {
 // FastPath resolves the FastForward knob: nil means on.
 func (s Spec) FastPath() bool { return s.FastForward == nil || *s.FastForward }
 
+// ErrWorkersAndClasses is returned when a Spec sets both Workers and
+// WorkerClasses: the class list already fixes the worker count, so a
+// conflicting explicit count is a construction error, not a silent
+// precedence rule.
+var ErrWorkersAndClasses = errors.New("sim: Spec sets both Workers and WorkerClasses")
+
+// SchedPlan parses the scheduling knobs (WorkerClasses, Sched, Steal)
+// into a sched.Plan — the single place the class grammar and policy
+// names are parsed, so every engine consumes the same validated
+// configuration. It returns ErrWorkersAndClasses when both Workers and
+// WorkerClasses are set (WithDefaults leaves Workers untouched when
+// classes are declared, so a defaulted spec stays valid).
+func (s Spec) SchedPlan() (sched.Plan, error) {
+	var plan sched.Plan
+	if s.WorkerClasses != "" && s.Workers != 0 {
+		return plan, fmt.Errorf("%w: workers=%d, classes=%q", ErrWorkersAndClasses, s.Workers, s.WorkerClasses)
+	}
+	classes, err := sched.Parse(s.WorkerClasses)
+	if err != nil {
+		return plan, err
+	}
+	plan.Classes = classes
+	plan.Policy, err = sched.ParsePolicy(s.Sched)
+	if err != nil {
+		return plan, err
+	}
+	plan.Steal = s.Steal
+	return plan, nil
+}
+
+// ClassPlan parses only the WorkerClasses knob (with the same
+// Workers-conflict check), for engines that honor heterogeneous
+// classes but not the grant-policy knobs — the perfect roofline always
+// grants greedily.
+func (s Spec) ClassPlan() (sched.Classes, error) {
+	if s.WorkerClasses != "" && s.Workers != 0 {
+		return nil, fmt.Errorf("%w: workers=%d, classes=%q", ErrWorkersAndClasses, s.Workers, s.WorkerClasses)
+	}
+	return sched.Parse(s.WorkerClasses)
+}
+
 // Bool returns a pointer to v, for setting Spec.FastForward inline:
 // spec.FastForward = sim.Bool(false).
 func Bool(v bool) *bool { return &v }
 
 // WithDefaults returns the spec with zero-valued shared fields replaced
 // by their defaults. Engine-specific zero values are resolved by the
-// engines themselves.
+// engines themselves. When WorkerClasses is set, Workers stays zero —
+// the class list fixes the worker count.
 func (s Spec) WithDefaults() Spec {
-	if s.Workers == 0 {
+	if s.Workers == 0 && s.WorkerClasses == "" {
 		s.Workers = DefaultWorkers
 	}
 	return s

@@ -151,6 +151,26 @@ func (g *Graph) CriticalPath() uint64 {
 	return cp
 }
 
+// BottomLevels returns, for each task, the duration-weighted length of
+// the longest path from the task to any sink, the task's own duration
+// included — the classic critical-path priority for list scheduling.
+// Tasks deeper on the critical path get larger values.
+func (g *Graph) BottomLevels() []uint64 {
+	bl := make([]uint64, g.N)
+	// Creation order is a topological order, so walking tasks backwards
+	// visits every successor before its predecessors.
+	for i := g.N - 1; i >= 0; i-- {
+		var best uint64
+		for _, s := range g.Succ[i] {
+			if bl[s] > best {
+				best = bl[s]
+			}
+		}
+		bl[i] = best + g.Durations[i]
+	}
+	return bl
+}
+
 // MaxParallelism returns the maximum number of tasks simultaneously
 // runnable under an ASAP (infinite workers) schedule, a measure of the
 // "available parallelism" the paper's Figure 1 discusses.

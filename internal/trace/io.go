@@ -9,23 +9,32 @@ import (
 
 // Binary trace format (little-endian):
 //
-//	magic   [4]byte  "PTR1"
+//	magic   [4]byte  "PTR1" | "PTR2"
 //	nameLen uint16   + name bytes
 //	serial  uint64
 //	refseq  uint64
+//	PTR2 only:
+//	  nKinds uint16
+//	  per kind: len uint16 + name bytes
 //	nTasks  uint32
 //	per task:
 //	  id       uint32
 //	  duration uint64
 //	  create   uint64
+//	  kind     uint16  (PTR2 only; 1-based index into the kind table)
 //	  nDeps    uint8
 //	  per dep: addr uint64, dir uint8
 //
 // The format is deliberately simple: the paper's traces carry exactly the
 // same fields (task identification, dependence address and direction,
-// task creation latency and execution time in cycles).
+// task creation latency and execution time in cycles). PTR2 adds the
+// kernel-family kind table used by heterogeneous worker classes; traces
+// without kinds still serialize as byte-identical PTR1.
 
-var magic = [4]byte{'P', 'T', 'R', '1'}
+var (
+	magic   = [4]byte{'P', 'T', 'R', '1'}
+	magicV2 = [4]byte{'P', 'T', 'R', '2'}
+)
 
 // WriteTo serializes the trace. It returns the number of bytes written.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
@@ -38,7 +47,12 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		n += int64(binary.Size(v))
 		return nil
 	}
-	if err := write(magic); err != nil {
+	v2 := len(t.Kinds) > 0
+	m := magic
+	if v2 {
+		m = magicV2
+	}
+	if err := write(m); err != nil {
 		return n, err
 	}
 	name := []byte(t.Name)
@@ -60,6 +74,27 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := write(t.RefSeqCycles); err != nil {
 		return n, err
 	}
+	if v2 {
+		if len(t.Kinds) > 0xFFFF {
+			return n, fmt.Errorf("trace: %d kinds (>65535)", len(t.Kinds))
+		}
+		if err := write(uint16(len(t.Kinds))); err != nil {
+			return n, err
+		}
+		for _, k := range t.Kinds {
+			kb := []byte(k)
+			if len(kb) > 0xFFFF {
+				return n, fmt.Errorf("trace: kind name too long (%d bytes)", len(kb))
+			}
+			if err := write(uint16(len(kb))); err != nil {
+				return n, err
+			}
+			if _, err := bw.Write(kb); err != nil {
+				return n, err
+			}
+			n += int64(len(kb))
+		}
+	}
 	if err := write(uint32(len(t.Tasks))); err != nil {
 		return n, err
 	}
@@ -76,6 +111,11 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		}
 		if err := write(task.CreateCost); err != nil {
 			return n, err
+		}
+		if v2 {
+			if err := write(task.Kind); err != nil {
+				return n, err
+			}
 		}
 		if err := write(uint8(len(task.Deps))); err != nil {
 			return n, err
@@ -99,9 +139,10 @@ func Read(r io.Reader) (*Trace, error) {
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if m != magic {
+	if m != magic && m != magicV2 {
 		return nil, fmt.Errorf("trace: bad magic %q", m)
 	}
+	v2 := m == magicV2
 	var nameLen uint16
 	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
 		return nil, err
@@ -116,6 +157,24 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	if err := binary.Read(br, binary.LittleEndian, &t.RefSeqCycles); err != nil {
 		return nil, err
+	}
+	if v2 {
+		var nKinds uint16
+		if err := binary.Read(br, binary.LittleEndian, &nKinds); err != nil {
+			return nil, err
+		}
+		t.Kinds = make([]string, nKinds)
+		for i := range t.Kinds {
+			var kl uint16
+			if err := binary.Read(br, binary.LittleEndian, &kl); err != nil {
+				return nil, err
+			}
+			kb := make([]byte, kl)
+			if _, err := io.ReadFull(br, kb); err != nil {
+				return nil, err
+			}
+			t.Kinds[i] = string(kb)
+		}
 	}
 	var nTasks uint32
 	if err := binary.Read(br, binary.LittleEndian, &nTasks); err != nil {
@@ -142,6 +201,15 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		if err := binary.Read(br, binary.LittleEndian, &task.CreateCost); err != nil {
 			return nil, err
+		}
+		if v2 {
+			if err := binary.Read(br, binary.LittleEndian, &task.Kind); err != nil {
+				return nil, err
+			}
+			if int(task.Kind) > len(t.Kinds) {
+				return nil, fmt.Errorf("trace: task %d: kind %d exceeds kind table (%d entries)",
+					i, task.Kind, len(t.Kinds))
+			}
 		}
 		var nDeps uint8
 		if err := binary.Read(br, binary.LittleEndian, &nDeps); err != nil {

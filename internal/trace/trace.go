@@ -70,6 +70,11 @@ type Task struct {
 	// (used by the Full-system mode and the software-only runtime).
 	// Zero means "use the runtime model's default".
 	CreateCost uint64
+	// Kind is a 1-based index into the trace's Kinds table naming the
+	// task's kernel family (e.g. "gemm", "gs", "stencil_2d"). Zero means
+	// the task is unkinded. Worker-class affinity and locality-aware
+	// scheduling key on this label.
+	Kind uint16
 }
 
 // Trace is an ordered stream of tasks in creation order.
@@ -88,6 +93,35 @@ type Trace struct {
 	// because tasking adds per-block overhead. Speedups are computed
 	// against Baseline().
 	RefSeqCycles uint64
+	// Kinds is the kernel-family name table referenced by Task.Kind
+	// (1-based: Task.Kind == k names Kinds[k-1]). Generators that know
+	// their kernels (the Table I apps, the pattern families) label
+	// tasks; synthetic capacity cases leave tasks unkinded.
+	Kinds []string
+}
+
+// KindID interns a kind name and returns its 1-based Task.Kind value.
+// The empty name is the unkinded sentinel 0.
+func (t *Trace) KindID(name string) uint16 {
+	if name == "" {
+		return 0
+	}
+	for i, k := range t.Kinds {
+		if k == name {
+			return uint16(i + 1)
+		}
+	}
+	t.Kinds = append(t.Kinds, name)
+	return uint16(len(t.Kinds))
+}
+
+// KindOf returns the kind name of task i, or "" when unkinded.
+func (t *Trace) KindOf(i int) string {
+	k := t.Tasks[i].Kind
+	if k == 0 || int(k) > len(t.Kinds) {
+		return ""
+	}
+	return t.Kinds[k-1]
 }
 
 // Baseline returns the sequential-execution reference used for speedups:
@@ -158,6 +192,7 @@ var (
 	ErrDupAddr      = errors.New("trace: duplicate dependence address within one task")
 	ErrBadID        = errors.New("trace: task ID does not match creation order")
 	ErrZeroDuration = errors.New("trace: task has zero duration")
+	ErrBadKind      = errors.New("trace: bad task kind")
 )
 
 // Validate checks the structural invariants every simulator relies on:
@@ -166,6 +201,16 @@ var (
 // assumes distinct addresses; OmpSs expresses read+write of the same
 // datum as a single inout), and non-zero durations.
 func (t *Trace) Validate() error {
+	for i, k := range t.Kinds {
+		if k == "" {
+			return fmt.Errorf("%w: empty name in kind table entry %d", ErrBadKind, i)
+		}
+		for j := 0; j < i; j++ {
+			if t.Kinds[j] == k {
+				return fmt.Errorf("%w: duplicate kind table entry %q", ErrBadKind, k)
+			}
+		}
+	}
 	for i := range t.Tasks {
 		task := &t.Tasks[i]
 		if task.ID != uint32(i) {
@@ -176,6 +221,10 @@ func (t *Trace) Validate() error {
 		}
 		if task.Duration == 0 {
 			return fmt.Errorf("%w: task %d", ErrZeroDuration, i)
+		}
+		if int(task.Kind) > len(t.Kinds) {
+			return fmt.Errorf("%w: task %d kind %d exceeds kind table (%d entries)",
+				ErrBadKind, i, task.Kind, len(t.Kinds))
 		}
 		for a := 0; a < len(task.Deps); a++ {
 			for b := a + 1; b < len(task.Deps); b++ {
@@ -190,7 +239,8 @@ func (t *Trace) Validate() error {
 
 // Clone returns a deep copy of the trace.
 func (t *Trace) Clone() *Trace {
-	c := &Trace{Name: t.Name, SerialCycles: t.SerialCycles, RefSeqCycles: t.RefSeqCycles, Tasks: make([]Task, len(t.Tasks))}
+	c := &Trace{Name: t.Name, SerialCycles: t.SerialCycles, RefSeqCycles: t.RefSeqCycles,
+		Kinds: append([]string(nil), t.Kinds...), Tasks: make([]Task, len(t.Tasks))}
 	for i := range t.Tasks {
 		c.Tasks[i] = t.Tasks[i]
 		c.Tasks[i].Deps = append([]Dep(nil), t.Tasks[i].Deps...)
