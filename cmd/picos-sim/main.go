@@ -44,12 +44,14 @@ func main() {
 		nDCT     = flag.Int("dct", 0, "DCT instances (default 1)")
 		shash    = flag.String("shardhash", "", "address-to-shard hash with -dct > 1: xor-fold (default), low-bits")
 		shop     = flag.Int("shardhop", 0, "per-shard-crossed fabric latency in cycles (0: default 1, negative: free)")
-		admiss   = flag.String("admission", "", "GW admission policy: credits (default), slots")
+		admiss   = flag.String("admission", "", "GW admission policy: credits (default), slots, avoid-deadlock, avoid-deadlock-park")
 		wake     = flag.String("wake", "", "TS wake order on task finish: last-first (default), first-first")
 		conflict = flag.String("conflict", "", "DM conflict handling: sidetrack (default), block")
 		newq     = flag.Int("newq", 0, "bound the accelerator's new-task submission buffer (0: unbounded)")
 		runAhead = flag.Int("runahead", 0, "Full-system creation run-ahead window (0: default 16, negative: unbounded)")
 		watchdog = flag.Uint64("watchdog", 0, "abort the run after this many simulated cycles (0: engine default)")
+		faultsFl = flag.String("faults", "", "deterministic fault plan, e.g. axi:drop=0.01@seed7+worker:failstop=2@cycle50000")
+		recovery = flag.String("recovery", "", "recovery policies, e.g. retry=3:backoff200+regrant+degrade=100000")
 		ff       = flag.Bool("ff", true, "event-driven fast path (results identical; disable to debug with per-cycle stepping)")
 		verify   = flag.Bool("verify", true, "check the schedule against the dependence oracle")
 		showStat = flag.Bool("stats", false, "print accelerator statistics")
@@ -94,6 +96,8 @@ func main() {
 		NewQDepth:     *newq,
 		RunAhead:      *runAhead,
 		Watchdog:      *watchdog,
+		Faults:        *faultsFl,
+		Recovery:      *recovery,
 	}
 	if !*ff {
 		spec.FastForward = sim.Bool(false)
@@ -119,9 +123,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Wedged, timed-out, faulted or refusal-bearing runs have only a
+	// partial (or perturbed) schedule, which the complete-run dependence
+	// oracle cannot judge.
+	partial := res.Wedged || res.TimedOut || res.Faulted || res.RefusedTasks > 0
 	verified := false
-	verifySkipped := *verify && res.Wedged // partial schedules have no complete oracle run
-	if *verify && !res.Wedged {
+	verifySkipped := *verify && partial
+	if *verify && !partial {
 		if err := sim.Verify(tr, res); err != nil {
 			fail(fmt.Errorf("schedule verification FAILED: %w", err))
 		}
@@ -145,9 +153,7 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			fail(err)
 		}
-		if res.Wedged {
-			os.Exit(exitWedged)
-		}
+		exitOutcome(res)
 		return
 	}
 
@@ -155,18 +161,30 @@ func main() {
 	fmt.Printf("workload %s: %d tasks, %d-%d deps/task, avg size %.3g cycles, baseline %.3g cycles\n",
 		tr.Name, s.NumTasks, s.MinDeps, s.MaxDeps, s.AvgTaskSize, float64(tr.Baseline()))
 	fmt.Printf("engine %s, %d workers\n", res.Engine, res.Workers)
-	if res.Wedged {
+	switch {
+	case res.Wedged:
 		done := 0
 		for _, f := range res.Finish {
 			if f > 0 {
 				done++
 			}
 		}
-		fmt.Printf("WEDGED at cycle %d: proven deadlock, %d/%d tasks completed\n",
-			res.WedgedAt, done, s.NumTasks)
-	} else {
+		kind := "proven deadlock"
+		if res.Faulted {
+			kind = "fault-induced deadlock"
+		}
+		fmt.Printf("WEDGED at cycle %d: %s, %d/%d tasks completed\n",
+			res.WedgedAt, kind, done, s.NumTasks)
+	case res.TimedOut:
+		fmt.Printf("TIMED OUT: no progress for the watchdog window (livelock or starvation), makespan so far %d cycles\n",
+			res.Makespan)
+	default:
 		fmt.Printf("makespan %d cycles, speedup %.2fx, L1st %d, thrTask %.0f cycles\n",
 			res.Makespan, res.Speedup, res.FirstStart, res.ThrTask)
+	}
+	if res.Faulted || res.LostTasks > 0 || res.RecoveredTasks > 0 || res.RefusedTasks > 0 {
+		fmt.Printf("faults: fired %v, lost %d, recovered %d, refused %d\n",
+			res.Faulted, res.LostTasks, res.RecoveredTasks, res.RefusedTasks)
 	}
 	if res.LockBusy > 0 {
 		fmt.Printf("runtime lock busy %d cycles\n", res.LockBusy)
@@ -182,18 +200,31 @@ func main() {
 		fmt.Println("schedule verified against the dependence oracle")
 	}
 	if verifySkipped {
-		fmt.Println("verification skipped: wedged run has only a partial schedule")
+		fmt.Println("verification skipped: partial or fault-perturbed schedule")
 	}
-	if res.Wedged {
-		os.Exit(exitWedged)
-	}
+	exitOutcome(res)
 }
 
-// exitWedged is the exit code of a run that proved a model deadlock —
-// distinct from 1 (errors), so scripted sweeps over deadlocking
-// configurations can tell "this design wedges here" from "the tool
-// failed".
-const exitWedged = 3
+// Structured-outcome exit codes, distinct from 1 (errors) so scripted
+// sweeps can tell "this design wedges/starves here" from "the tool
+// failed": 3 is a proven model deadlock, 4 a watchdog expiry (livelock
+// or no-progress stall). A faulted-but-completed run still exits 0 —
+// the outcome fields in the JSON carry the loss accounting.
+const (
+	exitWedged   = 3
+	exitTimedOut = 4
+)
+
+// exitOutcome terminates with the structured exit code of a
+// non-completing run, or returns for the normal exit 0.
+func exitOutcome(res *sim.Result) {
+	switch {
+	case res.Wedged:
+		os.Exit(exitWedged)
+	case res.TimedOut:
+		os.Exit(exitTimedOut)
+	}
+}
 
 // workloadName maps the trace-source flags onto one registry name.
 func workloadName(tracePath, app string, caseNo int, workload string) string {

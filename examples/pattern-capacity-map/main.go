@@ -11,9 +11,12 @@
 // design's capacity is partitioned across shards) and the
 // hetero-scaling lane (cells with a non-empty classes field —
 // heterogeneous worker-class mixes x grant policies x stealing against
-// the class-weighted perfect roofline). This example is the single
-// producer of BENCH_patterns.json; the extra lanes render standalone
-// via examples/shard-capacity and examples/hetero-scaling.
+// the class-weighted perfect roofline) and the resilience lane (cells
+// with a non-empty fault_plan or recovery field — deterministic AXI
+// drop rates x recovery policies with the software runtime as control
+// arm). This example is the single producer of BENCH_patterns.json; the
+// extra lanes render standalone via examples/shard-capacity,
+// examples/hetero-scaling and examples/resilience.
 //
 //	go run ./examples/pattern-capacity-map            # full map + JSON
 //	go run ./examples/pattern-capacity-map -quick     # reduced grid
@@ -68,6 +71,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cells = append(cells, heteroCells...)
+	resilienceCells, err := experiments.ResilienceData(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells = append(cells, resilienceCells...)
 
 	wedged := 0
 	for _, c := range cells {

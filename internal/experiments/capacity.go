@@ -40,6 +40,18 @@ type CapacityCell struct {
 	Classes string `json:"classes,omitempty"`
 	Sched   string `json:"sched,omitempty"`
 	Steal   bool   `json:"steal,omitempty"`
+	// Resilience lane: the deterministic fault plan and recovery-policy
+	// strings of the run (empty on fault-free lanes), with the outcome
+	// accounting — the fraction of tasks that completed and the
+	// lost/recovered/refused tallies behind it.
+	FaultPlan          string  `json:"fault_plan,omitempty"`
+	Recovery           string  `json:"recovery,omitempty"`
+	Faulted            bool    `json:"faulted,omitempty"`
+	TimedOut           bool    `json:"timed_out,omitempty"`
+	CompletionFraction float64 `json:"completion_fraction,omitempty"`
+	LostTasks          int     `json:"lost_tasks,omitempty"`
+	RecoveredTasks     int     `json:"recovered_tasks,omitempty"`
+	RefusedTasks       int     `json:"refused_tasks,omitempty"`
 
 	Wedged           bool    `json:"wedged,omitempty"`
 	WedgedAt         uint64  `json:"wedged_at,omitempty"`

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/patterns"
+	"repro/internal/sim"
+)
+
+func init() {
+	Register("resilience", Resilience)
+}
+
+// resilienceRates are the AXI drop probabilities of the sweep; 0 is the
+// fault-free baseline lane.
+var resilienceRates = []float64{0, 0.005, 0.01}
+
+// resilienceRecoveries are the recovery-policy lanes: none (drops are
+// permanently lost) and bounded retransmission with deterministic
+// backoff.
+var resilienceRecoveries = []string{"", "retry=3:backoff200"}
+
+// resilienceFamilies are the pattern families of the sweep: a local
+// 1-D stencil (long dependence chains, where one lost message strands a
+// whole column) and the reduction tree (a lost task near the root loses
+// the run).
+var resilienceFamilies = []string{"stencil_1d", "tree"}
+
+// resilienceFaultPlan renders the drop-rate clause; rate 0 is the
+// fault-free lane (no plan at all, so the run takes the nil-gated hot
+// path the equivalence suite proves byte-identical).
+func resilienceFaultPlan(rate float64) string {
+	if rate == 0 {
+		return ""
+	}
+	return fmt.Sprintf("axi:drop=%g@seed7", rate)
+}
+
+// ResilienceData executes the resilience sweep: fault rate x recovery
+// policy x {picos-full, nanos} over the pattern families. picos-full is
+// the system under test — its AXI link is where the drops land — and
+// nanos is the control arm: the software runtime has no link and no
+// fault layer (the spec's fault knobs are disclaimed), so its lanes pin
+// completion fraction 1.0 at every rate, isolating the fault effect
+// from the workload.
+func ResilienceData(opt Options) ([]CapacityCell, error) {
+	rates := resilienceRates
+	fams := resilienceFamilies
+	engines := []string{"picos-full", "nanos"}
+	if opt.Quick {
+		rates = []float64{0, 0.01}
+		fams = fams[:1]
+	}
+
+	type point struct {
+		family, engine, plan, rec string
+	}
+	var pts []point
+	var specs []sim.Spec
+	for _, f := range fams {
+		for _, e := range engines {
+			for _, rate := range rates {
+				for _, rec := range resilienceRecoveries {
+					plan := resilienceFaultPlan(rate)
+					pts = append(pts, point{f, e, plan, rec})
+					specs = append(specs, sim.Spec{
+						Engine:   e,
+						Workload: capacityPattern(f, patterns.DefaultLayout, opt),
+						Faults:   plan,
+						Recovery: rec,
+					})
+				}
+			}
+		}
+	}
+
+	results, err := sweep(opt, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]CapacityCell, 0, len(pts))
+	for i, pt := range pts {
+		res := results[i]
+		done := 0
+		for _, f := range res.Finish {
+			if f > 0 {
+				done++
+			}
+		}
+		cell := CapacityCell{
+			Family:             pt.family,
+			Workload:           specs[i].Workload,
+			Engine:             pt.engine,
+			Design:             "p8way",
+			Layout:             patterns.DefaultLayout,
+			FaultPlan:          pt.plan,
+			Recovery:           pt.rec,
+			Faulted:            res.Faulted,
+			TimedOut:           res.TimedOut,
+			LostTasks:          res.LostTasks,
+			RecoveredTasks:     res.RecoveredTasks,
+			RefusedTasks:       res.RefusedTasks,
+			Wedged:             res.Wedged,
+			WedgedAt:           res.WedgedAt,
+			Makespan:           res.Makespan,
+			Speedup:            res.Speedup,
+			CompletionFraction: float64(done) / float64(len(res.Finish)),
+		}
+		if st := res.Stats; st != nil {
+			cell.DMConflicts = st.DMConflicts
+			cell.VMStallEvents = st.VMStallEvents
+			cell.DMConflictStallCycles = st.DMConflictStallCycles
+			cell.VMStallCycles = st.VMStallCycles
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// resilienceLane renders one rate x recovery combination as a column
+// label.
+func resilienceLane(plan, rec string) string {
+	rate := plan
+	if rate == "" {
+		rate = "fault-free"
+	}
+	if rec == "" {
+		return rate
+	}
+	return rate + " +" + rec
+}
+
+// ResilienceTables renders already-computed resilience cells as one
+// table per engine: rows = families, columns = rate x recovery lanes,
+// cell = completion fraction with the loss accounting.
+func ResilienceTables(cells []CapacityCell) []*Table {
+	engines := distinct(cells, nil, func(c CapacityCell) string { return c.Engine })
+	fams := distinct(cells, nil, func(c CapacityCell) string { return c.Family })
+	plans := distinct(cells, nil, func(c CapacityCell) string { return c.FaultPlan })
+	recs := distinct(cells, nil, func(c CapacityCell) string { return c.Recovery })
+
+	find := func(e, f, plan, rec string) *CapacityCell {
+		for i := range cells {
+			c := &cells[i]
+			if c.Engine == e && c.Family == f && c.FaultPlan == plan && c.Recovery == rec {
+				return c
+			}
+		}
+		return nil
+	}
+
+	var tables []*Table
+	for _, e := range engines {
+		t := &Table{
+			Title: fmt.Sprintf("Resilience (%s): completion fraction per fault rate x recovery policy", e),
+		}
+		t.Header = []string{"Family"}
+		for _, plan := range plans {
+			for _, rec := range recs {
+				t.Header = append(t.Header, resilienceLane(plan, rec))
+			}
+		}
+		for _, f := range fams {
+			row := []string{f}
+			for _, plan := range plans {
+				for _, rec := range recs {
+					c := find(e, f, plan, rec)
+					switch {
+					case c == nil:
+						row = append(row, "-")
+					default:
+						s := fmt.Sprintf("%.3f", c.CompletionFraction)
+						if c.LostTasks > 0 || c.RecoveredTasks > 0 {
+							s += fmt.Sprintf(" (lost %d, rec %d)", c.LostTasks, c.RecoveredTasks)
+						}
+						if c.Wedged {
+							s += " WEDGE"
+						}
+						row = append(row, s)
+					}
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"completion fraction = tasks finished / tasks total; a fraction below 1.0 without a wedge means the run drained around the losses",
+			"nanos is the control arm: no link, no fault layer, completion 1.0 by construction at every rate")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Resilience is the registry entry: the fault-rate x recovery sweep as
+// one table per engine.
+func Resilience(opt Options) ([]*Table, error) {
+	cells, err := ResilienceData(opt)
+	if err != nil {
+		return nil, err
+	}
+	return ResilienceTables(cells), nil
+}

@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseFaultPlan throws arbitrary strings at the fault-plan and
+// recovery parsers. Neither may panic; every rejection must be a typed
+// error (ErrBadPlan / ErrBadRecovery), and whatever ParsePlan accepts
+// must be stable: re-parsing the same string yields the same plan.
+// Checked-in seeds live in testdata/fuzz/FuzzParseFaultPlan.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"axi:drop=0.01@seed7",
+		"axi:drop=0.01@seed7+worker:failstop=2@cycle50000+dct:slowdown=4x:shard1",
+		"axi:delay=0.02x300@seed9+axi:dup=0.005",
+		"dct:vmleak=0.001@seed5:shard0+dct:creditleak=0.002",
+		"trs:stall=5000@cycle20000:trs0",
+		"worker:slowdown=4x@cycle10000:len20000:worker1",
+		"axi:drop", "axi:drop=2", "x:y=z", "+", ":::", "@", "=",
+		"axi:drop=0.1@cycle1@seed2", "\x00", "ﬂaky:drop=0.1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p1, err := ParsePlan(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadPlan) {
+				t.Fatalf("ParsePlan(%q): untyped error %v", s, err)
+			}
+			if p1 != nil {
+				t.Fatalf("ParsePlan(%q): non-nil plan with error", s)
+			}
+		} else {
+			p2, err2 := ParsePlan(s)
+			if err2 != nil {
+				t.Fatalf("ParsePlan(%q) unstable: accepted then rejected (%v)", s, err2)
+			}
+			if (p1 == nil) != (p2 == nil) || (p1 != nil && len(p1.Clauses) != len(p2.Clauses)) {
+				t.Fatalf("ParsePlan(%q) unstable across parses", s)
+			}
+			if p1 != nil {
+				for i := range p1.Clauses {
+					if p1.Clauses[i] != p2.Clauses[i] {
+						t.Fatalf("ParsePlan(%q) clause %d unstable: %+v vs %+v", s, i, p1.Clauses[i], p2.Clauses[i])
+					}
+				}
+				// Building the accelerator-side injector must not panic
+				// on any accepted plan.
+				p1.PicosSide(Recovery{})
+			}
+		}
+		if _, err := ParseRecovery(s); err != nil && !errors.Is(err, ErrBadRecovery) {
+			t.Fatalf("ParseRecovery(%q): untyped error %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses a fault-plan string: clauses joined by "+", each
+//
+//	layer:kind=value[@seedN|@cycleN][:shardK][:workerK][:trsK][:lenL]
+//
+// Examples:
+//
+//	axi:drop=0.01@seed7
+//	axi:delay=0.02x300@seed9
+//	axi:dup=0.005@seed3
+//	worker:failstop=2@cycle50000
+//	worker:slowdown=4x@cycle10000:len20000:worker1
+//	dct:vmleak=0.001@seed5:shard0
+//	dct:creditleak=0.002@seed6
+//	dct:slowdown=4x:shard1
+//	trs:stall=5000@cycle20000:trs0
+//
+// The empty string parses to nil (no faults). Probabilistic clauses
+// without an explicit @seedN get a deterministic per-position default
+// seed, so the same plan string always means the same run. Malformed
+// plans return errors wrapping ErrBadPlan, never panic.
+func ParsePlan(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	p := &Plan{Source: s}
+	for i, part := range strings.Split(s, "+") {
+		c, err := parseClause(strings.TrimSpace(part), i)
+		if err != nil {
+			return nil, err
+		}
+		p.Clauses = append(p.Clauses, c)
+	}
+	return p, nil
+}
+
+// clauseErr wraps ErrBadPlan with the offending clause text.
+func clauseErr(cl, format string, args ...interface{}) error {
+	return fmt.Errorf("%w: clause %q: %s", ErrBadPlan, cl, fmt.Sprintf(format, args...))
+}
+
+func parseClause(cl string, pos int) (Clause, error) {
+	c := Clause{Shard: -1, Worker: -1, TRS: -1}
+	if cl == "" {
+		return c, clauseErr(cl, "empty clause")
+	}
+	head, rest, ok := strings.Cut(cl, ":")
+	if !ok {
+		return c, clauseErr(cl, "missing ':' after layer")
+	}
+	c.Layer = head
+
+	// Split the remainder at the first '=': kind=value, then trailing
+	// @trigger and :selector parts attached to the value token.
+	kind, val, ok := strings.Cut(rest, "=")
+	if !ok || kind == "" {
+		return c, clauseErr(cl, "missing kind=value")
+	}
+	if i := strings.IndexAny(kind, ":@"); i >= 0 {
+		return c, clauseErr(cl, "kind %q may not contain ':' or '@'", kind)
+	}
+	c.Kind = kind
+
+	// Peel :selectors off the tail (value or trigger may carry them).
+	fields := strings.Split(val, ":")
+	val = fields[0]
+	selectors := fields[1:]
+
+	// Peel the @trigger off the value.
+	var trigger string
+	val, trigger, _ = strings.Cut(val, "@")
+	if val == "" {
+		return c, clauseErr(cl, "missing value")
+	}
+
+	if err := parseValue(&c, cl, val); err != nil {
+		return c, err
+	}
+	if trigger != "" {
+		if err := parseTrigger(&c, cl, trigger); err != nil {
+			return c, err
+		}
+	}
+	for _, sel := range selectors {
+		if err := parseSelector(&c, cl, sel); err != nil {
+			return c, err
+		}
+	}
+	if err := validateClause(&c, cl, pos); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// parseValue interprets the value token for the clause's layer:kind.
+func parseValue(c *Clause, cl, val string) error {
+	switch {
+	case c.Layer == LayerAXI && (c.Kind == KindDrop || c.Kind == KindDup):
+		return parseRate(c, cl, val)
+	case c.Layer == LayerAXI && c.Kind == KindDelay:
+		// RxD: probability x extra cycles.
+		r, d, ok := strings.Cut(val, "x")
+		if !ok {
+			return clauseErr(cl, "axi:delay wants rate x cycles (e.g. 0.01x300)")
+		}
+		if err := parseRate(c, cl, r); err != nil {
+			return err
+		}
+		n, err := strconv.ParseUint(d, 10, 32)
+		if err != nil || n == 0 {
+			return clauseErr(cl, "bad delay cycles %q", d)
+		}
+		c.Delay = n
+		return nil
+	case c.Layer == LayerWorker && c.Kind == KindFailstop:
+		n, err := strconv.ParseUint(val, 10, 16)
+		if err != nil {
+			return clauseErr(cl, "bad worker index %q", val)
+		}
+		c.Worker = int(n)
+		return nil
+	case (c.Layer == LayerWorker || c.Layer == LayerDCT) && c.Kind == KindSlowdown:
+		f, ok := strings.CutSuffix(val, "x")
+		if !ok {
+			return clauseErr(cl, "slowdown wants a multiplier like 4x")
+		}
+		n, err := strconv.ParseUint(f, 10, 16)
+		if err != nil || n < 1 {
+			return clauseErr(cl, "bad slowdown factor %q", val)
+		}
+		c.Factor = n
+		return nil
+	case c.Layer == LayerDCT && (c.Kind == KindVMLeak || c.Kind == KindCreditLeak):
+		return parseRate(c, cl, val)
+	case c.Layer == LayerTRS && c.Kind == KindStall:
+		n, err := strconv.ParseUint(val, 10, 32)
+		if err != nil || n == 0 {
+			return clauseErr(cl, "bad stall cycles %q", val)
+		}
+		c.Delay = n
+		return nil
+	}
+	return clauseErr(cl, "unknown fault %s:%s", c.Layer, c.Kind)
+}
+
+func parseRate(c *Clause, cl, val string) error {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > 1 {
+		return clauseErr(cl, "bad rate %q (want 0..1)", val)
+	}
+	c.Rate = r
+	return nil
+}
+
+func parseTrigger(c *Clause, cl, trig string) error {
+	switch {
+	case strings.HasPrefix(trig, "seed"):
+		n, err := strconv.ParseUint(trig[len("seed"):], 10, 64)
+		if err != nil {
+			return clauseErr(cl, "bad trigger %q", trig)
+		}
+		c.Seed = n
+	case strings.HasPrefix(trig, "cycle"):
+		n, err := strconv.ParseUint(trig[len("cycle"):], 10, 64)
+		if err != nil {
+			return clauseErr(cl, "bad trigger %q", trig)
+		}
+		c.Cycle = n
+	default:
+		return clauseErr(cl, "unknown trigger %q (want seedN or cycleN)", trig)
+	}
+	return nil
+}
+
+func parseSelector(c *Clause, cl, sel string) error {
+	for _, s := range []struct {
+		prefix string
+		bits   int
+		set    func(uint64)
+	}{
+		{"shard", 8, func(v uint64) { c.Shard = int(v) }},
+		{"worker", 16, func(v uint64) { c.Worker = int(v) }},
+		{"trs", 8, func(v uint64) { c.TRS = int(v) }},
+		{"len", 64, func(v uint64) { c.Len = v }},
+	} {
+		if !strings.HasPrefix(sel, s.prefix) {
+			continue
+		}
+		n, err := strconv.ParseUint(sel[len(s.prefix):], 10, s.bits)
+		if err != nil {
+			return clauseErr(cl, "bad selector %q", sel)
+		}
+		s.set(n)
+		return nil
+	}
+	return clauseErr(cl, "unknown selector %q (want shardK, workerK, trsK or lenL)", sel)
+}
+
+// validateClause enforces per-kind invariants and stamps default seeds
+// so probabilistic clauses are deterministic even without @seedN.
+func validateClause(c *Clause, cl string, pos int) error {
+	probabilistic := c.Kind == KindDrop || c.Kind == KindDelay || c.Kind == KindDup ||
+		c.Kind == KindVMLeak || c.Kind == KindCreditLeak
+	if probabilistic && c.Seed == 0 {
+		c.Seed = uint64(pos) + 1
+	}
+	if c.Layer == LayerAXI && (c.Shard >= 0 || c.Worker >= 0 || c.TRS >= 0) {
+		return clauseErr(cl, "axi faults take no shard/worker/trs selector")
+	}
+	if c.Layer == LayerWorker && c.Kind == KindSlowdown && c.Factor == 1 {
+		return clauseErr(cl, "slowdown factor 1x injects nothing")
+	}
+	return nil
+}
+
+// ParseRecovery parses a recovery-policy string: policies joined by
+// "+", each one of
+//
+//	retry=N[:backoffB]   bounded link retransmission, linear backoff
+//	regrant              re-enqueue tasks of fail-stopped workers
+//	degrade=C            refuse the gateway's blocked head after C cycles
+//
+// The empty string parses to the zero Recovery (no recovery).
+// Malformed strings return errors wrapping ErrBadRecovery.
+func ParseRecovery(s string) (Recovery, error) {
+	var r Recovery
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return r, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "retry":
+			if !hasVal {
+				return r, fmt.Errorf("%w: retry wants a count (retry=N[:backoffB])", ErrBadRecovery)
+			}
+			cnt, backoff, hasBackoff := strings.Cut(val, ":")
+			n, err := strconv.ParseUint(cnt, 10, 8)
+			if err != nil || n == 0 {
+				return r, fmt.Errorf("%w: bad retry count %q", ErrBadRecovery, cnt)
+			}
+			r.Retry = int(n)
+			r.Backoff = DefaultBackoff
+			if hasBackoff {
+				b, ok := strings.CutPrefix(backoff, "backoff")
+				v, err := strconv.ParseUint(b, 10, 32)
+				if !ok || err != nil || v == 0 {
+					return r, fmt.Errorf("%w: bad backoff %q", ErrBadRecovery, backoff)
+				}
+				r.Backoff = v
+			}
+		case "regrant":
+			if hasVal {
+				return r, fmt.Errorf("%w: regrant takes no value", ErrBadRecovery)
+			}
+			r.Regrant = true
+		case "degrade":
+			if !hasVal {
+				return r, fmt.Errorf("%w: degrade wants a cycle threshold (degrade=C)", ErrBadRecovery)
+			}
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || v == 0 {
+				return r, fmt.Errorf("%w: bad degrade threshold %q", ErrBadRecovery, val)
+			}
+			r.Degrade = v
+		default:
+			return r, fmt.Errorf("%w: unknown policy %q (want retry, regrant or degrade)", ErrBadRecovery, part)
+		}
+	}
+	return r, nil
+}

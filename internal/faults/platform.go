@@ -1,0 +1,129 @@
+package faults
+
+// Platform-side injector: the HIL runner owns the injection sites (the
+// AXI link arbiter, the worker pool) and calls these decision
+// primitives from them. Every site is nil-gated on the injector, so a
+// fault-free run never touches this file.
+
+// AXIFault is the runtime state of one axi clause: the kind, the
+// per-opportunity rate, and the clause's private detrand stream. The
+// stream advances exactly once per draw, in clause order, at link-send
+// events — events both simulation loops evaluate at identical cycles —
+// so the fault sequence is identical on the fast and reference paths.
+type AXIFault struct {
+	Kind  string  // KindDrop, KindDelay or KindDup
+	Rate  float64 // probability per send
+	Delay uint64  // extra link-occupancy cycles (KindDelay)
+
+	seed uint64
+	n    uint64
+}
+
+// Hit advances the clause's stream by one draw and reports whether the
+// fault fires for this opportunity. Callers must draw every clause per
+// opportunity (no short-circuiting), or the streams desynchronize
+// between runs that differ only in unrelated clauses.
+func (a *AXIFault) Hit() bool {
+	a.n++
+	return drawFloat(a.seed, a.n) < a.Rate
+}
+
+// StopFault is one worker:failstop clause: worker Worker dies at Cycle
+// and never returns.
+type StopFault struct {
+	Worker  int
+	Cycle   uint64
+	Applied bool
+}
+
+// SlowWindow is one worker:slowdown clause: tasks dispatched to a
+// matching worker at a cycle in [From, Until) take Factor times as
+// long. Until is the open-ended maximum when the clause had no :lenL.
+type SlowWindow struct {
+	Factor uint64
+	Worker int // -1 = every worker
+	From   uint64
+	Until  uint64
+}
+
+// PlatformFaults is the platform-side injector for one run, built from
+// the plan's axi/worker clauses plus the recovery policy the runner
+// consults when a fault lands.
+type PlatformFaults struct {
+	AXI   []AXIFault
+	Stops []StopFault
+	Slows []SlowWindow
+	Rec   Recovery
+
+	// Fired reports whether any platform-side fault actually triggered.
+	Fired bool
+}
+
+// PlatformSide builds the platform-side injector, or nil when the plan
+// has no axi/worker clauses (the runner hot paths keep their nil fast
+// path; accelerator-side clauses live in PicosSide).
+func (p *Plan) PlatformSide(rec Recovery) *PlatformFaults {
+	if p.Empty() {
+		return nil
+	}
+	f := &PlatformFaults{Rec: rec}
+	for _, c := range p.Clauses {
+		switch {
+		case c.Layer == LayerAXI:
+			f.AXI = append(f.AXI, AXIFault{Kind: c.Kind, Rate: c.Rate, Delay: c.Delay, seed: c.Seed})
+		case c.Layer == LayerWorker && c.Kind == KindFailstop:
+			f.Stops = append(f.Stops, StopFault{Worker: c.Worker, Cycle: c.Cycle})
+		case c.Layer == LayerWorker && c.Kind == KindSlowdown:
+			until := ^uint64(0)
+			if c.Len > 0 {
+				until = c.Cycle + c.Len
+			}
+			f.Slows = append(f.Slows, SlowWindow{Factor: c.Factor, Worker: c.Worker, From: c.Cycle, Until: until})
+		}
+	}
+	if len(f.AXI) == 0 && len(f.Stops) == 0 && len(f.Slows) == 0 {
+		return nil
+	}
+	return f
+}
+
+// Reset rewinds every clause stream and flag for engine reuse.
+func (f *PlatformFaults) Reset() {
+	for i := range f.AXI {
+		f.AXI[i].n = 0
+	}
+	for i := range f.Stops {
+		f.Stops[i].Applied = false
+	}
+	f.Fired = false
+}
+
+// ScaleWorker applies any worker:slowdown window matching worker w at
+// dispatch cycle now to a task duration.
+func (f *PlatformFaults) ScaleWorker(w int, now, dur uint64) uint64 {
+	for i := range f.Slows {
+		s := &f.Slows[i]
+		if (s.Worker < 0 || s.Worker == w) && now >= s.From && now < s.Until {
+			dur *= s.Factor
+			f.Fired = true
+		}
+	}
+	return dur
+}
+
+// NextStop returns the earliest unapplied failstop cycle. Both
+// simulation loops feed it into their wake candidates so the kill is
+// evaluated at exactly its trigger cycle.
+func (f *PlatformFaults) NextStop() (uint64, bool) {
+	next, ok := uint64(0), false
+	for i := range f.Stops {
+		s := &f.Stops[i]
+		if s.Applied {
+			continue
+		}
+		if !ok || s.Cycle < next {
+			next, ok = s.Cycle, true
+		}
+	}
+	return next, ok
+}

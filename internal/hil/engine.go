@@ -1,6 +1,7 @@
 package hil
 
 import (
+	"repro/internal/faults"
 	"repro/internal/picos"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -48,6 +49,13 @@ func (e Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 		Order:      res.Order,
 		Wedged:     res.Wedged,
 		WedgedAt:   res.WedgedAt,
+		TimedOut:   res.TimedOut,
+
+		Faulted:        res.Faulted,
+		LostTasks:      res.LostTasks,
+		RecoveredTasks: res.RecoveredTasks,
+		RefusedTasks:   res.RefusedTasks,
+		RefusedIDs:     res.RefusedIDs,
 	}, nil
 }
 
@@ -100,6 +108,12 @@ func (e Engine) config(spec sim.Spec) (Config, error) {
 		cfg.Picos.Timing.ShardHop = uint64(spec.ShardHop)
 	} else if spec.ShardHop < 0 {
 		cfg.Picos.Timing.ShardHop = 0
+	}
+	if cfg.Faults, err = faults.ParsePlan(spec.Faults); err != nil {
+		return cfg, err
+	}
+	if cfg.Recovery, err = faults.ParseRecovery(spec.Recovery); err != nil {
+		return cfg, err
 	}
 	return cfg, nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/picos"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -138,6 +139,16 @@ type Config struct {
 	// parks. 0 means DefaultRunAhead; negative disables the bound
 	// (infinite run-ahead).
 	RunAhead int
+	// Faults is the parsed deterministic fault plan injected into the
+	// platform (AXI link, workers) and the accelerator (DCT, TRS); nil
+	// runs fault-free. Every injection site is nil-gated, so the
+	// fault-free path stays byte-identical and allocation-free — the
+	// equivalence and alloc suites enforce both.
+	Faults *faults.Plan
+	// Recovery is the recovery-policy set (bounded link retransmission,
+	// fail-stop worker regrant, gateway degrade) consulted when faults
+	// land.
+	Recovery faults.Recovery
 	// FastForward selects the event-driven fast path: the runner jumps
 	// the clock straight to the next worker completion, link delivery or
 	// accelerator-internal event instead of stepping every cycle. Results
@@ -189,6 +200,35 @@ type Result struct {
 	// was proven.
 	Wedged   bool
 	WedgedAt uint64
+
+	// TimedOut reports a watchdog expiry: no task started, finished,
+	// landed or was refused for Config.Watchdog cycles while a future
+	// event still existed (otherwise the wedge proof would have fired) —
+	// a livelock or pathological stall, distinct from the proven
+	// deadlock Wedged reports. Speedup is zeroed.
+	TimedOut bool
+
+	// Fault-injection outcome, all zero on fault-free runs.
+	// Faulted reports that at least one configured fault actually fired;
+	// a Wedged result with Faulted set is fault-induced, not a model
+	// deadlock.
+	Faulted bool
+	// LostTasks counts tasks permanently lost to faults: new/ready
+	// messages dropped past the retransmission budget and in-flight
+	// tasks of fail-stopped workers without the regrant policy.
+	LostTasks int
+	// RecoveredTasks counts recovery successes: dropped messages whose
+	// retransmission landed and fail-stopped tasks re-granted through
+	// the scheduling layer.
+	RecoveredTasks int
+	// RefusedTasks counts tasks refused at admission: structurally
+	// unadmittable dependence sets under the avoid-deadlock policies
+	// plus blocked heads popped by degrade recovery.
+	RefusedTasks int
+	// RefusedIDs lists the refused task IDs under avoid-deadlock-park
+	// (the parking policy keeps the descriptors for the host to act on;
+	// plain avoid-deadlock drops refusals after counting them).
+	RefusedIDs []uint32
 }
 
 // Platform is a reusable HIL engine: one accelerator model plus the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/picos"
 	"repro/internal/queue"
 	"repro/internal/sched"
@@ -22,9 +23,20 @@ const (
 
 type busMsg struct {
 	kind busMsgKind
+	dup  bool             // axi:dup copy; the receiver discards it
 	task uint32           // trace index (busNew)
 	rt   picos.ReadyTask  // busReady
 	h    picos.TaskHandle // busFin
+}
+
+// retryEntry is one dropped link message waiting for retransmission:
+// it becomes eligible at cycle at; attempt counts the sends so far.
+// The retransmission queue is FIFO — a due entry behind a later-due
+// head waits its turn, like any other head-of-line stream.
+type retryEntry struct {
+	at      uint64
+	attempt uint8
+	msg     busMsg
 }
 
 // deliveryBatch is how many link messages one delivery node can carry.
@@ -126,6 +138,27 @@ type runner struct {
 
 	done         int
 	lastProgress uint64
+
+	// Fault-injection state, all dormant on fault-free runs. flt is the
+	// platform-side injector (nil without axi/worker clauses); every use
+	// below is nil-gated so the fault-free hot path is untouched.
+	flt *faults.PlatformFaults
+	// retryQ holds dropped link messages awaiting retransmission under
+	// the retry recovery policy. retryNew counts the queued busNew
+	// entries: task submission order is the program order the
+	// dependence analysis relies on, so fresh new-task sends stall
+	// behind an outstanding submission retransmission (head-of-line),
+	// while ready grants and finish notifications — commutative across
+	// tasks — may overtake it.
+	retryQ   queue.FIFO[retryEntry]
+	retryNew int
+	// dead counts fail-stopped workers; lost/recovered/refused account
+	// tasks that can no longer produce a completion (see accounted).
+	dead       int
+	lost       int
+	recovered  int
+	refused    int
+	refusedIDs []uint32 // refused task IDs under avoid-deadlock-park
 }
 
 // reset prepares the runner for a run, reusing every allocation a
@@ -160,6 +193,15 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("hil: %w", err)
 	}
+	// Split the fault plan into its two injectors before the accelerator
+	// is configured: the dct/trs clauses (plus the degrade knob) ride
+	// inside picos.Config, the axi/worker clauses stay platform-side.
+	// Both are nil on a fault-free run, which keeps every injection site
+	// on its nil fast path and the reset allocation-free.
+	if cfg.Picos.Faults == nil {
+		cfg.Picos.Faults = cfg.Faults.PicosSide(cfg.Recovery)
+	}
+	r.flt = cfg.Faults.PlatformSide(cfg.Recovery)
 	if r.p == nil {
 		p, err := picos.New(cfg.Picos)
 		if err != nil {
@@ -224,6 +266,10 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	r.readyInFlight = 0
 	r.readyBacklog.Reset()
 	r.busFree, r.busSetup = 0, false
+	r.retryQ.Reset()
+	r.retryNew = 0
+	r.dead, r.lost, r.recovered, r.refused = 0, 0, 0, 0
+	r.refusedIDs = nil
 
 	n := len(tr.Tasks)
 	r.start = make([]uint64, n)
@@ -240,6 +286,13 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 			err := r.p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps)
 			if errors.Is(err, picos.ErrNewQFull) {
 				break
+			}
+			if errors.Is(err, picos.ErrUnadmittable) {
+				// Deadlock-avoidance admission refused the dependence
+				// set at submit; account it and keep feeding.
+				r.refuse(uint32(i))
+				r.feedNext = i + 1
+				continue
 			}
 			if err != nil {
 				return err
@@ -267,12 +320,35 @@ func (r *runner) scrub() {
 }
 
 // liveWork reports queued work that always makes progress by itself:
-// link messages and fetched tasks. Backpressured submissions (see
-// backpressured) are NOT included — they progress only while the
-// accelerator's new-task queue has room.
+// link messages, fetched tasks and pending retransmissions.
+// Backpressured submissions (see backpressured) are NOT included — they
+// progress only while the accelerator's new-task queue has room.
 func (r *runner) liveWork() bool {
 	return r.pendingNew.Len() > 0 || r.pendingFin.Len() > 0 || r.deliveries.Len() > 0 ||
-		r.readyBacklog.Len() > 0
+		r.readyBacklog.Len() > 0 || r.retryQ.Len() > 0
+}
+
+// accounted is the number of trace tasks that can no longer produce a
+// completion event: finished, refused at admission (structurally or by
+// degrade recovery inside the accelerator), or permanently lost to a
+// fault. The run loops terminate on accounted, not done, so a faulted
+// run with losses still drains instead of spinning forever.
+func (r *runner) accounted() int {
+	n := r.done + r.refused + r.lost
+	if f := r.cfg.Picos.Faults; f != nil {
+		n += int(f.Refused)
+	}
+	return n
+}
+
+// refuse accounts one admission refusal; under the parking policy the
+// task ID is kept for the Result so the host can see exactly which
+// descriptors to re-plan.
+func (r *runner) refuse(idx uint32) {
+	r.refused++
+	if r.cfg.Picos.Admission == picos.AdmitAvoidDeadlockPark {
+		r.refusedIDs = append(r.refusedIDs, r.tr.Tasks[idx].ID)
+	}
 }
 
 func (r *runner) pendingWork() bool {
@@ -307,7 +383,17 @@ func (r *runner) stepSubmits(now uint64) {
 			break
 		}
 		task := &r.tr.Tasks[idx]
-		if err := r.p.Submit(task.ID, task.Deps); err != nil {
+		err := r.p.Submit(task.ID, task.Deps)
+		if errors.Is(err, picos.ErrUnadmittable) {
+			r.parkedNew.Pop()
+			if r.cfg.Mode == FullSystem {
+				r.createdAhead--
+			}
+			r.refuse(idx)
+			r.lastProgress = now
+			continue
+		}
+		if err != nil {
 			return // queue refilled mid-loop; keep the descriptor parked
 		}
 		r.parkedNew.Pop()
@@ -318,7 +404,14 @@ func (r *runner) stepSubmits(now uint64) {
 	}
 	for r.parkedNew.Len() == 0 && r.feedNext < len(r.tr.Tasks) && r.p.NewQRoom() {
 		task := &r.tr.Tasks[r.feedNext]
-		if err := r.p.Submit(task.ID, task.Deps); err != nil {
+		err := r.p.Submit(task.ID, task.Deps)
+		if errors.Is(err, picos.ErrUnadmittable) {
+			r.refuse(uint32(r.feedNext))
+			r.feedNext++
+			r.lastProgress = now
+			continue
+		}
+		if err != nil {
 			return
 		}
 		r.feedNext++
@@ -340,15 +433,18 @@ func (r *runner) run() (*Result, error) {
 // against.
 func (r *runner) runRef() (*Result, error) {
 	n := len(r.tr.Tasks)
-	for r.done < n || !r.p.Idle() || r.pendingWork() {
+	for r.accounted() < n || !r.p.Idle() || r.pendingWork() {
 		now := r.p.Now()
+		if r.flt != nil {
+			r.applyStops(now)
+		}
 		r.stepWorkers(now)
 		r.stepDeliveries(now)
 		r.stepSubmits(now)
 		r.stepMaster(now)
 		r.stepBus(now)
 		r.dispatch(now)
-		if r.done < n && r.wedged(now) {
+		if r.accounted() < n && r.wedged(now) {
 			return r.wedgedResult(now), nil
 		}
 		if next, ok := r.quiescentUntil(now); ok && next > now+1 {
@@ -356,8 +452,8 @@ func (r *runner) runRef() (*Result, error) {
 		} else {
 			r.p.Step()
 		}
-		if err := r.checkWatchdog(); err != nil {
-			return nil, err
+		if r.watchdogExpired() {
+			return r.timedOutResult(), nil
 		}
 	}
 	return r.result(), nil
@@ -374,7 +470,17 @@ func (r *runner) wedged(now uint64) bool {
 	if !r.p.Idle() {
 		return false
 	}
-	if r.liveWork() {
+	// Link messages, pending retransmissions and in-flight deliveries
+	// always make progress by themselves.
+	if r.pendingNew.Len() > 0 || r.pendingFin.Len() > 0 || r.deliveries.Len() > 0 ||
+		r.retryQ.Len() > 0 {
+		return false
+	}
+	// Fetched or re-granted ready tasks are waiting work only while a
+	// worker survives to take them: a fault plan that fail-stops every
+	// worker leaves them provably stranded.
+	alive := r.dead < r.cfg.Workers
+	if alive && r.readyBacklog.Len() > 0 {
 		return false
 	}
 	// Parked or unfed tasks can still progress only while the new-task
@@ -390,8 +496,8 @@ func (r *runner) wedged(now uint64) bool {
 	}
 	// Ready tasks buffered platform-side are waiting work: with every
 	// kind's class coverage validated at reset, a grantable pairing (or
-	// a busy worker that will free one) always exists.
-	if r.poolReady() > 0 {
+	// a busy worker that will free one) always exists among survivors.
+	if alive && r.poolReady() > 0 {
 		return false
 	}
 	// A master with tasks left to create is alive only while its
@@ -401,7 +507,7 @@ func (r *runner) wedged(now uint64) bool {
 		(r.masterWindowOpen() || r.masterFree > now) {
 		return false
 	}
-	if r.p.ReadyCount() > 0 {
+	if alive && r.p.ReadyCount() > 0 {
 		return false
 	}
 	if _, ok := r.p.NextEvent(); ok {
@@ -436,8 +542,11 @@ func (r *runner) wedgedResult(now uint64) *Result {
 //picos:hotpath
 func (r *runner) runFast() (*Result, error) {
 	n := len(r.tr.Tasks)
-	for r.done < n || !r.p.Idle() || r.pendingWork() {
+	for r.accounted() < n || !r.p.Idle() || r.pendingWork() {
 		now := r.p.Now()
+		if r.flt != nil {
+			r.applyStops(now)
+		}
 		r.stepWorkers(now)
 		r.stepDeliveries(now)
 		r.stepSubmits(now)
@@ -458,8 +567,8 @@ func (r *runner) runFast() (*Result, error) {
 			}
 			r.p.RunToReady(target)
 			if r.p.Now() > now {
-				if err := r.checkWatchdog(); err != nil {
-					return nil, err
+				if r.watchdogExpired() {
+					return r.timedOutResult(), nil
 				}
 				continue
 			}
@@ -467,7 +576,7 @@ func (r *runner) runFast() (*Result, error) {
 			// platform-side candidates.
 		}
 		if !ok {
-			if r.done == n && !r.pendingWork() {
+			if r.accounted() == n && !r.pendingWork() {
 				// All external traffic is finished: let the accelerator
 				// drain its remaining finish walks and releases, exactly
 				// what the reference loop steps through before its Idle()
@@ -481,21 +590,29 @@ func (r *runner) runFast() (*Result, error) {
 			return r.wedgedResult(now), nil
 		}
 		r.p.RunTo(next)
-		if err := r.checkWatchdog(); err != nil {
-			return nil, err
+		if r.watchdogExpired() {
+			return r.timedOutResult(), nil
 		}
 	}
 	return r.result(), nil
 }
 
-// checkWatchdog errors when no task has started or finished for more
-// than the configured number of cycles.
-func (r *runner) checkWatchdog() error {
-	if r.p.Now()-r.lastProgress > r.cfg.Watchdog {
-		return fmt.Errorf("hil: watchdog at cycle %d (done %d/%d, inflight %d, ready %d)",
-			r.p.Now(), r.done, len(r.tr.Tasks), r.p.InFlight(), r.p.ReadyCount())
-	}
-	return nil
+// watchdogExpired reports that no task has started, finished, landed
+// or been refused for more than the configured number of cycles.
+func (r *runner) watchdogExpired() bool {
+	return r.p.Now()-r.lastProgress > r.cfg.Watchdog
+}
+
+// timedOutResult reports a watchdog expiry as a structured partial
+// result: the run made no progress for Watchdog cycles while a future
+// event still existed (otherwise the wedge proof would have fired), so
+// this is a livelock or pathological stall, not a proven deadlock —
+// and, when a fault fired, possibly fault-induced starvation.
+func (r *runner) timedOutResult() *Result {
+	res := r.result()
+	res.TimedOut = true
+	res.Speedup = 0 // meaningless for a partial schedule
+	return res
 }
 
 // readyInterest reports whether the platform would act on a task
@@ -572,9 +689,23 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 		consider(st.at)
 	}
 	if r.cfg.Mode != HWOnly && r.busFree > now &&
-		(r.pendingFin.Len() > 0 || r.pendingNew.Len() > 0 ||
+		(r.pendingFin.Len() > 0 || r.pendingNew.Len() > 0 || r.retryQ.Len() > 0 ||
 			(interested && r.p.ReadyCount() > 0)) {
 		consider(r.busFree)
+	}
+	if r.flt != nil {
+		// A pending failstop and a due retransmission are real events
+		// both loops must evaluate at. A failstop is only an event while
+		// unaccounted tasks remain: once every task is done, refused or
+		// lost there is no in-flight work a kill could touch, and jumping
+		// to a trigger cycle beyond the schedule would only starve the
+		// watchdog.
+		if c, sok := r.flt.NextStop(); sok && r.accounted() < len(r.tr.Tasks) {
+			consider(c)
+		}
+		if e, eok := r.retryQ.Peek(); eok {
+			consider(e.at)
+		}
 	}
 	if r.backpressured() {
 		// Parked or unfed tasks wait for new-task queue space, which
@@ -652,6 +783,11 @@ func (r *runner) stepDeliveries(now uint64) {
 //
 //picos:hotpath
 func (r *runner) landMsg(msg busMsg) {
+	if msg.dup {
+		// The duplicate of an axi:dup fault: it paid its bandwidth on
+		// the link; the receiver's dedup discards the payload.
+		return
+	}
 	switch msg.kind {
 	case busNew:
 		if r.parkedNew.Len() > 0 {
@@ -668,6 +804,11 @@ func (r *runner) landMsg(msg busMsg) {
 			// registration is never dropped — losing it would wedge
 			// the run and fail the drain check.
 			r.parkedNew.Push(msg.task)
+		case errors.Is(err, picos.ErrUnadmittable):
+			r.refuse(msg.task)
+			if r.cfg.Mode == FullSystem {
+				r.createdAhead--
+			}
 		case err != nil:
 			// Traces are validated before the run, so a non-capacity
 			// rejection is impossible; if the model ever produces
@@ -739,17 +880,33 @@ func (r *runner) stepBus(now uint64) {
 		r.busFree = now + c.Setup
 		return
 	}
+	if r.flt != nil {
+		// Retransmissions of dropped messages go out ahead of fresh
+		// traffic: they are the oldest granted transfers on the link.
+		if e, ok := r.retryQ.Peek(); ok && e.at <= now {
+			r.retryQ.Pop()
+			if e.msg.kind == busNew {
+				r.retryNew-- // re-dropped resends re-count in loseOrRetry
+			}
+			r.resend(now, e)
+			return
+		}
+	}
 	if r.readyInterest() {
 		if rt, ok := r.p.PopReady(); ok {
 			r.readyInFlight++
-			r.busFree = now + c.FetchReadyOcc
-			r.pushDelivery(r.busFree+c.Flight, busMsg{kind: busReady, rt: rt})
+			r.send(now, c.FetchReadyOcc, busMsg{kind: busReady, rt: rt})
 			return
 		}
 	}
 	if h, ok := r.pendingFin.Pop(); ok {
-		r.busFree = now + c.SendFinOcc
-		r.pushDelivery(r.busFree+c.Flight, busMsg{kind: busFin, h: h})
+		r.send(now, c.SendFinOcc, busMsg{kind: busFin, h: h})
+		return
+	}
+	if r.flt != nil && r.retryNew > 0 {
+		// An earlier submission is still in the retransmission queue:
+		// sending a fresh one now would deliver tasks out of program
+		// order and corrupt the dependence registration downstream.
 		return
 	}
 	if st, ok := r.pendingNew.Peek(); ok && st.at <= now {
@@ -757,9 +914,21 @@ func (r *runner) stepBus(now uint64) {
 		// In Full-system mode the send occupancy was already paid on the
 		// master core (coupled resources); the link itself is still held
 		// for the transfer duration in both modes.
-		r.busFree = now + c.SendNewOcc
-		r.pushDelivery(r.busFree+c.Flight, busMsg{kind: busNew, task: st.idx})
+		r.send(now, c.SendNewOcc, busMsg{kind: busNew, task: st.idx})
 	}
+}
+
+// send occupies the link for occ cycles and schedules the delivery,
+// first giving the fault layer (when armed) its chance to drop, delay
+// or duplicate the transfer.
+//
+//picos:hotpath
+func (r *runner) send(now, occ uint64, msg busMsg) {
+	if r.flt != nil && r.sendFaulty(now, occ, msg) {
+		return
+	}
+	r.busFree = now + occ
+	r.pushDelivery(r.busFree+r.cfg.Comm.Flight, msg)
 }
 
 // dispatch hands ready tasks to idle workers: directly from the TS in
@@ -774,13 +943,7 @@ func (r *runner) stepBus(now uint64) {
 func (r *runner) dispatch(now uint64) {
 	if r.trivial {
 		for len(r.idleH) > 0 {
-			var rt picos.ReadyTask
-			var ok bool
-			if r.cfg.Mode == HWOnly {
-				rt, ok = r.p.PopReady()
-			} else {
-				rt, ok = r.readyBacklog.Pop()
-			}
+			rt, ok := r.popDispatchable()
 			if !ok {
 				return
 			}
@@ -789,13 +952,7 @@ func (r *runner) dispatch(now uint64) {
 		return
 	}
 	for {
-		var rt picos.ReadyTask
-		var ok bool
-		if r.cfg.Mode == HWOnly {
-			rt, ok = r.p.PopReady()
-		} else {
-			rt, ok = r.readyBacklog.Pop()
-		}
+		rt, ok := r.popDispatchable()
 		if !ok {
 			break
 		}
@@ -810,11 +967,32 @@ func (r *runner) dispatch(now uint64) {
 	}
 }
 
+// popDispatchable yields the next ready task the workers may take: the
+// TS directly in HW-only mode, the fetched backlog in the comm modes.
+// A fault-armed HW-only run drains the backlog first — it holds tasks
+// re-granted from fail-stopped workers, which never exists fault-free.
+//
+//picos:hotpath
+func (r *runner) popDispatchable() (picos.ReadyTask, bool) {
+	if r.cfg.Mode == HWOnly {
+		if r.flt != nil {
+			if rt, ok := r.readyBacklog.Pop(); ok {
+				return rt, true
+			}
+		}
+		return r.p.PopReady()
+	}
+	return r.readyBacklog.Pop()
+}
+
 //picos:hotpath
 func (r *runner) startWorkerAt(i int, rt picos.ReadyTask, now uint64) {
 	dur := r.tr.Tasks[rt.ID].Duration
 	if !r.trivial {
 		dur = r.pool.Scale(i, dur)
+	}
+	if r.flt != nil {
+		dur = r.flt.ScaleWorker(i, now, dur)
 	}
 	r.workers[i] = rt
 	r.busyH.Push(sched.Due{Until: now + dur, Idx: i})
@@ -842,13 +1020,19 @@ func (r *runner) poolReady() int {
 
 // busHasWork reports whether any message is waiting for the link.
 func (r *runner) busHasWork(now uint64) bool {
+	if r.flt != nil {
+		if e, ok := r.retryQ.Peek(); ok && e.at <= now {
+			return true
+		}
+	}
 	if r.readyInterest() && r.p.ReadyCount() > 0 {
 		return true
 	}
 	if r.pendingFin.Len() > 0 {
 		return true
 	}
-	if st, ok := r.pendingNew.Peek(); ok && st.at <= now {
+	if st, ok := r.pendingNew.Peek(); ok && st.at <= now &&
+		(r.flt == nil || r.retryNew == 0) {
 		return true
 	}
 	return false
@@ -907,8 +1091,17 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 		consider(st.at)
 	}
 	if r.busFree > now && (r.pendingFin.Len() > 0 || r.pendingNew.Len() > 0 ||
-		(r.p.ReadyCount() > 0 && r.readyInterest())) {
+		r.retryQ.Len() > 0 || (r.p.ReadyCount() > 0 && r.readyInterest())) {
 		consider(r.busFree)
+	}
+	if r.flt != nil {
+		// Same candidates as nextWake, same completion gate on the stop.
+		if c, sok := r.flt.NextStop(); sok && r.accounted() < len(r.tr.Tasks) {
+			consider(c)
+		}
+		if e, ok := r.retryQ.Peek(); ok {
+			consider(e.at)
+		}
 	}
 	if next == 0 {
 		return 0, false
@@ -949,6 +1142,22 @@ func (r *runner) result() *Result {
 	}
 	if res.Makespan > 0 {
 		res.Speedup = float64(res.Baseline) / float64(res.Makespan)
+	}
+	// Fault and refusal accounting; all stay zero on a fault-free run
+	// under the default admission policy, so the Result is byte-identical
+	// to the pre-fault-layer one.
+	res.LostTasks = r.lost
+	res.RecoveredTasks = r.recovered
+	res.RefusedTasks = r.refused
+	res.RefusedIDs = r.refusedIDs
+	if r.flt != nil && r.flt.Fired {
+		res.Faulted = true
+	}
+	if f := r.cfg.Picos.Faults; f != nil {
+		if f.Fired {
+			res.Faulted = true
+		}
+		res.RefusedTasks += int(f.Refused)
 	}
 	return res
 }

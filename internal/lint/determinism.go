@@ -17,9 +17,14 @@ import (
 //
 //  1. No nondeterministic source in non-test internal code: wall-clock
 //     reads (time.Now/Since/Until), process-seeded randomness (math/rand,
-//     math/rand/v2, crypto/rand) and environment reads (os.Getenv and
-//     friends) are forbidden. internal/detrand — the shared splitmix64
-//     hash — is the only sanctioned randomness.
+//     math/rand/v2, crypto/rand), environment reads (os.Getenv and
+//     friends) and process identity (os.Getpid — the classic ad-hoc
+//     seed) are forbidden. internal/detrand — the shared splitmix64
+//     hash — is the only sanctioned randomness. This is what keeps
+//     internal/faults honest: every fault draw (drop lotteries, delay
+//     jitter) must come from the plan's seeded detrand stream, so a
+//     fault plan replays the same perturbation cycle-for-cycle on both
+//     simulation loops.
 //
 //  2. No output in map order: a `for ... range m` over a map whose body
 //     emits (writes to an io.Writer, a strings.Builder, appends rendered
@@ -64,6 +69,8 @@ var forbiddenCalls = map[string]map[string]string{
 		"LookupEnv": "environment read",
 		"Environ":   "environment read",
 		"Hostname":  "host-dependent value",
+		"Getpid":    "process-dependent value",
+		"Getppid":   "process-dependent value",
 	},
 }
 

@@ -1,0 +1,33 @@
+// Package faults exercises the determinism analyzer on the shape of
+// code fault injection must never contain: an injector whose draws come
+// from ambient process state instead of the plan's seeded detrand
+// stream. Every source here would make a fault plan fire at different
+// cycles on the event-driven and cycle-stepped loops — the exact
+// byte-identity the equivalence suite proves.
+package faults
+
+import (
+	"math/rand" // want `import of math/rand`
+	"os"
+	"time"
+)
+
+// Injector is a mock fault injector with an ad-hoc seed.
+type Injector struct {
+	seed int64
+	rate float64
+}
+
+// NewInjector seeds from process identity and wall clock — the two
+// classic nondeterministic seed sources.
+func NewInjector(rate float64) *Injector {
+	seed := int64(os.Getpid())    // want `os\.Getpid: process-dependent value`
+	seed ^= time.Now().UnixNano() // want `time\.Now: wall-clock read`
+	return &Injector{seed: seed, rate: rate}
+}
+
+// Drop runs the drop lottery on process-seeded randomness instead of
+// the plan's detrand stream.
+func (in *Injector) Drop() bool {
+	return rand.Float64() < in.rate
+}

@@ -1,0 +1,60 @@
+// The fault-plan and admission sentinels mirror the simulator's new
+// typed errors (faults.ErrBadPlan, faults.ErrBadRecovery,
+// picos.ErrUnadmittable): parse and submit sites branch on them, and
+// the moment a caller wraps the rejection with context every identity
+// comparison silently turns false. One finding per sentinel.
+package unit
+
+import "errors"
+
+// ErrBadPlan is the typed parse error for a malformed fault plan.
+var ErrBadPlan = errors.New("unit: malformed fault plan")
+
+// ErrBadRecovery is the typed parse error for a malformed recovery
+// policy.
+var ErrBadRecovery = errors.New("unit: malformed recovery policy")
+
+// ErrUnadmittable is the admission refusal for a dependence set that
+// cannot fit any DM set.
+var ErrUnadmittable = errors.New("unit: task dependence set unadmittable")
+
+func parsePlan(s string) error {
+	if s == "bad" {
+		return ErrBadPlan
+	}
+	if s == "worse" {
+		return ErrBadRecovery
+	}
+	return nil
+}
+
+func submit(deps int) error {
+	if deps > 8 {
+		return ErrUnadmittable
+	}
+	return nil
+}
+
+// badFaultHandling compares each sentinel by identity.
+func badFaultHandling(plan string, deps int) bool {
+	err := parsePlan(plan)
+	if err == ErrBadPlan { // want `ErrBadPlan compared with ==`
+		return false
+	}
+	if ErrBadRecovery != err { // want `ErrBadRecovery compared with !=`
+		return false
+	}
+	switch submit(deps) {
+	case ErrUnadmittable: // want `switch case compares ErrUnadmittable by identity`
+		return false
+	}
+	return true
+}
+
+// goodFaultHandling is the sanctioned form for all three.
+func goodFaultHandling(plan string, deps int) bool {
+	if err := parsePlan(plan); errors.Is(err, ErrBadPlan) || errors.Is(err, ErrBadRecovery) {
+		return false
+	}
+	return !errors.Is(submit(deps), ErrUnadmittable)
+}

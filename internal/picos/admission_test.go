@@ -1,0 +1,92 @@
+package picos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// sameSetDeps returns n dependences whose addresses all hash to DM set
+// 0 under the direct low-bits index (multiples of 256: addr>>2 is a
+// multiple of 64).
+func sameSetDeps(n int) []trace.Dep {
+	deps := make([]trace.Dep, n)
+	for i := range deps {
+		deps[i] = trace.Dep{Addr: uint64(i+1) * 256, Dir: trace.In}
+	}
+	return deps
+}
+
+// TestSubmitRefusesUnadmittable: under the avoid-deadlock admission
+// policies, Submit computes at submit time whether the dependence set
+// can fit any DM set — 9 same-set addresses on an 8-way DM cannot — and
+// refuses with the typed ErrUnadmittable without queueing anything. The
+// default credits policy performs no such check and accepts the same
+// task (it would wedge later, which is exactly the hazard the policy
+// exists to avoid).
+func TestSubmitRefusesUnadmittable(t *testing.T) {
+	overfull := sameSetDeps(9)
+	fits := sameSetDeps(8)
+
+	for _, adm := range []AdmissionPolicy{AdmitAvoidDeadlock, AdmitAvoidDeadlockPark} {
+		cfg := DefaultConfig()
+		cfg.Design = DM8Way
+		cfg.Admission = adm
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Submit(0, overfull); !errors.Is(err, ErrUnadmittable) {
+			t.Errorf("%v: 9 same-set deps on 8 ways: got %v, want ErrUnadmittable", adm, err)
+		}
+		if p.stats.TasksSubmitted != 0 {
+			t.Errorf("%v: refused task was counted as submitted", adm)
+		}
+		if err := p.Submit(1, fits); err != nil {
+			t.Errorf("%v: 8 same-set deps fit 8 ways, got %v", adm, err)
+		}
+	}
+
+	cfg := DefaultConfig()
+	cfg.Design = DM8Way
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(0, overfull); err != nil {
+		t.Errorf("credits admission has no feasibility check, got %v", err)
+	}
+}
+
+// TestUnadmittableRespectsHashAndSharding: the feasibility check must
+// use the configured hash (P+8way's Pearson fold spreads the aligned
+// addresses that collide under the direct index) and the shard map (on
+// a sharded fabric only same-shard collisions contend for ways).
+func TestUnadmittableRespectsHashAndSharding(t *testing.T) {
+	overfull := sameSetDeps(9)
+
+	cfg := DefaultConfig() // P+8way
+	cfg.Admission = AdmitAvoidDeadlock
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(0, overfull); err != nil {
+		t.Errorf("P+8way spreads the aligned set, got %v", err)
+	}
+
+	cfg = DefaultConfig()
+	cfg.Design = DM8Way
+	cfg.Admission = AdmitAvoidDeadlock
+	cfg.NumDCT = 4
+	p, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The xor-fold shard hash distributes the 9 aligned addresses over
+	// the 4 shards, so no single shard's set sees more than 8 of them.
+	if err := p.Submit(0, overfull); err != nil {
+		t.Errorf("4-shard fabric splits the set demand, got %v", err)
+	}
+}

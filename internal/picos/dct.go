@@ -217,6 +217,9 @@ func (u *dctUnit) step(now uint64) {
 }
 
 func (u *dctUnit) consume(now, cost uint64) uint64 {
+	if f := u.p.cfg.Faults; f != nil {
+		cost = f.ScaleDCT(int(u.id), cost)
+	}
 	u.busyUntil = now + cost
 	u.busy += cost
 	u.p.markDirty(u.hid)
@@ -354,11 +357,19 @@ func (u *dctUnit) tryNewDep(pkt newDepPkt, now uint64) stallKind {
 // when the version drains, wake the next version's producer and recycle
 // the entries.
 func (u *dctUnit) handleFinish(pkt finishDepPkt, now uint64) {
-	done := now + u.timing.DCTFinDep
+	cost := u.timing.DCTFinDep
+	leakCredit := false
+	if f := u.p.cfg.Faults; f != nil {
+		cost = f.ScaleDCT(int(u.id), cost)
+		leakCredit = f.LeakCredit(int(u.id))
+	}
+	done := now + cost
 	u.busyUntilFin = done
-	u.busy += u.timing.DCTFinDep
+	u.busy += cost
 	u.p.noteBusy(done)
-	u.p.gw.returnCredit(u.id)
+	if !leakCredit {
+		u.p.gw.returnCredit(u.id)
+	}
 	if u.hasParked && u.busyUntil > now {
 		// This release may free the parked dependence's set, but the
 		// registration engine is mid-operation: owe a retry at the cycle
@@ -408,6 +419,12 @@ func (u *dctUnit) completeVersion(idx uint16, at uint64) {
 		e.count--
 	} else {
 		u.dm.free(v.dm)
+	}
+	if f := u.p.cfg.Faults; f != nil && f.LeakVM(int(u.id)) {
+		// Version-slot leak: the write-back that recycles this VM entry
+		// is lost, so the slot stays occupied for the rest of the run —
+		// capacity pressure the credit pool never sees.
+		return
 	}
 	u.vm.release(idx)
 }

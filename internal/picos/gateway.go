@@ -35,9 +35,10 @@ type gateway struct {
 	busyUntil    uint64 // new-task engine
 	busyUntilFin uint64 // finished-task engine (independent datapath)
 	busy         uint64
-	blocked      bool  // admission-blocked on the head of newQ
-	need         []int // admit scratch: per-DCT credit demand
-	hid          int32 // horizon-heap slot
+	blocked      bool   // admission-blocked on the head of newQ
+	blockedAt    uint64 // cycle the current blocked stretch began
+	need         []int  // admit scratch: per-DCT credit demand
+	hid          int32  // horizon-heap slot
 }
 
 func newGateway(p *Picos) *gateway {
@@ -73,6 +74,7 @@ func (g *gateway) reset() {
 	g.rrTRS = 0
 	g.busyUntil, g.busyUntilFin, g.busy = 0, 0, 0
 	g.blocked = false
+	g.blockedAt = 0
 }
 
 // returnCredit is called by a DCT when it has processed one release.
@@ -102,12 +104,25 @@ func (g *gateway) step(now uint64) {
 			g.blocked = false
 			return
 		}
+		if f := p.cfg.Faults; f != nil && f.Degrade > 0 && g.blocked && now >= g.blockedAt+f.Degrade {
+			// Graceful degradation: the head has been inadmissible for
+			// the whole degrade window (leaked credits or version slots
+			// on a sick shard will never come back), so refuse it and
+			// let the surviving shards keep serving instead of wedging.
+			g.newQ.pop(now)
+			g.blocked = false
+			f.Refused++
+			f.Fired = true
+			p.markDirty(g.hid)
+			continue
+		}
 		trsID, slot, admitted := g.admit(t.deps)
 		if !admitted {
 			if !g.blocked {
 				// The head leaves the horizon until an external finish
 				// frees resources.
 				g.blocked = true
+				g.blockedAt = now
 				p.markDirty(g.hid)
 			}
 			p.stats.GWBlockedCycles++
@@ -170,7 +185,10 @@ func (g *gateway) step(now uint64) {
 // reservation to a TRS slot; if no slot is free the reservation is
 // rolled back and the task retries, leaving the pools untouched.
 func (g *gateway) admit(deps []trace.Dep) (uint8, uint16, bool) {
-	credits := g.p.cfg.Admission == AdmitCredits
+	// The avoid-deadlock policies keep the credit reservation: the
+	// submit-time feasibility check replaces only the wedge, not the
+	// version-store flow control.
+	credits := g.p.cfg.Admission != AdmitSlotsOnly
 	need := g.need
 	if credits {
 		for i := range need {
@@ -223,6 +241,14 @@ func (g *gateway) nextEvent() (uint64, bool) {
 			next, ok = c, true
 		}
 	}
+	// A blocked head under degrade recovery makes progress on its own:
+	// the refusal pop fires at the end of the degrade window, so the
+	// deadline is a real event the fast path must step at.
+	if f := g.p.cfg.Faults; f != nil && f.Degrade > 0 && g.blocked {
+		if c := g.blockedAt + f.Degrade; !ok || c < next {
+			next, ok = c, true
+		}
+	}
 	return next, ok
 }
 
@@ -234,6 +260,11 @@ func (g *gateway) active(now uint64) bool {
 	if g.newQ.empty() {
 		return false
 	}
-	// A blocked head only unblocks via external finish notifications.
+	// A blocked head only unblocks via external finish notifications —
+	// unless degrade recovery is armed, in which case the refusal pop
+	// at the window deadline is progress the GW makes by itself.
+	if f := g.p.cfg.Faults; f != nil && f.Degrade > 0 {
+		return true
+	}
 	return !g.blocked
 }

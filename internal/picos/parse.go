@@ -41,8 +41,12 @@ func ParseAdmission(s string) (AdmissionPolicy, error) {
 		return AdmitCredits, nil
 	case "slots":
 		return AdmitSlotsOnly, nil
+	case "avoid-deadlock":
+		return AdmitAvoidDeadlock, nil
+	case "avoid-deadlock-park":
+		return AdmitAvoidDeadlockPark, nil
 	default:
-		return 0, fmt.Errorf("picos: unknown admission policy %q (want credits or slots)", s)
+		return 0, fmt.Errorf("picos: unknown admission policy %q (want credits, slots, avoid-deadlock or avoid-deadlock-park)", s)
 	}
 }
 

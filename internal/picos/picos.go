@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,12 @@ type Config struct {
 	// ShardHash selects how addresses are partitioned across DCT shards
 	// when NumDCT > 1 (single-DCT builds never consult it).
 	ShardHash ShardHash
+	// Faults is the accelerator-side fault injector built from the
+	// run's fault plan (faults.Plan.PicosSide), or nil for the normal
+	// fault-free build. Every injection site is nil-gated, so a nil
+	// injector leaves the hot paths byte-identical to a build without
+	// the faults package.
+	Faults *faults.PicosFaults
 }
 
 // ShardHash selects the address-to-shard partition function of a
@@ -138,7 +145,26 @@ const (
 	// capacity pressure becomes visible as conflicts, as in Table II's
 	// Heat rows).
 	AdmitSlotsOnly
+	// AdmitAvoidDeadlock is the paper discussion's deadlock-avoidance
+	// policy: on top of the credit reservation, Submit computes whether
+	// the task's dependence set can fit any DM set under the design's
+	// hash — a task with more same-(shard,set) addresses than the DM
+	// has ways can never finish registering — and refuses it with
+	// ErrUnadmittable instead of letting it wedge the fabric. Refused
+	// descriptors are dropped by the platform.
+	AdmitAvoidDeadlock
+	// AdmitAvoidDeadlockPark is AdmitAvoidDeadlock with the other
+	// refusal policy: the platform parks refused descriptors and
+	// reports their IDs in the result instead of dropping them, so a
+	// front-end can re-route them to a differently-provisioned fabric.
+	AdmitAvoidDeadlockPark
 )
+
+// AvoidsDeadlock reports whether the policy performs the submit-time
+// DM-set feasibility check.
+func (a AdmissionPolicy) AvoidsDeadlock() bool {
+	return a == AdmitAvoidDeadlock || a == AdmitAvoidDeadlockPark
+}
 
 // DefaultConfig returns the paper's baseline prototype: one TRS, one DCT
 // with the Pearson 8-way DM, FIFO scheduling, calibrated timing.
@@ -271,6 +297,9 @@ func (p *Picos) Reset(cfg Config) error {
 	p.now = 0
 	p.maxBusy = 0
 	p.stats = Stats{}
+	if cfg.Faults != nil {
+		cfg.Faults.Reset()
+	}
 
 	for i := cfg.NumTRS; i < len(p.trs); i++ {
 		p.trs[i] = nil
@@ -542,6 +571,41 @@ func (p *Picos) StepTo(cycle uint64) {
 // surfaces as a harness bug.
 var ErrNewQFull = errors.New("picos: new-task queue full")
 
+// ErrUnadmittable is returned by Submit under the avoid-deadlock
+// admission policies when the task's dependence set provably cannot fit
+// the dependence memory: more of its addresses hash to one (shard, DM
+// set) pair than the design has ways, so registration could never
+// complete and the task would wedge the fabric. The task was NOT
+// queued; the caller decides whether to drop or park the descriptor
+// (match with errors.Is).
+var ErrUnadmittable = errors.New("picos: task dependence set cannot fit any DM set under this design")
+
+// unadmittable is the avoid-deadlock feasibility check: it reports
+// whether any (shard, DM set) pair is demanded by more dependences than
+// the design has ways. The check is stateless — it depends only on the
+// addresses and the configured hash — so both submit-side loops agree
+// and a refused task is refused on every engine identically.
+func (p *Picos) unadmittable(deps []trace.Dep) bool {
+	ways := p.cfg.Design.Ways()
+	if len(deps) <= ways {
+		return false
+	}
+	for i := range deps {
+		shard := p.dctOf(deps[i].Addr)
+		set := p.dct[shard].dm.index(deps[i].Addr)
+		n := 1
+		for j := 0; j < i; j++ {
+			if p.dctOf(deps[j].Addr) == shard && p.dct[shard].dm.index(deps[j].Addr) == set {
+				n++
+			}
+		}
+		if n > ways {
+			return true
+		}
+	}
+	return false
+}
+
 // Submit pushes a new task into the GW's new-task queue (N1), which
 // models the memory-mapped submission buffer. With the default unbounded
 // queue it fails only for tasks the hardware cannot represent: more than
@@ -563,6 +627,9 @@ func (p *Picos) Submit(id uint32, deps []trace.Dep) error {
 				return fmt.Errorf("picos: task %d repeats dependence address %#x", id, deps[i].Addr)
 			}
 		}
+	}
+	if p.cfg.Admission.AvoidsDeadlock() && p.unadmittable(deps) {
+		return ErrUnadmittable
 	}
 	if !p.NewQRoom() {
 		return ErrNewQFull

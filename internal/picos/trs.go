@@ -72,6 +72,13 @@ func (u *trsUnit) step(now uint64) {
 }
 
 func (u *trsUnit) consume(now, cost uint64) uint64 {
+	if f := u.p.cfg.Faults; f != nil {
+		// A trs:stall clause extends the first packet this unit
+		// services at or after its trigger cycle; tying the stall to a
+		// real service event keeps both loops identical with no extra
+		// horizon bookkeeping.
+		cost += f.StallDelay(int(u.id), now)
+	}
 	u.busyUntil = now + cost
 	u.busy += cost
 	u.p.markDirty(u.hid)

@@ -52,6 +52,53 @@ func (h *IdleHeap) Pop() int {
 	return top
 }
 
+// Remove deletes worker index v from the heap, reporting whether it
+// was present. O(n) scan plus sift-down — acceptable because only the
+// fault layer's fail-stop path calls it, never normal dispatch.
+func (h *IdleHeap) Remove(v int) bool {
+	s := *h
+	for i, w := range s {
+		if w != v {
+			continue
+		}
+		n := len(s) - 1
+		s[i] = s[n]
+		*h = s[:n]
+		s = s[:n]
+		if i == n {
+			return true
+		}
+		// Restore the heap property around i (the moved element may
+		// need to go either way; a full sift-down from i suffices after
+		// bubbling up once if it is smaller than its parent).
+		for i > 0 {
+			parent := (i - 1) / 2
+			if s[parent] <= s[i] {
+				break
+			}
+			s[i], s[parent] = s[parent], s[i]
+			i = parent
+		}
+		for {
+			left := 2*i + 1
+			if left >= n {
+				break
+			}
+			least := left
+			if right := left + 1; right < n && s[right] < s[left] {
+				least = right
+			}
+			if s[i] <= s[least] {
+				break
+			}
+			s[i], s[least] = s[least], s[i]
+			i = least
+		}
+		return true
+	}
+	return false
+}
+
 // Due is one busy worker: the cycle its task completes and its index.
 type Due struct {
 	Until uint64
@@ -63,6 +110,52 @@ func (a Due) less(b Due) bool {
 		return a.Until < b.Until
 	}
 	return a.Idx < b.Idx
+}
+
+// RemoveIdx deletes the entry for worker index idx from the heap,
+// returning it. Like IdleHeap.Remove this is an O(n) fault-path-only
+// operation: fail-stopping a busy worker must pull its completion
+// event so the dead worker never retires.
+func (h *DueHeap) RemoveIdx(idx int) (Due, bool) {
+	s := *h
+	for i := range s {
+		if s[i].Idx != idx {
+			continue
+		}
+		out := s[i]
+		n := len(s) - 1
+		s[i] = s[n]
+		*h = s[:n]
+		s = s[:n]
+		if i == n {
+			return out, true
+		}
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !s[i].less(s[parent]) {
+				break
+			}
+			s[i], s[parent] = s[parent], s[i]
+			i = parent
+		}
+		for {
+			left := 2*i + 1
+			if left >= n {
+				break
+			}
+			least := left
+			if right := left + 1; right < n && s[right].less(s[left]) {
+				least = right
+			}
+			if !s[least].less(s[i]) {
+				break
+			}
+			s[i], s[least] = s[least], s[i]
+			i = least
+		}
+		return out, true
+	}
+	return Due{}, false
 }
 
 // DueHeap is a min-heap of busy workers ordered by (Until, Idx): the

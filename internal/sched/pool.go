@@ -274,6 +274,17 @@ func (p *Pool[P]) Grant() (w int, it Item[P], ok bool) {
 	return w, it, ok
 }
 
+// Evict removes worker w from the idle freelist, reporting whether it
+// was parked. An evicted worker is simply never granted again — the
+// fault layer uses this to fail-stop a worker without leaving a dead
+// index in the pool's dispatch structures. Eviction does not shrink
+// Workers(): class bookkeeping and indices of the survivors are
+// untouched.
+func (p *Pool[P]) Evict(w int) bool {
+	_, ok := p.wakeWhere(func(cand int) bool { return cand == w })
+	return ok
+}
+
 // TakeFor removes and returns the task worker w (which must not be
 // parked) should run under the active policy, recording locality
 // history. Event-driven engines use it when a specific worker asks for

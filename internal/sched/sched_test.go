@@ -381,3 +381,91 @@ func TestPoolResetReuse(t *testing.T) {
 		t.Fatalf("grant after reset: %v %v", it, ok)
 	}
 }
+
+// TestIdleHeapRemove: the fault path pulls arbitrary worker indices out
+// of the idle heap; the remaining entries must still pop in ascending
+// order whatever position the victim held.
+func TestIdleHeapRemove(t *testing.T) {
+	for victim := 0; victim < 7; victim++ {
+		var h IdleHeap
+		for _, w := range []int{5, 1, 6, 3, 0, 4, 2} {
+			h.Push(w)
+		}
+		if !h.Remove(victim) {
+			t.Fatalf("Remove(%d) missed a present worker", victim)
+		}
+		if h.Remove(victim) {
+			t.Fatalf("Remove(%d) twice reported present", victim)
+		}
+		for want := 0; want < 7; want++ {
+			if want == victim {
+				continue
+			}
+			if got := h.Pop(); got != want {
+				t.Fatalf("after Remove(%d): popped %d, want %d", victim, got, want)
+			}
+		}
+	}
+	var empty IdleHeap
+	if empty.Remove(0) {
+		t.Fatal("Remove on an empty heap reported present")
+	}
+}
+
+// TestDueHeapRemoveIdx: fail-stopping a busy worker pulls its completion
+// entry; the survivors must keep retiring in (until, idx) order.
+func TestDueHeapRemoveIdx(t *testing.T) {
+	entries := []Due{{30, 0}, {10, 1}, {20, 2}, {10, 3}, {40, 4}}
+	for _, victim := range []int{0, 1, 3, 4} {
+		var h DueHeap
+		for _, e := range entries {
+			h.Push(e)
+		}
+		got, ok := h.RemoveIdx(victim)
+		if !ok || got.Idx != victim {
+			t.Fatalf("RemoveIdx(%d) = %+v, %v", victim, got, ok)
+		}
+		if _, ok := h.RemoveIdx(victim); ok {
+			t.Fatalf("RemoveIdx(%d) twice reported present", victim)
+		}
+		var prev Due
+		for i := 0; len(h) > 0; i++ {
+			e := h.Pop()
+			if i > 0 && e.less(prev) {
+				t.Fatalf("after RemoveIdx(%d): %+v popped after %+v", victim, e, prev)
+			}
+			prev = e
+		}
+	}
+}
+
+// TestPoolEvict: an evicted (fail-stopped) worker leaves the idle set
+// for good — grants skip it, and evicting a busy (non-parked) worker is
+// a no-op that reports absence.
+func TestPoolEvict(t *testing.T) {
+	p := pool(t, "3xw", FIFO, false, nil, nil)
+	for w := 0; w < 3; w++ {
+		p.Park(w)
+	}
+	if !p.Evict(1) {
+		t.Fatal("Evict missed an idle worker")
+	}
+	if p.Evict(1) {
+		t.Fatal("Evict twice reported present")
+	}
+	if p.Idle() != 2 {
+		t.Fatalf("Idle = %d after evict, want 2", p.Idle())
+	}
+	p.Enqueue(1, 0, 0)
+	p.Enqueue(2, 0, 0)
+	p.Enqueue(3, 0, 0)
+	if w, it, ok := p.Grant(); !ok || w != 0 || it.ID != 1 {
+		t.Fatalf("grant = worker %d task %d (%v), want worker 0 task 1", w, it.ID, ok)
+	}
+	if w, it, ok := p.Grant(); !ok || w != 2 || it.ID != 2 {
+		t.Fatalf("grant = worker %d task %d (%v), want worker 2 task 2 (1 evicted)", w, it.ID, ok)
+	}
+	if _, _, ok := p.Grant(); ok {
+		t.Fatal("granted to an evicted worker")
+	}
+}

@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
+)
+
+// TestAvoidDeadlockCompletesCase7: case7 on the direct-hash 8-way DM is
+// the canonical wedge (TestFastPathWedgeDetection) — its 15-same-set
+// bursts can never finish registering. The avoid-deadlock admission
+// policy must instead refuse exactly those bursts at submit time, as a
+// structural count, and complete every admittable task; the park
+// variant additionally reports the refused IDs so a front-end can
+// re-route the descriptors.
+func TestAvoidDeadlockCompletesCase7(t *testing.T) {
+	for _, engine := range equivalenceEngines {
+		t.Run(engine, func(t *testing.T) {
+			t.Parallel()
+			spec := sim.Spec{Engine: engine, Workload: "case7", Design: "8way",
+				Admission: "avoid-deadlock", Watchdog: 5_000_000}
+			res, err := sim.Run(spec)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Wedged || res.TimedOut {
+				t.Fatalf("avoid-deadlock still wedged: wedged=%v timedOut=%v", res.Wedged, res.TimedOut)
+			}
+			if res.RefusedTasks == 0 {
+				t.Fatal("case7's unadmittable bursts were not refused")
+			}
+			if len(res.RefusedIDs) != 0 {
+				t.Errorf("plain avoid-deadlock drops refusals, yet %d IDs reported", len(res.RefusedIDs))
+			}
+			done := 0
+			for _, f := range res.Finish {
+				if f > 0 {
+					done++
+				}
+			}
+			if done+res.RefusedTasks != len(res.Finish) {
+				t.Errorf("accounting hole: %d done + %d refused != %d tasks",
+					done, res.RefusedTasks, len(res.Finish))
+			}
+
+			park := spec
+			park.Admission = "avoid-deadlock-park"
+			pres, err := sim.Run(park)
+			if err != nil {
+				t.Fatalf("park Run: %v", err)
+			}
+			if pres.Wedged || pres.TimedOut {
+				t.Fatalf("park variant wedged: wedged=%v timedOut=%v", pres.Wedged, pres.TimedOut)
+			}
+			if pres.RefusedTasks != res.RefusedTasks {
+				t.Errorf("park refused %d, plain refused %d — the feasibility check must not depend on the refusal policy",
+					pres.RefusedTasks, res.RefusedTasks)
+			}
+			if len(pres.RefusedIDs) != pres.RefusedTasks {
+				t.Fatalf("park reported %d IDs for %d refusals", len(pres.RefusedIDs), pres.RefusedTasks)
+			}
+			for _, id := range pres.RefusedIDs {
+				if pres.Finish[id] > 0 {
+					t.Errorf("task %d both refused and finished", id)
+				}
+			}
+		})
+	}
+}

@@ -168,6 +168,36 @@ func TestFastPathEquivalenceKnobs(t *testing.T) {
 			s.Sched = "locality"
 			s.Steal = true
 		}},
+		// Deadlock-avoidance admission: case7's 15-same-set bursts are
+		// refused (structurally, in both loops identically) while the
+		// admittable remainder completes.
+		{"avoid-deadlock", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Admission = "avoid-deadlock" }},
+		{"avoid-deadlock-park-8way", []string{"case7"}, func(s *sim.Spec) {
+			s.Design = "8way"
+			s.Admission = "avoid-deadlock-park"
+		}},
+		// Fault plans: every injection — probabilistic link faults drawn
+		// at send events, cycle-triggered kills and stalls — must fire at
+		// identical cycles on both loops, and recovery (retransmission,
+		// regrant) must replay identically too. The armed-but-silent row
+		// pins the nil-gating: clauses that never trigger leave the run
+		// byte-identical to the matrix's fault-free baseline by
+		// construction (same Result JSON the other rows compare).
+		{"faults-silent", []string{"case4", "heat"}, func(s *sim.Spec) {
+			s.Faults = "worker:failstop=2@cycle9000000000+axi:drop=0.0@seed7"
+			s.Recovery = "retry=3:backoff200+regrant"
+		}},
+		{"faults-drop-retry", []string{"case4", "heat"}, func(s *sim.Spec) {
+			s.Faults = "axi:drop=0.01@seed7"
+			s.Recovery = "retry=3:backoff200"
+		}},
+		{"faults-link-noise", []string{"case4", "heat"}, func(s *sim.Spec) {
+			s.Faults = "axi:delay=0.05x300@seed2+axi:dup=0.02@seed3+trs:stall=5000@cycle20000"
+		}},
+		{"faults-failstop-regrant", []string{"sparselu", "heat"}, func(s *sim.Spec) {
+			s.Faults = "worker:failstop=2@cycle50000"
+			s.Recovery = "regrant"
+		}},
 	}
 	for _, engine := range equivalenceEngines {
 		for _, k := range knobs {

@@ -34,6 +34,27 @@ type Result struct {
 	Wedged   bool   `json:"wedged,omitempty"`
 	WedgedAt uint64 `json:"wedged_at,omitempty"`
 
+	// TimedOut reports a watchdog expiry (Picos HIL engines): no task
+	// started, finished, landed or was refused for Spec.Watchdog cycles
+	// while a future event still existed — a livelock or pathological
+	// stall, distinct from the proven deadlock Wedged reports. picos-sim
+	// exits with its own code (4) for this outcome.
+	TimedOut bool `json:"timed_out,omitempty"`
+
+	// Fault-injection outcome (Picos HIL engines; all zero fault-free).
+	// Faulted: at least one configured fault fired. LostTasks: tasks
+	// permanently lost (dropped messages past the retry budget,
+	// fail-stopped in-flight tasks without regrant). RecoveredTasks:
+	// recovery successes (retransmissions that landed, re-granted
+	// tasks). RefusedTasks: admission refusals (avoid-deadlock policies,
+	// degrade recovery); RefusedIDs lists them under
+	// admission=avoid-deadlock-park.
+	Faulted        bool     `json:"faulted,omitempty"`
+	LostTasks      int      `json:"lost_tasks,omitempty"`
+	RecoveredTasks int      `json:"recovered_tasks,omitempty"`
+	RefusedTasks   int      `json:"refused_tasks,omitempty"`
+	RefusedIDs     []uint32 `json:"refused_ids,omitempty"`
+
 	// Stats carries the accelerator counters (Picos engines only).
 	Stats *picos.Stats `json:"stats,omitempty"`
 	// LockBusy is the total cycles the runtime lock was held (nanos

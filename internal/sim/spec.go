@@ -56,7 +56,7 @@ type Spec struct {
 	// Picos accelerator knobs; ignored by nanos and perfect.
 	Design    string `json:"design,omitempty"`    // DM design: 8way, 16way, p8way (default)
 	Policy    string `json:"policy,omitempty"`    // TS policy: fifo (default), lifo
-	Admission string `json:"admission,omitempty"` // GW admission: credits (default), slots
+	Admission string `json:"admission,omitempty"` // GW admission: credits (default), slots, avoid-deadlock, avoid-deadlock-park
 	Wake      string `json:"wake,omitempty"`      // wake order: last-first (default), first-first
 	Conflict  string `json:"conflict,omitempty"`  // DM conflict handling: sidetrack (default), block
 	NumTRS    int    `json:"num_trs,omitempty"`   // TRS instances (default 1)
@@ -80,6 +80,17 @@ type Spec struct {
 
 	// Watchdog bounds the simulated cycle count (0: engine default).
 	Watchdog uint64 `json:"watchdog,omitempty"`
+
+	// Deterministic fault injection and recovery (the Picos HIL engines;
+	// nanos and perfect always run fault-free). Faults is a fault plan
+	// in the faults grammar — clauses joined by "+", e.g.
+	// "axi:drop=0.01@seed7+worker:failstop=2@cycle50000+dct:slowdown=4x:shard1"
+	// — and Recovery the recovery-policy set, e.g.
+	// "retry=3:backoff200+regrant+degrade=100000". Empty means
+	// fault-free, which is byte-identical to a run without the fault
+	// layer linked (the equivalence suite enforces it).
+	Faults   string `json:"faults,omitempty"`
+	Recovery string `json:"recovery,omitempty"`
 
 	// FastForward selects the event-driven fast path of the Picos HIL
 	// engines (nil or true: on, the default; false: force the per-cycle

@@ -37,6 +37,8 @@ func fullSpec() sim.Spec {
 		NewQDepth:     16,
 		RunAhead:      -1,
 		Watchdog:      1 << 30,
+		Faults:        "axi:drop=0.01@seed7+worker:failstop=2@cycle50000",
+		Recovery:      "retry=3:backoff200+regrant",
 		FastForward:   sim.Bool(false),
 	}
 }
