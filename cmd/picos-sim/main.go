@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 
 	_ "repro/internal/engines"
 )
@@ -49,6 +50,7 @@ func main() {
 		conflict = flag.String("conflict", "", "DM conflict handling: sidetrack (default), block")
 		newq     = flag.Int("newq", 0, "bound the accelerator's new-task submission buffer (0: unbounded)")
 		runAhead = flag.Int("runahead", 0, "Full-system creation run-ahead window (0: default 16, negative: unbounded)")
+		window   = flag.Int("window", 0, "stream the workload under this bounded descriptor window (created-but-unretired tasks; 0: materialized whole-trace run)")
 		watchdog = flag.Uint64("watchdog", 0, "abort the run after this many simulated cycles (0: engine default)")
 		faultsFl = flag.String("faults", "", "deterministic fault plan, e.g. axi:drop=0.01@seed7+worker:failstop=2@cycle50000")
 		recovery = flag.String("recovery", "", "recovery policies, e.g. retry=3:backoff200+regrant+degrade=100000")
@@ -95,6 +97,7 @@ func main() {
 		ShardHop:      *shop,
 		NewQDepth:     *newq,
 		RunAhead:      *runAhead,
+		Window:        *window,
 		Watchdog:      *watchdog,
 		Faults:        *faultsFl,
 		Recovery:      *recovery,
@@ -115,18 +118,35 @@ func main() {
 		fail(fmt.Errorf("one of -app, -case, -workload or -trace is required"))
 	}
 
-	tr, err := sim.BuildWorkload(spec)
+	var (
+		tr  *trace.Trace
+		res *sim.Result
+		err error
+	)
+	if *window > 0 {
+		// Streaming: the workload is built as a lazy Source and never
+		// materialized — a pattern grid of millions of tasks replays in
+		// O(window) memory. No whole trace exists afterwards, so the
+		// workload summary and the dependence-oracle verification (both
+		// of which need one) are unavailable on this path.
+		src, berr := sim.BuildWorkloadSource(spec)
+		if berr != nil {
+			fail(berr)
+		}
+		res, err = sim.RunSource(src, spec)
+	} else {
+		if tr, err = sim.BuildWorkload(spec); err != nil {
+			fail(err)
+		}
+		res, err = sim.RunTrace(tr, spec)
+	}
 	if err != nil {
 		fail(err)
 	}
-	res, err := sim.RunTrace(tr, spec)
-	if err != nil {
-		fail(err)
-	}
-	// Wedged, timed-out, faulted or refusal-bearing runs have only a
-	// partial (or perturbed) schedule, which the complete-run dependence
-	// oracle cannot judge.
-	partial := res.Wedged || res.TimedOut || res.Faulted || res.RefusedTasks > 0
+	// Wedged, timed-out, faulted, refusal-bearing or streamed runs have
+	// only a partial (or perturbed, or aggregate-only) schedule, which
+	// the complete-run dependence oracle cannot judge.
+	partial := res.Wedged || res.TimedOut || res.Faulted || res.RefusedTasks > 0 || tr == nil
 	verified := false
 	verifySkipped := *verify && partial
 	if *verify && !partial {
@@ -157,24 +177,33 @@ func main() {
 		return
 	}
 
-	s := tr.Summarize()
-	fmt.Printf("workload %s: %d tasks, %d-%d deps/task, avg size %.3g cycles, baseline %.3g cycles\n",
-		tr.Name, s.NumTasks, s.MinDeps, s.MaxDeps, s.AvgTaskSize, float64(tr.Baseline()))
+	if tr != nil {
+		s := tr.Summarize()
+		fmt.Printf("workload %s: %d tasks, %d-%d deps/task, avg size %.3g cycles, baseline %.3g cycles\n",
+			tr.Name, s.NumTasks, s.MinDeps, s.MaxDeps, s.AvgTaskSize, float64(tr.Baseline()))
+	} else {
+		fmt.Printf("workload %s: streamed under a %d-descriptor window, baseline %.3g cycles\n",
+			res.Workload, *window, float64(res.Baseline))
+	}
 	fmt.Printf("engine %s, %d workers\n", res.Engine, res.Workers)
 	switch {
 	case res.Wedged:
-		done := 0
-		for _, f := range res.Finish {
-			if f > 0 {
-				done++
-			}
-		}
 		kind := "proven deadlock"
 		if res.Faulted {
 			kind = "fault-induced deadlock"
 		}
-		fmt.Printf("WEDGED at cycle %d: %s, %d/%d tasks completed\n",
-			res.WedgedAt, kind, done, s.NumTasks)
+		if tr != nil {
+			done := 0
+			for _, f := range res.Finish {
+				if f > 0 {
+					done++
+				}
+			}
+			fmt.Printf("WEDGED at cycle %d: %s, %d/%d tasks completed\n",
+				res.WedgedAt, kind, done, tr.Summarize().NumTasks)
+		} else {
+			fmt.Printf("WEDGED at cycle %d: %s\n", res.WedgedAt, kind)
+		}
 	case res.TimedOut:
 		fmt.Printf("TIMED OUT: no progress for the watchdog window (livelock or starvation), makespan so far %d cycles\n",
 			res.Makespan)
@@ -200,7 +229,11 @@ func main() {
 		fmt.Println("schedule verified against the dependence oracle")
 	}
 	if verifySkipped {
-		fmt.Println("verification skipped: partial or fault-perturbed schedule")
+		if tr == nil {
+			fmt.Println("verification skipped: a streamed run keeps no schedule to verify")
+		} else {
+			fmt.Println("verification skipped: partial or fault-perturbed schedule")
+		}
 	}
 	exitOutcome(res)
 }

@@ -14,9 +14,12 @@
 // the class-weighted perfect roofline) and the resilience lane (cells
 // with a non-empty fault_plan or recovery field — deterministic AXI
 // drop rates x recovery policies with the software runtime as control
-// arm). This example is the single producer of BENCH_patterns.json; the
-// extra lanes render standalone via examples/shard-capacity,
-// examples/hetero-scaling and examples/resilience.
+// arm) and the wedge-frontier lane (cells with non-zero fields/k — the
+// dependence-fan sweep that charts where each DM design deadlocks under
+// worst-case address clustering). This example is the single producer
+// of BENCH_patterns.json; the extra lanes render standalone via
+// examples/shard-capacity, examples/hetero-scaling, examples/resilience
+// and examples/wedge-frontier.
 //
 //	go run ./examples/pattern-capacity-map            # full map + JSON
 //	go run ./examples/pattern-capacity-map -quick     # reduced grid
@@ -76,6 +79,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cells = append(cells, resilienceCells...)
+	wedgeCells, err := experiments.WedgeFrontierData(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells = append(cells, wedgeCells...)
 
 	wedged := 0
 	for _, c := range cells {

@@ -34,6 +34,11 @@ type CapacityCell struct {
 	// NumDCT is the DCT shard count of the shard-capacity lane; zero
 	// (omitted in JSON) marks the single-DCT capacity-map lanes.
 	NumDCT int `json:"num_dct,omitempty"`
+	// Wedge-frontier lane (wedge-frontier): the buffer-multiplicity and
+	// dependence-fan knobs of the run. Zero (omitted in JSON) marks the
+	// lanes that run the pattern families at their default fields/k.
+	Fields int `json:"fields,omitempty"`
+	K      int `json:"k,omitempty"`
 	// Heterogeneous-scheduling lane (hetero-scaling): the worker-class
 	// declaration, grant policy and steal flag of the run. Empty Classes
 	// marks the homogeneous capacity/shard lanes.

@@ -100,7 +100,7 @@ type ExperimentFunc func(Options) ([]*Table, error)
 var Names = []string{
 	"table1", "table2", "table3", "table4",
 	"fig1", "fig8", "fig9", "fig10", "fig11",
-	"capacity-map", "shard-capacity", "hetero-scaling", "resilience",
+	"capacity-map", "wedge-frontier", "shard-capacity", "hetero-scaling", "resilience",
 }
 
 var registry = map[string]ExperimentFunc{}

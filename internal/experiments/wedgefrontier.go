@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asciiplot"
+	"repro/internal/patterns"
+	"repro/internal/sim"
+)
+
+func init() {
+	Register("wedge-frontier", WedgeFrontier)
+}
+
+// The wedge-frontier sweep charts where each DM design stops being able
+// to hold a task's dependence set at all: the nearest family under the
+// worst-case aligned layout clusters every point buffer into a single
+// direct-hash set, so the k knob (the read-window width, hence the
+// per-task dependence count) walks straight into the design's
+// associativity while the fields knob switches between double-buffered
+// reads (fields=2, task-bench's default) and the in-place fields=1
+// variant whose buffers accumulate one VM version per step — the
+// heavier stress on the version chains. Somewhere along each axis a
+// design's admitted-but-unregistrable tasks turn from conflict stalls
+// into a proven deadlock; that boundary is the design's wedge frontier.
+var (
+	wedgeKs     = []int{1, 3, 5, 7, 9, 11, 13}
+	wedgeFields = []int{1, 2}
+)
+
+// wedgeFamily is the swept pattern family: nearest reads the k-wide
+// window of previous-step points centered on each point, making k the
+// direct dependence-fan knob (deps per task = window + the owner).
+const wedgeFamily = "nearest"
+
+// wedgePattern renders the sweep's workload spec for one (fields, k)
+// grid point. The row is wide enough that the largest window never
+// clamps at the edges for most points, and short enough that a full
+// (non-wedged) run stays cheap.
+func wedgePattern(fields, k int, layout string, opt Options) string {
+	width, steps := 64, 8
+	if opt.Quick {
+		width, steps = 16, 4
+	}
+	s := fmt.Sprintf("%s%s?width=%d&steps=%d&k=%d&fields=%d",
+		sim.PatternPrefix, wedgeFamily, width, steps, k, fields)
+	if layout != patterns.DefaultLayout {
+		s += "&layout=" + layout
+	}
+	return s
+}
+
+// WedgeFrontierData executes the wedge-frontier sweep: fields x k x DM
+// design on picos-hw under the worst-case aligned layout, normalized
+// per (fields, k) against the Perfect roofline (which is layout- and
+// design-blind: every layout maps point buffers to addresses
+// injectively, so the dependence graph is identical). Deadlocking grid
+// points surface as wedged cells, not errors — the frontier IS the
+// result. Cells carry Fields and K, distinguishing this lane in
+// BENCH_patterns.json from the default-parameter capacity map.
+func WedgeFrontierData(opt Options) ([]CapacityCell, error) {
+	ks := wedgeKs
+	if opt.Quick {
+		ks = []int{3, 13}
+	}
+
+	type point struct {
+		design string
+		fields int
+		k      int
+	}
+	var pts []point
+	var specs []sim.Spec
+	for _, d := range dmDesigns {
+		for _, f := range wedgeFields {
+			for _, k := range ks {
+				pts = append(pts, point{d.spec, f, k})
+				specs = append(specs, sim.Spec{
+					Engine:   "picos-hw",
+					Workload: wedgePattern(f, k, "aligned", opt),
+					Design:   d.spec,
+				})
+			}
+		}
+	}
+	// Perfect roofline, one run per (fields, k) pair (design-blind).
+	perfectIdx := make(map[[2]int]int, len(wedgeFields)*len(ks))
+	for _, f := range wedgeFields {
+		for _, k := range ks {
+			perfectIdx[[2]int{f, k}] = len(specs)
+			pts = append(pts, point{"", f, k})
+			specs = append(specs, sim.Spec{
+				Engine:   "perfect",
+				Workload: wedgePattern(f, k, patterns.DefaultLayout, opt),
+			})
+		}
+	}
+
+	results, err := sweep(opt, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]CapacityCell, 0, len(pts))
+	for i, pt := range pts {
+		if pt.design == "" {
+			continue // roofline
+		}
+		res := results[i]
+		cell := CapacityCell{
+			Family:   wedgeFamily,
+			Workload: specs[i].Workload,
+			Engine:   "picos-hw",
+			Design:   pt.design,
+			Layout:   "aligned",
+			Fields:   pt.fields,
+			K:        pt.k,
+			Wedged:   res.Wedged,
+			WedgedAt: res.WedgedAt,
+			Makespan: res.Makespan,
+			Speedup:  res.Speedup,
+		}
+		if st := res.Stats; st != nil {
+			cell.DMConflicts = st.DMConflicts
+			cell.VMStallEvents = st.VMStallEvents
+			cell.DMConflictStallCycles = st.DMConflictStallCycles
+			cell.VMStallCycles = st.VMStallCycles
+		}
+		if roof := results[perfectIdx[[2]int{pt.fields, pt.k}]]; !res.Wedged && roof.Speedup > 0 {
+			cell.SpeedupVsPerfect = res.Speedup / roof.Speedup
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// WedgeFrontierHeatmaps renders one fields x k heatmap per DM design:
+// speedup vs perfect, with wedged grid points missing — the XX band is
+// the design's wedge frontier at a glance.
+func WedgeFrontierHeatmaps(cells []CapacityCell) []*asciiplot.Heatmap {
+	designs := distinct(cells, nil, func(c CapacityCell) string { return c.Design })
+	ks := distinct(cells, nil, func(c CapacityCell) string { return fmt.Sprintf("%d", c.K) })
+	fields := distinct(cells, nil, func(c CapacityCell) string { return fmt.Sprintf("%d", c.Fields) })
+
+	xlabels := make([]string, len(ks))
+	for i, k := range ks {
+		xlabels[i] = "k" + k
+	}
+	ylabels := make([]string, len(fields))
+	for i, f := range fields {
+		ylabels[i] = "fields=" + f
+	}
+
+	var maps []*asciiplot.Heatmap
+	for _, d := range designs {
+		hm := &asciiplot.Heatmap{
+			Title:   fmt.Sprintf("wedge frontier: speedup vs perfect (%s, picos-hw, aligned layout)", d),
+			XLabels: xlabels,
+			YLabels: ylabels,
+			Missing: "XX",
+		}
+		for _, f := range fields {
+			row := make([]float64, len(ks))
+			for j, k := range ks {
+				row[j] = math.NaN()
+				for _, c := range cells {
+					if c.Design == d && fmt.Sprintf("%d", c.Fields) == f && fmt.Sprintf("%d", c.K) == k && !c.Wedged {
+						row[j] = c.SpeedupVsPerfect
+					}
+				}
+			}
+			hm.Cells = append(hm.Cells, row)
+		}
+		maps = append(maps, hm)
+	}
+	return maps
+}
+
+// WedgeFrontier is the registry entry: the sweep as one table per DM
+// design, rows = fields, columns = k values, wedged grid points
+// printing as WEDGE@<cycle> so each design's frontier reads directly
+// off the row.
+func WedgeFrontier(opt Options) ([]*Table, error) {
+	cells, err := WedgeFrontierData(opt)
+	if err != nil {
+		return nil, err
+	}
+	return WedgeFrontierTables(cells), nil
+}
+
+// WedgeFrontierTables renders already-computed wedge-frontier cells as
+// tables, so callers that also need the cells (the pattern-capacity-map
+// example) run the sweep exactly once.
+func WedgeFrontierTables(cells []CapacityCell) []*Table {
+	ks := distinct(cells, nil, func(c CapacityCell) string { return fmt.Sprintf("%d", c.K) })
+	fields := distinct(cells, nil, func(c CapacityCell) string { return fmt.Sprintf("%d", c.Fields) })
+	designs := distinct(cells, nil, func(c CapacityCell) string { return c.Design })
+
+	find := func(d, f, k string) *CapacityCell {
+		for i := range cells {
+			c := &cells[i]
+			if c.Design == d && fmt.Sprintf("%d", c.Fields) == f && fmt.Sprintf("%d", c.K) == k {
+				return c
+			}
+		}
+		return nil
+	}
+	header := append([]string{"Fields"}, func() []string {
+		out := make([]string, len(ks))
+		for i, k := range ks {
+			out[i] = "k=" + k
+		}
+		return out
+	}()...)
+
+	var tables []*Table
+	for _, d := range designs {
+		t := &Table{
+			Title:  fmt.Sprintf("Wedge frontier (%s, picos-hw, nearest family, aligned layout): conflicts / stall cycles / speedup-vs-perfect per dependence fan", d),
+			Header: header,
+		}
+		for _, f := range fields {
+			row := []string{f}
+			for _, k := range ks {
+				c := find(d, f, k)
+				switch {
+				case c == nil:
+					row = append(row, "-")
+				case c.Wedged:
+					row = append(row, fmt.Sprintf("WEDGE@%d", c.WedgedAt))
+				default:
+					row = append(row, fmt.Sprintf("%d / %.2g / %.2f",
+						c.DMConflicts+c.VMStallEvents,
+						float64(c.DMConflictStallCycles+c.VMStallCycles),
+						c.SpeedupVsPerfect))
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"aligned layout clusters every point buffer into one direct-hash set, so k (the read-window width) walks straight into the design's associativity; the first WEDGE column is the design's frontier")
+		tables = append(tables, t)
+	}
+	return tables
+}

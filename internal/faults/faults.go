@@ -32,6 +32,8 @@ const (
 	LayerWorker = "worker" // HIL worker pool
 	LayerDCT    = "dct"    // dependence-memory shards
 	LayerTRS    = "trs"    // task reservation stations
+	LayerArb    = "arb"    // TRS/DCT crossbar arbiter
+	LayerGW     = "gw"     // gateway admission engine
 )
 
 // Fault kinds per layer.
@@ -43,7 +45,7 @@ const (
 	KindSlowdown   = "slowdown"   // worker/dct: service-time multiplier
 	KindVMLeak     = "vmleak"     // dct: version slot never released
 	KindCreditLeak = "creditleak" // dct: shard admission credit never returned
-	KindStall      = "stall"      // trs: queue-head service stalls once
+	KindStall      = "stall"      // trs/arb/gw: queue-head service stalls once
 )
 
 // Clause is one parsed fault directive: layer:kind=value plus optional
@@ -144,6 +146,8 @@ type PicosFaults struct {
 	creditLeak []leakState
 	slow       []slowState
 	stalls     []stallState
+	arbStalls  []stallState // arb:stall clauses (trs selector unused)
+	gwStalls   []stallState // gw:stall clauses (trs selector unused)
 
 	// Degrade is the recovery threshold: blocked-gateway cycles before
 	// the head task is refused (0 = off).
@@ -177,10 +181,15 @@ func (p *Plan) PicosSide(rec Recovery) *PicosFaults {
 				f.slow = append(f.slow, slowState{factor: c.Factor, shard: c.Shard})
 			case c.Layer == LayerTRS && c.Kind == KindStall:
 				f.stalls = append(f.stalls, stallState{delay: c.Delay, cycle: c.Cycle, trs: c.TRS})
+			case c.Layer == LayerArb && c.Kind == KindStall:
+				f.arbStalls = append(f.arbStalls, stallState{delay: c.Delay, cycle: c.Cycle, trs: -1})
+			case c.Layer == LayerGW && c.Kind == KindStall:
+				f.gwStalls = append(f.gwStalls, stallState{delay: c.Delay, cycle: c.Cycle, trs: -1})
 			}
 		}
 	}
-	if len(f.vmLeak) == 0 && len(f.creditLeak) == 0 && len(f.slow) == 0 && len(f.stalls) == 0 && f.Degrade == 0 {
+	if len(f.vmLeak) == 0 && len(f.creditLeak) == 0 && len(f.slow) == 0 &&
+		len(f.stalls) == 0 && len(f.arbStalls) == 0 && len(f.gwStalls) == 0 && f.Degrade == 0 {
 		return nil
 	}
 	return f
@@ -196,6 +205,12 @@ func (f *PicosFaults) Reset() {
 	}
 	for i := range f.stalls {
 		f.stalls[i].applied = false
+	}
+	for i := range f.arbStalls {
+		f.arbStalls[i].applied = false
+	}
+	for i := range f.gwStalls {
+		f.gwStalls[i].applied = false
 	}
 	f.Refused = 0
 	f.Fired = false
@@ -254,4 +269,42 @@ func (f *PicosFaults) StallDelay(trs int, now uint64) uint64 {
 		extra += s.delay
 	}
 	return extra
+}
+
+// oneShotDelay fires every not-yet-applied clause whose trigger cycle
+// has been reached and sums the extra delay — the shared core of the
+// arbiter and gateway stalls, which have a single unit each and hence
+// no selector.
+func (f *PicosFaults) oneShotDelay(clauses []stallState, now uint64) uint64 {
+	var extra uint64
+	for i := range clauses {
+		s := &clauses[i]
+		if s.applied || now < s.cycle {
+			continue
+		}
+		s.applied = true
+		f.Fired = true
+		extra += s.delay
+	}
+	return extra
+}
+
+// ArbStallDelay returns the extra routing latency injected into the
+// arbiter's current message: each arb:stall clause fires once, on the
+// first message the crossbar routes at or after the clause's trigger
+// cycle — a transient fabric hiccup that defers everything behind the
+// head message. Attaching the stall to a real routing event keeps the
+// fast and reference loops identical without any extra horizon event.
+func (f *PicosFaults) ArbStallDelay(now uint64) uint64 {
+	return f.oneShotDelay(f.arbStalls, now)
+}
+
+// GWStallDelay returns the extra admission cycles injected into the
+// gateway's current new-task admission: each gw:stall clause fires
+// once, on the first task admitted at or after the clause's trigger
+// cycle, extending the new-task engine's busy window (submissions
+// behind it back up in the bounded new-task queue exactly as a real
+// admission-path stall would cause).
+func (f *PicosFaults) GWStallDelay(now uint64) uint64 {
+	return f.oneShotDelay(f.gwStalls, now)
 }

@@ -18,6 +18,9 @@ func FuzzParseFaultPlan(f *testing.F) {
 		"axi:delay=0.02x300@seed9+axi:dup=0.005",
 		"dct:vmleak=0.001@seed5:shard0+dct:creditleak=0.002",
 		"trs:stall=5000@cycle20000:trs0",
+		"arb:stall=4000@cycle15000",
+		"gw:stall=3000@cycle10000+arb:stall=1@cycle1",
+		"arb:stall=1:trs0", "gw:stall=0",
 		"worker:slowdown=4x@cycle10000:len20000:worker1",
 		"axi:drop", "axi:drop=2", "x:y=z", "+", ":::", "@", "=",
 		"axi:drop=0.1@cycle1@seed2", "\x00", "ﬂaky:drop=0.1",

@@ -22,6 +22,8 @@ import (
 //	dct:creditleak=0.002@seed6
 //	dct:slowdown=4x:shard1
 //	trs:stall=5000@cycle20000:trs0
+//	arb:stall=4000@cycle15000
+//	gw:stall=3000@cycle10000
 //
 // The empty string parses to nil (no faults). Probabilistic clauses
 // without an explicit @seedN get a deterministic per-position default
@@ -141,7 +143,7 @@ func parseValue(c *Clause, cl, val string) error {
 		return nil
 	case c.Layer == LayerDCT && (c.Kind == KindVMLeak || c.Kind == KindCreditLeak):
 		return parseRate(c, cl, val)
-	case c.Layer == LayerTRS && c.Kind == KindStall:
+	case (c.Layer == LayerTRS || c.Layer == LayerArb || c.Layer == LayerGW) && c.Kind == KindStall:
 		n, err := strconv.ParseUint(val, 10, 32)
 		if err != nil || n == 0 {
 			return clauseErr(cl, "bad stall cycles %q", val)
@@ -215,6 +217,10 @@ func validateClause(c *Clause, cl string, pos int) error {
 	}
 	if c.Layer == LayerAXI && (c.Shard >= 0 || c.Worker >= 0 || c.TRS >= 0) {
 		return clauseErr(cl, "axi faults take no shard/worker/trs selector")
+	}
+	if (c.Layer == LayerArb || c.Layer == LayerGW) && (c.Shard >= 0 || c.Worker >= 0 || c.TRS >= 0) {
+		// One arbiter, one gateway: there is no unit to select.
+		return clauseErr(cl, "%s faults take no shard/worker/trs selector", c.Layer)
 	}
 	if c.Layer == LayerWorker && c.Kind == KindSlowdown && c.Factor == 1 {
 		return clauseErr(cl, "slowdown factor 1x injects nothing")

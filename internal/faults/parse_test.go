@@ -27,6 +27,48 @@ func TestParsePlan(t *testing.T) {
 	}
 }
 
+func TestParsePlanArbGW(t *testing.T) {
+	plan, err := ParsePlan("arb:stall=4000@cycle15000+gw:stall=3000@cycle10000")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	arb := plan.Clauses[0]
+	if arb.Layer != LayerArb || arb.Kind != KindStall || arb.Delay != 4000 || arb.Cycle != 15000 {
+		t.Errorf("arb clause = %+v", arb)
+	}
+	gw := plan.Clauses[1]
+	if gw.Layer != LayerGW || gw.Kind != KindStall || gw.Delay != 3000 || gw.Cycle != 10000 {
+		t.Errorf("gw clause = %+v", gw)
+	}
+
+	f := plan.PicosSide(Recovery{})
+	if f == nil {
+		t.Fatal("arb/gw plan produced no picos injector")
+	}
+	if d := f.ArbStallDelay(14999); d != 0 {
+		t.Errorf("arb stall fired before trigger: %d", d)
+	}
+	if d := f.ArbStallDelay(15000); d != 4000 {
+		t.Errorf("arb stall delay = %d, want 4000", d)
+	}
+	if d := f.ArbStallDelay(15001); d != 0 {
+		t.Errorf("one-shot arb stall fired twice: %d", d)
+	}
+	if d := f.GWStallDelay(20000); d != 3000 {
+		t.Errorf("gw stall delay = %d, want 3000", d)
+	}
+	if d := f.GWStallDelay(20001); d != 0 {
+		t.Errorf("one-shot gw stall fired twice: %d", d)
+	}
+	f.Reset()
+	if d := f.ArbStallDelay(15000); d != 4000 {
+		t.Errorf("arb stall not re-armed after Reset: %d", d)
+	}
+	if d := f.GWStallDelay(10000); d != 3000 {
+		t.Errorf("gw stall not re-armed after Reset: %d", d)
+	}
+}
+
 func TestParsePlanEmpty(t *testing.T) {
 	plan, err := ParsePlan("")
 	if err != nil || !plan.Empty() {
@@ -51,6 +93,9 @@ func TestParsePlanErrors(t *testing.T) {
 		"axi:delay=0.1", "axi:delay=0.1x0", "bus:drop=0.1", "dct:melt=1",
 		"worker:failstop=x", "worker:slowdown=4", "worker:slowdown=1x",
 		"dct:slowdown=0x", "trs:stall=0", "trs:stall=5@cycle1:disk0",
+		"arb:stall=0", "arb:stall=x", "arb:stall=5@cycle1:trs0",
+		"gw:stall=0", "gw:stall=5@cycle1:shard0", "gw:stall=5@cycle1:worker0",
+		"arb:drop=0.1", "gw:slowdown=4x",
 		"axi:drop=0.1++axi:dup=0.1", "+",
 	} {
 		if _, err := ParsePlan(s); !errors.Is(err, ErrBadPlan) {

@@ -35,6 +35,27 @@ func (e Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return toSimResult(res), nil
+}
+
+// RunStream executes a streaming task source on the platform under the
+// spec's bounded descriptor window (sim.StreamEngine). The mapped
+// Result carries aggregate probes only — Start/Finish/Order stay nil.
+func (e Engine) RunStream(src trace.Source, spec sim.Spec) (*sim.Result, error) {
+	cfg, err := e.config(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Window = spec.Window
+	res, err := RunStream(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return toSimResult(res), nil
+}
+
+// toSimResult maps a platform Result onto the engine-neutral sim one.
+func toSimResult(res *Result) *sim.Result {
 	stats := res.Stats
 	return &sim.Result{
 		Workers:    res.Workers,
@@ -56,7 +77,7 @@ func (e Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 		RecoveredTasks: res.RecoveredTasks,
 		RefusedTasks:   res.RefusedTasks,
 		RefusedIDs:     res.RefusedIDs,
-	}, nil
+	}
 }
 
 // config translates the declarative spec into the platform config.

@@ -313,3 +313,77 @@ func TestTRSStallDelays(t *testing.T) {
 	}
 	verifyLegal(t, tr, fast)
 }
+
+// TestArbStallDelays: a one-shot crossbar hiccup on a sharded fabric
+// (the arbiter only carries new-dependence traffic when NumDCT > 1)
+// pushes the makespan out without losing anything, identically on both
+// loops.
+func TestArbStallDelays(t *testing.T) {
+	res, err := apps.Generate(apps.Heat, 512, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	cfg.Picos.NumDCT = 2
+	clean := mustRun(t, tr, cfg).Makespan
+
+	cfg.Faults = parsePlan(t, "arb:stall=50000@cycle20000")
+	fast := mustRun(t, tr, cfg)
+
+	cfg.Faults = parsePlan(t, "arb:stall=50000@cycle20000")
+	cfg.FastForward = false
+	ref := mustRun(t, tr, cfg)
+
+	if fast.Makespan <= clean {
+		t.Errorf("stalled arbiter ran in %d cycles, not slower than the clean %d", fast.Makespan, clean)
+	}
+	if fast.Makespan != ref.Makespan || fast.Stats != ref.Stats {
+		t.Errorf("loops diverge under the arb stall: fast %d %+v, ref %d %+v",
+			fast.Makespan, fast.Stats, ref.Makespan, ref.Stats)
+	}
+	if !fast.Faulted {
+		t.Error("the arb stall fired; Faulted must be set")
+	}
+	verifyLegal(t, tr, fast)
+}
+
+// TestGWStallDelays: a one-shot gateway admission-path stall on a
+// sharded fabric backs submissions up in the new-task queue and pushes
+// the makespan out without losing anything, identically on both loops.
+// The stall is longer than the whole clean run: a short stall this
+// coarse-grained workload absorbs in schedule slack, so the push-out
+// assertion would be flaky against calibration changes.
+func TestGWStallDelays(t *testing.T) {
+	res, err := apps.Generate(apps.Heat, 512, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	cfg.Picos.NumDCT = 2
+	clean := mustRun(t, tr, cfg).Makespan
+
+	cfg.Faults = parsePlan(t, "gw:stall=10000000@cycle100")
+	fast := mustRun(t, tr, cfg)
+
+	cfg.Faults = parsePlan(t, "gw:stall=10000000@cycle100")
+	cfg.FastForward = false
+	ref := mustRun(t, tr, cfg)
+
+	if fast.Makespan <= clean {
+		t.Errorf("stalled gateway ran in %d cycles, not slower than the clean %d", fast.Makespan, clean)
+	}
+	if fast.Makespan != ref.Makespan || fast.Stats != ref.Stats {
+		t.Errorf("loops diverge under the gw stall: fast %d %+v, ref %d %+v",
+			fast.Makespan, fast.Stats, ref.Makespan, ref.Stats)
+	}
+	if !fast.Faulted {
+		t.Error("the gw stall fired; Faulted must be set")
+	}
+	verifyLegal(t, tr, fast)
+}

@@ -132,6 +132,12 @@ type Config struct {
 	// Watchdog aborts the run if no task starts or finishes for this
 	// many cycles (0: default 100M).
 	Watchdog uint64
+	// Window bounds streaming ingestion (RunStream only): the maximum
+	// number of created-but-unretired task descriptors kept live at
+	// once. RunStream requires it positive; Run (materialized) ignores
+	// it. See stream.go for the retirement rules and how the window
+	// composes with Picos.NewQDepth and RunAhead.
+	Window int
 	// RunAhead bounds the FullSystem master's created-but-unsubmitted
 	// descriptor window: while a submission is backpressured (the
 	// accelerator's bounded new-task queue is full), the master keeps

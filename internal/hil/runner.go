@@ -66,6 +66,33 @@ type runner struct {
 	cfg Config
 	p   *picos.Picos
 
+	// Streaming ingestion state (see stream.go); src is nil on
+	// materialized runs and every field below it is then dormant. When
+	// src is set the runner fetches descriptors on demand, keeps at most
+	// window of them live in the map, and records aggregate probes in
+	// place of the per-task schedule arrays.
+	src    trace.Source
+	window int
+	kinds  []string // kind table: tr.Kinds or src.Kinds()
+	live   map[uint32]*trace.Task
+	// fetched counts committed descriptors (the next task's required
+	// ID); lookahead holds a peeked-but-uncommitted task; feedErr parks
+	// a mid-stream validation or source error for the run loops.
+	fetched     int
+	srcDone     bool
+	lookahead   trace.Task
+	lookaheadOK bool
+	feedErr     error
+	// Aggregate probes for the streaming Result: running duration sum
+	// (Baseline), max finish (Makespan), first/last start and start
+	// count (FirstStart, ThrTask).
+	aggDur       uint64
+	aggMakespan  uint64
+	aggFirst     uint64
+	aggFirstSet  bool
+	aggLastStart uint64
+	aggStarted   int
+
 	// workers holds the task each busy worker is executing, indexed by
 	// worker; occupancy itself lives only in the heaps below, so there is
 	// no second copy of busy-state to drift out of sync.
@@ -161,11 +188,20 @@ type runner struct {
 	refusedIDs []uint32 // refused task IDs under avoid-deadlock-park
 }
 
-// reset prepares the runner for a run, reusing every allocation a
-// previous run left behind: the accelerator (picos.Reset), the worker
-// heaps, the link queues and the in-flight buffers. Only the per-task
-// schedule arrays are freshly allocated — they escape into the Result.
+// reset prepares the runner for a materialized run, reusing every
+// allocation a previous run left behind: the accelerator (picos.Reset),
+// the worker heaps, the link queues and the in-flight buffers. Only the
+// per-task schedule arrays are freshly allocated — they escape into the
+// Result.
 func (r *runner) reset(tr *trace.Trace, cfg Config) error {
+	r.tr, r.src, r.window = tr, nil, 0
+	return r.resetCommon(cfg)
+}
+
+// resetCommon is the mode-independent part of reset, shared by the
+// materialized (reset) and streaming (resetStream) entry points; the
+// caller has already set r.tr/r.src/r.window.
+func (r *runner) resetCommon(cfg Config) error {
 	if len(cfg.Classes) > 0 {
 		if cfg.Workers != 0 {
 			return fmt.Errorf("hil: both Workers (%d) and Classes (%q) set", cfg.Workers, cfg.Classes.String())
@@ -190,8 +226,15 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	if cfg.RunAhead == 0 {
 		cfg.RunAhead = DefaultRunAhead
 	}
-	if err := tr.Validate(); err != nil {
-		return fmt.Errorf("hil: %w", err)
+	if r.src == nil {
+		if err := r.tr.Validate(); err != nil {
+			return fmt.Errorf("hil: %w", err)
+		}
+		r.kinds = r.tr.Kinds
+	} else {
+		// Streaming tasks are validated one at a time as they arrive
+		// (srcPeek); only the kind table exists up front.
+		r.kinds = r.src.Kinds()
 	}
 	// Split the fault plan into its two injectors before the accelerator
 	// is configured: the dct/trs clauses (plus the degrade knob) ride
@@ -211,7 +254,7 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	} else if err := r.p.Reset(cfg.Picos); err != nil {
 		return err
 	}
-	r.tr, r.cfg = tr, cfg
+	r.cfg = cfg
 
 	if cap(r.workers) >= cfg.Workers {
 		r.workers = r.workers[:cfg.Workers]
@@ -238,18 +281,29 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 		if len(classes) == 0 {
 			classes = sched.Single(cfg.Workers)
 		}
-		present := make([]bool, len(tr.Kinds)+1)
-		for i := range tr.Tasks {
-			present[tr.Tasks[i].Kind] = true
+		present := make([]bool, len(r.kinds)+1)
+		if r.src == nil {
+			for i := range r.tr.Tasks {
+				present[r.tr.Tasks[i].Kind] = true
+			}
+		} else {
+			// A stream's kind usage is unknown up front: require the
+			// class list to cover every declared kind, plus unkinded
+			// tasks, conservatively.
+			for i := range present {
+				present[i] = true
+			}
 		}
-		if err := classes.CheckCoverage(tr.Kinds, present); err != nil {
+		if err := classes.CheckCoverage(r.kinds, present); err != nil {
 			return err
 		}
 		var prio []uint64
 		if cfg.Sched == sched.Priority {
-			prio = taskgraph.Build(tr).BottomLevels()
+			// Streaming rejects the priority policy in resetStream, so
+			// the whole graph is available here.
+			prio = taskgraph.Build(r.tr).BottomLevels()
 		}
-		r.pool.Reset(classes, cfg.Sched, cfg.Steal, tr.Kinds, prio)
+		r.pool.Reset(classes, cfg.Sched, cfg.Steal, r.kinds, prio)
 		for i := 0; i < cfg.Workers; i++ {
 			r.pool.Park(i)
 		}
@@ -258,7 +312,10 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 
 	r.masterNext, r.masterFree = 0, 0
 	r.createdAhead = 0
-	r.feedNext = len(tr.Tasks)
+	r.feedNext = 0
+	if r.src == nil {
+		r.feedNext = len(r.tr.Tasks)
+	}
 	r.parkedNew.Reset()
 	r.pendingNew.Reset()
 	r.pendingFin.Reset()
@@ -271,19 +328,39 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 	r.dead, r.lost, r.recovered, r.refused = 0, 0, 0, 0
 	r.refusedIDs = nil
 
-	n := len(tr.Tasks)
-	r.start = make([]uint64, n)
-	r.finish = make([]uint64, n)
-	r.order = make([]uint32, 0, n)
+	if r.src != nil {
+		if r.live == nil {
+			r.live = make(map[uint32]*trace.Task, r.window)
+		} else {
+			clear(r.live)
+		}
+		r.fetched, r.srcDone, r.lookaheadOK, r.feedErr = 0, false, false, nil
+		r.aggDur, r.aggMakespan, r.aggFirst, r.aggLastStart = 0, 0, 0, 0
+		r.aggFirstSet, r.aggStarted = false, 0
+		// No per-task schedule arrays: they are exactly the O(tasks)
+		// state the window exists to avoid; the Result carries the
+		// aggregate probes instead.
+		r.start, r.finish, r.order = nil, nil, nil
+	} else {
+		n := len(r.tr.Tasks)
+		r.start = make([]uint64, n)
+		r.finish = make([]uint64, n)
+		r.order = make([]uint32, 0, n)
+	}
 	r.done, r.lastProgress = 0, 0
 
 	switch cfg.Mode {
 	case HWOnly:
+		if r.src != nil {
+			// Streaming submits straight from the source in stepSubmits,
+			// window-gated, starting at cycle 0.
+			break
+		}
 		// Preload the trace. With a bounded new-task queue the submission
 		// buffer fills; the rest feeds in from feedNext as it drains.
 		r.feedNext = 0
-		for i := range tr.Tasks {
-			err := r.p.Submit(tr.Tasks[i].ID, tr.Tasks[i].Deps)
+		for i := range r.tr.Tasks {
+			err := r.p.Submit(r.tr.Tasks[i].ID, r.tr.Tasks[i].Deps)
 			if errors.Is(err, picos.ErrNewQFull) {
 				break
 			}
@@ -300,7 +377,11 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 			r.feedNext = i + 1
 		}
 	case HWComm:
-		for i := range tr.Tasks {
+		if r.src != nil {
+			// stepFeed hands tasks to the link as the window opens.
+			break
+		}
+		for i := range r.tr.Tasks {
 			r.pendingNew.Push(stampedTask{at: 0, idx: uint32(i)})
 		}
 	case FullSystem:
@@ -316,6 +397,12 @@ func (r *runner) reset(tr *trace.Trace, cfg Config) error {
 // retain them; the reusable scratch stays.
 func (r *runner) scrub() {
 	r.tr = nil
+	r.src = nil
+	r.kinds = nil
+	r.feedErr = nil
+	if r.live != nil {
+		clear(r.live) // keep the map's capacity, drop its descriptors
+	}
 	r.start, r.finish, r.order = nil, nil, nil
 }
 
@@ -347,8 +434,11 @@ func (r *runner) accounted() int {
 func (r *runner) refuse(idx uint32) {
 	r.refused++
 	if r.cfg.Picos.Admission == picos.AdmitAvoidDeadlockPark {
-		r.refusedIDs = append(r.refusedIDs, r.tr.Tasks[idx].ID)
+		// Task IDs equal trace indices (validated), so idx is the ID —
+		// on both the materialized and the streaming path.
+		r.refusedIDs = append(r.refusedIDs, idx)
 	}
+	r.retire(idx)
 }
 
 func (r *runner) pendingWork() bool {
@@ -356,12 +446,19 @@ func (r *runner) pendingWork() bool {
 }
 
 // backpressured reports that tasks are waiting on new-task queue space:
-// parked rejections or an unfinished preload feed. Their retry can only
-// succeed after the GW pops the queue — an accelerator-internal event —
-// so while this holds the fast path adds the accelerator's event horizon
-// to its wake candidates.
+// parked rejections, an unfinished materialized preload feed, or a
+// window-open streaming HW-only feed. Their retry can only succeed
+// after the GW pops the queue — an accelerator-internal event — so
+// while this holds the fast path adds the accelerator's event horizon
+// to its wake candidates. A streaming feed blocked on the *window* is
+// deliberately not included: it resumes at a retirement, and every
+// retirement cycle (worker finish, refusal, loss) is already a wake
+// candidate.
 func (r *runner) backpressured() bool {
-	return r.parkedNew.Len() > 0 || r.feedNext < len(r.tr.Tasks)
+	if r.parkedNew.Len() > 0 || r.feedPending() {
+		return true
+	}
+	return r.src != nil && r.cfg.Mode == HWOnly && r.windowOpen() && r.srcHasNext()
 }
 
 // masterWindowOpen reports whether the FullSystem master may create the
@@ -382,7 +479,7 @@ func (r *runner) stepSubmits(now uint64) {
 		if !ok {
 			break
 		}
-		task := &r.tr.Tasks[idx]
+		task := r.taskAt(idx)
 		err := r.p.Submit(task.ID, task.Deps)
 		if errors.Is(err, picos.ErrUnadmittable) {
 			r.parkedNew.Pop()
@@ -402,7 +499,7 @@ func (r *runner) stepSubmits(now uint64) {
 		}
 		r.lastProgress = now
 	}
-	for r.parkedNew.Len() == 0 && r.feedNext < len(r.tr.Tasks) && r.p.NewQRoom() {
+	for r.parkedNew.Len() == 0 && r.feedPending() && r.p.NewQRoom() {
 		task := &r.tr.Tasks[r.feedNext]
 		err := r.p.Submit(task.ID, task.Deps)
 		if errors.Is(err, picos.ErrUnadmittable) {
@@ -416,6 +513,29 @@ func (r *runner) stepSubmits(now uint64) {
 		}
 		r.feedNext++
 		r.lastProgress = now
+	}
+	// Streaming HW-only feed: submit straight from the source while the
+	// descriptor window and the new-task queue both have room. A task
+	// becomes live at the successful (or refused) submit — an ErrNewQFull
+	// rejection leaves it uncommitted in the lookahead, not parked.
+	if r.src != nil && r.cfg.Mode == HWOnly {
+		for r.parkedNew.Len() == 0 && r.windowOpen() && r.p.NewQRoom() {
+			task, ok := r.srcPeek()
+			if !ok {
+				return
+			}
+			err := r.p.Submit(task.ID, task.Deps)
+			if errors.Is(err, picos.ErrUnadmittable) {
+				r.refuse(r.srcCommit())
+				r.lastProgress = now
+				continue
+			}
+			if err != nil {
+				return
+			}
+			r.srcCommit()
+			r.lastProgress = now
+		}
 	}
 }
 
@@ -432,19 +552,22 @@ func (r *runner) run() (*Result, error) {
 // ground truth the event-driven fast path is differentially tested
 // against.
 func (r *runner) runRef() (*Result, error) {
-	n := len(r.tr.Tasks)
-	for r.accounted() < n || !r.p.Idle() || r.pendingWork() {
+	for r.tasksOutstanding() || !r.p.Idle() || r.pendingWork() {
 		now := r.p.Now()
 		if r.flt != nil {
 			r.applyStops(now)
 		}
 		r.stepWorkers(now)
 		r.stepDeliveries(now)
+		r.stepFeed(now)
 		r.stepSubmits(now)
 		r.stepMaster(now)
 		r.stepBus(now)
 		r.dispatch(now)
-		if r.accounted() < n && r.wedged(now) {
+		if r.feedErr != nil {
+			return nil, r.feedErr
+		}
+		if r.tasksOutstanding() && r.wedged(now) {
 			return r.wedgedResult(now), nil
 		}
 		if next, ok := r.quiescentUntil(now); ok && next > now+1 {
@@ -455,6 +578,9 @@ func (r *runner) runRef() (*Result, error) {
 		if r.watchdogExpired() {
 			return r.timedOutResult(), nil
 		}
+	}
+	if r.feedErr != nil {
+		return nil, r.feedErr
 	}
 	return r.result(), nil
 }
@@ -491,6 +617,12 @@ func (r *runner) wedged(now uint64) bool {
 	if r.backpressured() && r.p.NewQRoom() {
 		return false
 	}
+	// A streaming HW+comm feed with window room and tasks left will hand
+	// more work to the link next cycle. (A refusal retiring a parked
+	// head this cycle can open the window after stepFeed already ran.)
+	if r.src != nil && r.cfg.Mode == HWComm && r.windowOpen() && r.srcHasNext() {
+		return false
+	}
 	if len(r.busyH) > 0 {
 		return false
 	}
@@ -501,10 +633,12 @@ func (r *runner) wedged(now uint64) bool {
 		return false
 	}
 	// A master with tasks left to create is alive only while its
-	// run-ahead window has room (or it is still paying for the previous
-	// creation); a window pinned full by a dead accelerator is not.
-	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) &&
-		(r.masterWindowOpen() || r.masterFree > now) {
+	// run-ahead window (and, streaming, the descriptor window) has room,
+	// or it is still paying for the previous creation; a window pinned
+	// full by a dead accelerator is not. With the descriptor window shut
+	// the live tasks holding it are judged by the clauses above/below.
+	if r.cfg.Mode == FullSystem && r.masterHasNext() &&
+		((r.masterWindowOpen() && r.windowOpen()) || r.masterFree > now) {
 		return false
 	}
 	if alive && r.p.ReadyCount() > 0 {
@@ -541,18 +675,21 @@ func (r *runner) wedgedResult(now uint64) *Result {
 //
 //picos:hotpath
 func (r *runner) runFast() (*Result, error) {
-	n := len(r.tr.Tasks)
-	for r.accounted() < n || !r.p.Idle() || r.pendingWork() {
+	for r.tasksOutstanding() || !r.p.Idle() || r.pendingWork() {
 		now := r.p.Now()
 		if r.flt != nil {
 			r.applyStops(now)
 		}
 		r.stepWorkers(now)
 		r.stepDeliveries(now)
+		r.stepFeed(now)
 		r.stepSubmits(now)
 		r.stepMaster(now)
 		r.stepBus(now)
 		r.dispatch(now)
+		if r.feedErr != nil {
+			return nil, r.feedErr
+		}
 		interested := r.readyInterest()
 		next, ok := r.nextWake(now, interested)
 		if interested {
@@ -576,7 +713,7 @@ func (r *runner) runFast() (*Result, error) {
 			// platform-side candidates.
 		}
 		if !ok {
-			if r.accounted() == n && !r.pendingWork() {
+			if !r.tasksOutstanding() && !r.pendingWork() {
 				// All external traffic is finished: let the accelerator
 				// drain its remaining finish walks and releases, exactly
 				// what the reference loop steps through before its Idle()
@@ -593,6 +730,9 @@ func (r *runner) runFast() (*Result, error) {
 		if r.watchdogExpired() {
 			return r.timedOutResult(), nil
 		}
+	}
+	if r.feedErr != nil {
+		return nil, r.feedErr
 	}
 	return r.result(), nil
 }
@@ -679,11 +819,17 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)
 	}
-	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) && r.masterWindowOpen() {
+	if r.cfg.Mode == FullSystem && r.masterHasNext() && r.masterWindowOpen() && r.windowOpen() {
 		// A window-blocked master resumes only when a submission is
-		// accepted, and every acceptance happens at a delivery or parked
-		// retry — cycles already covered by the candidates here.
+		// accepted (run-ahead) or a descriptor retires (streaming), and
+		// every such cycle — a delivery, a parked retry, a worker finish
+		// — is already covered by the candidates here.
 		consider(r.masterFree)
+	}
+	if r.src != nil && r.cfg.Mode == HWComm && r.windowOpen() && r.srcHasNext() {
+		// A refusal this cycle reopened the window after stepFeed ran:
+		// the feed acts on the next evaluated cycle.
+		consider(now + 1)
 	}
 	if st, sok := r.pendingNew.Peek(); sok && st.at > now {
 		consider(st.at)
@@ -700,7 +846,7 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 		// lost there is no in-flight work a kill could touch, and jumping
 		// to a trigger cycle beyond the schedule would only starve the
 		// watchdog.
-		if c, sok := r.flt.NextStop(); sok && r.accounted() < len(r.tr.Tasks) {
+		if c, sok := r.flt.NextStop(); sok && r.tasksOutstanding() {
 			consider(c)
 		}
 		if e, eok := r.retryQ.Peek(); eok {
@@ -726,6 +872,7 @@ func (r *runner) nextWake(now uint64, interested bool) (uint64, bool) {
 //picos:hotpath
 func (r *runner) stepWorkers(now uint64) {
 	for len(r.busyH) > 0 && r.busyH[0].Until <= now {
+		until := r.busyH[0].Until
 		idx := r.busyH.Pop().Idx
 		if r.trivial {
 			r.idleH.Push(idx)
@@ -738,6 +885,15 @@ func (r *runner) stepWorkers(now uint64) {
 			r.p.NotifyFinish(r.workers[idx].Handle)
 		} else {
 			r.pendingFin.Push(r.workers[idx].Handle)
+		}
+		if r.src != nil {
+			// The completion retires the descriptor (the accelerator's
+			// cleanup needs only the handle already captured above) and
+			// feeds the aggregate makespan.
+			if until > r.aggMakespan {
+				r.aggMakespan = until
+			}
+			r.retire(r.workers[idx].ID)
 		}
 	}
 }
@@ -795,7 +951,7 @@ func (r *runner) landMsg(msg busMsg) {
 			r.parkedNew.Push(msg.task)
 			return
 		}
-		task := &r.tr.Tasks[msg.task]
+		task := r.taskAt(msg.task)
 		err := r.p.Submit(task.ID, task.Deps)
 		switch {
 		case errors.Is(err, picos.ErrNewQFull):
@@ -837,7 +993,7 @@ func (r *runner) stepMaster(now uint64) {
 	if r.cfg.Mode != FullSystem {
 		return
 	}
-	if r.masterNext >= len(r.tr.Tasks) || r.masterFree > now {
+	if !r.masterHasNext() || r.masterFree > now {
 		return
 	}
 	if !r.masterWindowOpen() {
@@ -846,7 +1002,21 @@ func (r *runner) stepMaster(now uint64) {
 		// accepted downstream.
 		return
 	}
-	task := &r.tr.Tasks[r.masterNext]
+	var task *trace.Task
+	if r.src == nil {
+		task = &r.tr.Tasks[r.masterNext]
+	} else {
+		if !r.windowOpen() {
+			// Streaming descriptor window exhausted: creation resumes
+			// when a live task retires.
+			return
+		}
+		t, ok := r.srcPeek()
+		if !ok {
+			return
+		}
+		task = t
+	}
 	cost := task.CreateCost
 	if cost == 0 {
 		cost = r.cfg.Master.Create
@@ -855,7 +1025,11 @@ func (r *runner) stepMaster(now uint64) {
 	// The master also performs the AXI stream write for its submission.
 	cost += r.cfg.Comm.SendNewOcc
 	r.masterFree = now + cost
-	r.pendingNew.Push(stampedTask{at: r.masterFree, idx: uint32(r.masterNext)})
+	idx := uint32(r.masterNext)
+	if r.src != nil {
+		idx = r.srcCommit()
+	}
+	r.pendingNew.Push(stampedTask{at: r.masterFree, idx: idx})
 	r.masterNext++
 	r.createdAhead++
 }
@@ -956,7 +1130,7 @@ func (r *runner) dispatch(now uint64) {
 		if !ok {
 			break
 		}
-		r.pool.Enqueue(rt.ID, r.tr.Tasks[rt.ID].Kind, rt.Handle)
+		r.pool.Enqueue(rt.ID, r.taskAt(rt.ID).Kind, rt.Handle)
 	}
 	for {
 		w, it, ok := r.pool.Grant()
@@ -987,7 +1161,7 @@ func (r *runner) popDispatchable() (picos.ReadyTask, bool) {
 
 //picos:hotpath
 func (r *runner) startWorkerAt(i int, rt picos.ReadyTask, now uint64) {
-	dur := r.tr.Tasks[rt.ID].Duration
+	dur := r.taskAt(rt.ID).Duration
 	if !r.trivial {
 		dur = r.pool.Scale(i, dur)
 	}
@@ -996,9 +1170,20 @@ func (r *runner) startWorkerAt(i int, rt picos.ReadyTask, now uint64) {
 	}
 	r.workers[i] = rt
 	r.busyH.Push(sched.Due{Until: now + dur, Idx: i})
-	r.start[rt.ID] = now
-	r.finish[rt.ID] = now + dur
-	r.order = append(r.order, rt.ID)
+	if r.src == nil {
+		r.start[rt.ID] = now
+		r.finish[rt.ID] = now + dur
+		r.order = append(r.order, rt.ID)
+	} else {
+		// Aggregate probes in place of the per-task schedule arrays.
+		if !r.aggFirstSet || now < r.aggFirst {
+			r.aggFirst, r.aggFirstSet = now, true
+		}
+		if now > r.aggLastStart {
+			r.aggLastStart = now
+		}
+		r.aggStarted++
+	}
 	r.lastProgress = now
 }
 
@@ -1071,6 +1256,11 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 	if r.backpressured() && r.p.NewQRoom() {
 		return 0, false
 	}
+	if r.src != nil && r.cfg.Mode == HWComm && r.windowOpen() && r.srcHasNext() {
+		// stepFeed will hand the link more work on the next cycle (a
+		// refusal can reopen the window after the feed already ran).
+		return 0, false
+	}
 	next := uint64(0)
 	//lint:ignore hotalloc consider never leaves this frame, so escape analysis stack-allocates it; TestWarmRunTraceAllocs holds the zero-alloc line
 	consider := func(t uint64) {
@@ -1084,7 +1274,7 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 	if d, ok := r.deliveries.Peek(); ok {
 		consider(d.at)
 	}
-	if r.cfg.Mode == FullSystem && r.masterNext < len(r.tr.Tasks) && r.masterWindowOpen() {
+	if r.cfg.Mode == FullSystem && r.masterHasNext() && r.masterWindowOpen() && r.windowOpen() {
 		consider(r.masterFree)
 	}
 	if st, ok := r.pendingNew.Peek(); ok {
@@ -1096,7 +1286,7 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 	}
 	if r.flt != nil {
 		// Same candidates as nextWake, same completion gate on the stop.
-		if c, sok := r.flt.NextStop(); sok && r.accounted() < len(r.tr.Tasks) {
+		if c, sok := r.flt.NextStop(); sok && r.tasksOutstanding() {
 			consider(c)
 		}
 		if e, ok := r.retryQ.Peek(); ok {
@@ -1110,6 +1300,9 @@ func (r *runner) quiescentUntil(now uint64) (uint64, bool) {
 }
 
 func (r *runner) result() *Result {
+	if r.src != nil {
+		return r.streamResult()
+	}
 	res := &Result{
 		Mode:     r.cfg.Mode,
 		Workers:  r.cfg.Workers,

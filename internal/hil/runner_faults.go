@@ -49,16 +49,26 @@ func (r *runner) killWorker(w int, now uint64) {
 	rt := r.workers[w]
 	r.unschedule(rt.ID)
 	if r.flt.Rec.Regrant {
+		// The task stays live (streaming): it will re-run and retire at
+		// its eventual completion.
 		r.readyBacklog.Push(rt)
 		r.recovered++
 		r.lastProgress = now
 	} else {
 		r.lost++
+		r.retire(rt.ID)
 	}
 }
 
 // unschedule erases the schedule entries of a task aborted mid-flight.
+// A streaming run has no schedule arrays; the aborted start is undone
+// in the aggregate start count instead (first/last-start stamps stay —
+// they are not recomputable in O(window), and both loops agree on them).
 func (r *runner) unschedule(id uint32) {
+	if r.src != nil {
+		r.aggStarted--
+		return
+	}
 	r.start[id], r.finish[id] = 0, 0
 	for i := len(r.order) - 1; i >= 0; i-- {
 		if r.order[i] == id {
@@ -139,6 +149,7 @@ func (r *runner) loseMsg(msg busMsg) {
 	switch msg.kind {
 	case busNew:
 		r.lost++
+		r.retire(msg.task)
 		if r.cfg.Mode == FullSystem {
 			r.createdAhead--
 		}
@@ -148,6 +159,7 @@ func (r *runner) loseMsg(msg busMsg) {
 		// dependents wedge downstream (a faulted wedge).
 		r.readyInFlight--
 		r.lost++
+		r.retire(msg.rt.ID)
 	case busFin:
 		// The worker-side completion already counted; only the
 		// accelerator's cleanup is lost. Dependents of the unreclaimed

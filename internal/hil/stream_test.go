@@ -1,0 +1,172 @@
+package hil
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/patterns"
+	"repro/internal/sched"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// streamModes are the three integration modes the streaming driver
+// supports; the window retires at different points in each (worker
+// finish, permanent link loss, refusal), so every equivalence below
+// runs all three.
+var streamModes = []Mode{HWOnly, HWComm, FullSystem}
+
+func gridSource(t *testing.T, query string) trace.Source {
+	t.Helper()
+	p, err := patterns.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := patterns.Generate(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// aggEqual compares the aggregate surface two streaming runs share.
+func aggEqual(a, b *Result) bool {
+	return a.Makespan == b.Makespan && a.Baseline == b.Baseline &&
+		a.FirstStart == b.FirstStart && a.ThrTask == b.ThrTask &&
+		a.Stats == b.Stats && a.Wedged == b.Wedged && a.TimedOut == b.TimedOut
+}
+
+// TestStreamWideWindowMatchesRun: a window at least as wide as the whole
+// stream never exerts backpressure, so the streamed aggregates must be
+// byte-identical to the materialized run's on every mode — the streaming
+// driver is the same machine with a different feed.
+func TestStreamWideWindowMatchesRun(t *testing.T) {
+	const query = "stencil_1d?width=16&steps=12"
+	p, err := patterns.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := patterns.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range streamModes {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		want := mustRun(t, tr, cfg)
+
+		cfg.Window = len(tr.Tasks) + 1
+		got, err := RunStream(gridSource(t, query), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !aggEqual(got, want) {
+			t.Fatalf("%s: stream %+v, want %+v", mode, got, want)
+		}
+		if got.Start != nil || got.Finish != nil || got.Order != nil {
+			t.Fatalf("%s: streamed result carries schedule arrays", mode)
+		}
+	}
+}
+
+// TestStreamFastEqualsRef: the event-driven fast path and the per-cycle
+// reference loop must agree on every streamed aggregate, window by
+// window — including narrow windows where the feed itself backpressures.
+func TestStreamFastEqualsRef(t *testing.T) {
+	const query = "stencil_1d?width=16&steps=12"
+	for _, mode := range streamModes {
+		for _, win := range []int{2, 4, 64, 1024} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.Window = win
+			fast, err := RunStream(gridSource(t, query), cfg)
+			if err != nil {
+				t.Fatalf("%s w=%d fast: %v", mode, win, err)
+			}
+			cfg.FastForward = false
+			ref, err := RunStream(gridSource(t, query), cfg)
+			if err != nil {
+				t.Fatalf("%s w=%d ref: %v", mode, win, err)
+			}
+			if !aggEqual(fast, ref) {
+				t.Fatalf("%s w=%d: fast %+v, ref %+v", mode, win, fast, ref)
+			}
+		}
+	}
+}
+
+// TestStreamNarrowWindowBackpressures: a window narrower than the
+// machine's natural concurrency must slow the run down (the feed stalls
+// behind unretired descriptors), and can never speed it up.
+func TestStreamNarrowWindowBackpressures(t *testing.T) {
+	const query = "stencil_1d?width=16&steps=12"
+	cfg := DefaultConfig()
+	cfg.Window = 1 << 20
+	wide, err := RunStream(gridSource(t, query), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Window = 4
+	narrow, err := RunStream(gridSource(t, query), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Makespan <= wide.Makespan {
+		t.Fatalf("window 4 makespan %d not worse than wide %d", narrow.Makespan, wide.Makespan)
+	}
+}
+
+// TestStreamRestrictions pins the typed rejections of the streaming
+// driver: a positive window is required, bottom-level priorities need
+// the whole graph, and degrade recovery pops picos-internal refusals the
+// window accounting cannot see.
+func TestStreamRestrictions(t *testing.T) {
+	tr, err := synth.Case(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trace.FromTrace(tr)
+
+	cfg := DefaultConfig()
+	if _, err := RunStream(src, cfg); !errors.Is(err, ErrStreamWindow) {
+		t.Fatalf("window 0: got %v, want ErrStreamWindow", err)
+	}
+	cfg.Window = 8
+	cfg.Sched = sched.Priority
+	if _, err := RunStream(src, cfg); !errors.Is(err, ErrStreamPriority) {
+		t.Fatalf("priority: got %v, want ErrStreamPriority", err)
+	}
+	cfg = DefaultConfig()
+	cfg.Window = 8
+	cfg.Recovery = faults.Recovery{Degrade: 1000}
+	if _, err := RunStream(src, cfg); !errors.Is(err, ErrStreamDegrade) {
+		t.Fatalf("degrade: got %v, want ErrStreamDegrade", err)
+	}
+}
+
+// TestStreamWrappedTraceEquivalence: streaming a wrapped materialized
+// trace (the back-compat bridge every existing workload uses) matches
+// the direct Run on all modes under a wide window, synthetic cases
+// included — the adapters add nothing.
+func TestStreamWrappedTraceEquivalence(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		tr, err := synth.Case(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range streamModes {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			want := mustRun(t, tr, cfg)
+			cfg.Window = len(tr.Tasks) + 1
+			got, err := RunStream(trace.FromTrace(tr), cfg)
+			if err != nil {
+				t.Fatalf("case%d %s: %v", n, mode, err)
+			}
+			if !aggEqual(got, want) {
+				t.Fatalf("case%d %s: stream %+v, want %+v", n, mode, got, want)
+			}
+		}
+	}
+}

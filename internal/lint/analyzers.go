@@ -10,6 +10,7 @@ func Analyzers() []*Analyzer {
 		DirtyHorizon,
 		ErrDiscipline,
 		HotAlloc,
+		MaterializeWall,
 		SpecKnob,
 	}
 }

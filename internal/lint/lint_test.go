@@ -126,7 +126,10 @@ func TestDeterminismTestdata(t *testing.T) {
 	})
 }
 
-func TestDirtyHorizonTestdata(t *testing.T)  { checkModule(t, "dirtyhorizon", nil) }
+func TestDirtyHorizonTestdata(t *testing.T) { checkModule(t, "dirtyhorizon", nil) }
+func TestMaterializeWallTestdata(t *testing.T) {
+	checkModule(t, "materializewall", nil)
+}
 func TestHotAllocTestdata(t *testing.T)      { checkModule(t, "hotalloc", nil) }
 func TestSpecKnobTestdata(t *testing.T)      { checkModule(t, "specknob", nil) }
 func TestErrDisciplineTestdata(t *testing.T) { checkModule(t, "errdiscipline", nil) }

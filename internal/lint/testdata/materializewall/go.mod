@@ -1,0 +1,3 @@
+module mwcheck
+
+go 1.21

@@ -1,0 +1,42 @@
+// Package engine is NOT a sanctioned site: an engine must feed from the
+// source under its window, never fold the graph back into memory. Both
+// the direct call and the function-value form are findings; the
+// suppressed call shows the escape hatch.
+package engine
+
+import "mwcheck/internal/trace"
+
+// runMaterialized quietly rebuilds the whole graph.
+func runMaterialized(src trace.Source) int {
+	tr, err := trace.Materialize(src) // want `trace.Materialize folds the whole graph into memory`
+	if err != nil {
+		return 0
+	}
+	return len(tr.Tasks)
+}
+
+// materializer hides the call behind a function value — the wall
+// resolves the object, not the call shape.
+var materializer = trace.Materialize // want `trace.Materialize folds the whole graph into memory`
+
+// runStreamed is the sanctioned shape: consume the source task by task.
+func runStreamed(src trace.Source) int {
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// runJustified carries a reviewed suppression.
+func runJustified(src trace.Source) (*trace.Trace, error) {
+	//lint:ignore materializewall exercised by the harness: a justified whole-graph site
+	return trace.Materialize(src)
+}
+
+var _ = materializer
+var _ = runMaterialized
+var _ = runStreamed
+var _ = runJustified

@@ -1,0 +1,32 @@
+// Package trace mirrors the simulator's streaming-source contract: a
+// Source hands out tasks one at a time, and Materialize folds a whole
+// source back into a memory-resident Trace — the defining package is
+// itself a sanctioned site.
+package trace
+
+// Task is one task descriptor.
+type Task struct {
+	ID uint32
+}
+
+// Trace is a fully materialized task graph.
+type Trace struct {
+	Tasks []Task
+}
+
+// Source streams task descriptors in creation order.
+type Source interface {
+	Next() (Task, bool)
+}
+
+// Materialize drains a source into a whole-graph Trace.
+func Materialize(src Source) (*Trace, error) {
+	tr := &Trace{}
+	for {
+		t, ok := src.Next()
+		if !ok {
+			return tr, nil
+		}
+		tr.Tasks = append(tr.Tasks, t)
+	}
+}

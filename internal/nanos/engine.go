@@ -52,4 +52,39 @@ func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 	}, nil
 }
 
+// RunStream executes a streaming task source on the software-only
+// runtime under the spec's bounded descriptor window (sim.StreamEngine).
+// The mapped Result carries aggregate probes only — Start/Finish stay
+// nil.
+func (Engine) RunStream(src trace.Source, spec sim.Spec) (*sim.Result, error) {
+	plan, err := spec.SchedPlan()
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Workers:  spec.Workers,
+		Classes:  plan.Classes,
+		Sched:    plan.Policy,
+		Steal:    plan.Steal,
+		Watchdog: spec.Watchdog,
+		Window:   spec.Window,
+	}
+	if len(cfg.Classes) > 0 {
+		cfg.Workers = 0 // the class list fixes the worker count
+	}
+	res, err := RunSource(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.Result{
+		Workers:    res.Workers,
+		Makespan:   res.Makespan,
+		Baseline:   res.Baseline,
+		Speedup:    res.Speedup,
+		FirstStart: res.FirstStart,
+		ThrTask:    res.ThrTask,
+		LockBusy:   res.LockBusy,
+	}, nil
+}
+
 func init() { sim.Register(Engine{}) }

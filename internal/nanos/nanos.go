@@ -84,6 +84,10 @@ type Config struct {
 	Steal    bool
 	Timing   Timing
 	Watchdog uint64 // safety bound on simulated cycles (0: 1e12)
+	// Window bounds streaming ingestion (RunSource only): the maximum
+	// number of created-but-unfinished tasks kept live at once. RunSource
+	// requires it positive; Run (materialized) ignores it. See stream.go.
+	Window int
 }
 
 // Result is the outcome of a software-only run.
@@ -97,6 +101,12 @@ type Result struct {
 	// LockBusy is the total cycles the runtime lock was held — the
 	// contention diagnostic behind the 8-worker knee.
 	LockBusy uint64
+	// FirstStart/ThrTask are the aggregate latency/throughput probes
+	// stamped by the streaming RunSource, which records no Start array
+	// to derive them from; the materialized Run leaves them zero and the
+	// engine derives them with sim.Probes.
+	FirstStart uint64
+	ThrTask    float64
 }
 
 // event kinds for the discrete-event simulation.

@@ -1,0 +1,107 @@
+package nanos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestStreamWideWindowMatchesRun locks the streaming driver to the
+// materialized one: a window wider than the whole trace never parks the
+// master, so every event fires at the same cycle and the aggregate
+// probes must equal the materialized run's arrays summarized by
+// sim.Probes — byte-identical makespan, lock time and throughput.
+func TestStreamWideWindowMatchesRun(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		tr, err := synth.Case(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4, 12} {
+			want, err := Run(tr, Config{Workers: w})
+			if err != nil {
+				t.Fatalf("case%d w=%d: %v", n, w, err)
+			}
+			got, err := RunSource(trace.FromTrace(tr), Config{Workers: w, Window: len(tr.Tasks) + 1})
+			if err != nil {
+				t.Fatalf("case%d w=%d stream: %v", n, w, err)
+			}
+			first, thr := sim.Probes(want.Start)
+			if got.Makespan != want.Makespan || got.Baseline != want.Baseline ||
+				got.Speedup != want.Speedup || got.LockBusy != want.LockBusy {
+				t.Fatalf("case%d w=%d: stream %+v, want %+v", n, w, got, want)
+			}
+			if got.FirstStart != first || got.ThrTask != thr {
+				t.Fatalf("case%d w=%d: probes %d/%.3f, want %d/%.3f",
+					n, w, got.FirstStart, got.ThrTask, first, thr)
+			}
+		}
+	}
+}
+
+// TestStreamBoundedWindow checks the backpressured regime: a narrow
+// window completes, is deterministic, and can only delay work — the
+// makespan is monotonically no better than the unbounded run's.
+func TestStreamBoundedWindow(t *testing.T) {
+	res, err := apps.Generate(apps.Cholesky, 1024, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	base, err := Run(tr, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	for _, win := range []int{1, 2, 8, 64} {
+		a, err := RunSource(trace.FromTrace(tr), Config{Workers: 4, Window: win})
+		if err != nil {
+			t.Fatalf("window %d: %v", win, err)
+		}
+		b, err := RunSource(trace.FromTrace(tr), Config{Workers: 4, Window: win})
+		if err != nil {
+			t.Fatalf("window %d rerun: %v", win, err)
+		}
+		if a.Makespan != b.Makespan || a.LockBusy != b.LockBusy {
+			t.Fatalf("window %d nondeterministic: %d/%d vs %d/%d",
+				win, a.Makespan, a.LockBusy, b.Makespan, b.LockBusy)
+		}
+		if a.Makespan < base.Makespan {
+			t.Fatalf("window %d beat the unbounded run: %d < %d", win, a.Makespan, base.Makespan)
+		}
+		if prev != 0 && a.Makespan > prev {
+			t.Fatalf("widening the window to %d slowed the run: %d > %d", win, a.Makespan, prev)
+		}
+		prev = a.Makespan
+	}
+}
+
+// TestStreamRestrictions pins the typed rejections: streaming requires a
+// positive window, and bottom-level priority scheduling needs the whole
+// graph.
+func TestStreamRestrictions(t *testing.T) {
+	tr, err := synth.Case(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSource(trace.FromTrace(tr), Config{Workers: 2}); !errors.Is(err, ErrStreamWindow) {
+		t.Fatalf("window 0: got %v, want ErrStreamWindow", err)
+	}
+	if _, err := RunSource(trace.FromTrace(tr), Config{Workers: 2, Window: 8, Sched: sched.Priority}); !errors.Is(err, ErrStreamPriority) {
+		t.Fatalf("priority: got %v, want ErrStreamPriority", err)
+	}
+}
+
+// TestStreamEmptySource mirrors TestErrors' empty-trace case on the
+// streaming path.
+func TestStreamEmptySource(t *testing.T) {
+	r, err := RunSource(trace.FromTrace(&trace.Trace{}), Config{Workers: 2, Window: 4})
+	if err != nil || r.Makespan != 0 {
+		t.Fatalf("empty stream: %v %+v", err, r)
+	}
+}

@@ -48,4 +48,18 @@ func (Engine) Run(tr *trace.Trace, spec sim.Spec) (*sim.Result, error) {
 	}, nil
 }
 
+// RunStream satisfies sim.StreamEngine by materializing the source: the
+// roofline's critical-path weighting is a whole-graph backward pass, so
+// a bounded window cannot help it — this is one of the sanctioned
+// trace.Materialize sites (see picoslint's materializewall check). The
+// window knob therefore changes nothing here beyond routing; results
+// are identical to Run on the materialized trace by construction.
+func (e Engine) RunStream(src trace.Source, spec sim.Spec) (*sim.Result, error) {
+	tr, err := trace.Materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(tr, spec)
+}
+
 func init() { sim.Register(Engine{}) }

@@ -49,6 +49,12 @@ func (a *arbiter) step(now uint64) {
 		a.p.markDirty(a.hid)
 		a.routed++
 		at := now + a.timing.ArbHop
+		if f := a.p.cfg.Faults; f != nil {
+			// arb:stall — a one-shot crossbar hiccup deferring the message
+			// being routed (and, through per-flow ordering, what follows
+			// it on the same flow).
+			at += f.ArbStallDelay(now)
+		}
 		switch m.kind {
 		case arbStat:
 			t := a.p.trs[m.stat.task.TRS]

@@ -133,6 +133,12 @@ func (g *gateway) step(now uint64) {
 		g.blocked = false
 		g.newQ.pop(now)
 		cost := g.timing.GWNewTask + uint64(len(t.deps))*g.timing.GWPerDep
+		if f := p.cfg.Faults; f != nil {
+			// gw:stall — a one-shot admission-path stall extending this
+			// admission's busy window; later submissions back up in the
+			// new-task queue behind it.
+			cost += f.GWStallDelay(now)
+		}
 		g.busyUntil = now + cost
 		g.busy += cost
 		p.markDirty(g.hid)

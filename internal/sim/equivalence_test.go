@@ -176,6 +176,22 @@ func TestFastPathEquivalenceKnobs(t *testing.T) {
 			s.Design = "8way"
 			s.Admission = "avoid-deadlock-park"
 		}},
+		// Streaming ingestion: Spec.Window > 0 feeds the runner from a
+		// lazy bounded-window source instead of a materialized task
+		// array, and the streamed fast path must reproduce the streamed
+		// per-cycle loop exactly — alone and composed with the
+		// NewQDepth/RunAhead backpressure. The window0 row pins the
+		// routing contract: an explicit zero window takes the
+		// materialized path by construction, so its rows are the same
+		// bytes as the matrix's default rows.
+		{"window0", []string{"case4", "heat"}, func(s *sim.Spec) { s.Window = 0 }},
+		{"window16", []string{"case4", "case7", "heat"}, func(s *sim.Spec) { s.Window = 16 }},
+		{"window256", []string{"case2", "sparselu", "heat"}, func(s *sim.Spec) { s.Window = 256 }},
+		{"window16-newq-runahead", []string{"case2", "heat"}, func(s *sim.Spec) {
+			s.Window = 16
+			s.NewQDepth = 4
+			s.RunAhead = 2
+		}},
 		// Fault plans: every injection — probabilistic link faults drawn
 		// at send events, cycle-triggered kills and stalls — must fire at
 		// identical cycles on both loops, and recovery (retransmission,

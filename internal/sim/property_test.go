@@ -154,6 +154,38 @@ func TestRandomGraphProperties(t *testing.T) {
 				t.Fatalf("graph %d on %s: fast path diverges from reference\nfast: %s\nref:  %s", g, engine, fj, rj)
 			}
 		}
+
+		// Every eighth graph (offset to land on homogeneous and sharded
+		// lanes but never the hetero lane, whose rotating policies
+		// include the priority scheduler streaming refuses) replays
+		// through a bounded descriptor window: the streamed run must
+		// complete every task under the window backpressure, keep no
+		// whole-graph schedule arrays, and its fast path must agree
+		// byte-for-byte with the streamed cycle-stepped reference.
+		if g%8 == 2 {
+			win := []int{2, 16, 256}[(g/8)%3]
+			wSpec := spec
+			wSpec.Window = win
+			ws, err := sim.RunTrace(tr, wSpec)
+			if err != nil {
+				t.Fatalf("graph %d window=%d on %s: %v", g, win, engine, err)
+			}
+			if ws.Stats == nil || ws.Stats.TasksCompleted != uint64(n) {
+				t.Fatalf("graph %d window=%d on %s: %d tasks, stats %+v", g, win, engine, n, ws.Stats)
+			}
+			if ws.Order != nil || ws.Start != nil || ws.Finish != nil {
+				t.Fatalf("graph %d window=%d on %s: streamed run kept whole-graph schedule arrays", g, win, engine)
+			}
+			wRef := wSpec
+			wRef.FastForward = sim.Bool(false)
+			wr, err := sim.RunTrace(tr, wRef)
+			if err != nil {
+				t.Fatalf("graph %d window=%d reference on %s: %v", g, win, engine, err)
+			}
+			if wj, rj := resultJSON(t, ws), resultJSON(t, wr); wj != rj {
+				t.Fatalf("graph %d window=%d on %s: streamed fast path diverges from reference\nfast: %s\nref:  %s", g, win, engine, wj, rj)
+			}
+		}
 	}
 }
 

@@ -43,6 +43,16 @@ type Engine interface {
 	Run(tr *trace.Trace, spec Spec) (*Result, error)
 }
 
+// StreamEngine is implemented by engines that can feed from a
+// trace.Source under a bounded descriptor window (Spec.Window > 0)
+// instead of indexing a materialized trace. RunStream must keep at most
+// Spec.Window created-but-unretired descriptors live, so arbitrarily
+// long sources replay in O(window) heap.
+type StreamEngine interface {
+	Engine
+	RunStream(src trace.Source, spec Spec) (*Result, error)
+}
+
 var (
 	regMu     sync.RWMutex
 	engines   = map[string]Engine{}
@@ -97,8 +107,17 @@ func Engines() []string {
 }
 
 // Run builds the spec's workload and executes it on the spec's engine.
+// With a bounded window (Spec.Window > 0) the workload is built as a
+// lazy Source and streamed, never materialized.
 func Run(spec Spec) (*Result, error) {
 	spec = spec.WithDefaults()
+	if spec.Window > 0 {
+		src, err := BuildWorkloadSource(spec)
+		if err != nil {
+			return nil, err
+		}
+		return RunSource(src, spec)
+	}
 	tr, err := BuildWorkload(spec)
 	if err != nil {
 		return nil, err
@@ -108,9 +127,14 @@ func Run(spec Spec) (*Result, error) {
 
 // RunTrace executes an already-built trace on the spec's engine. Use it
 // for hand-built or procedurally generated traces that are not in the
-// workload registry.
+// workload registry. A bounded window routes the trace through the
+// streaming driver (wrapped as a Source), so every RunTrace caller —
+// sweeps, the equivalence matrix, property suites — honors Spec.Window.
 func RunTrace(tr *trace.Trace, spec Spec) (*Result, error) {
 	spec = spec.WithDefaults()
+	if spec.Window > 0 {
+		return RunSource(trace.FromTrace(tr), spec)
+	}
 	e, err := Lookup(spec.Engine)
 	if err != nil {
 		return nil, err
@@ -122,6 +146,47 @@ func RunTrace(tr *trace.Trace, spec Spec) (*Result, error) {
 	res.Engine = e.Name()
 	if res.Workload == "" {
 		res.Workload = tr.Name
+	}
+	return res, nil
+}
+
+// RunSource executes a streaming task source on the spec's engine.
+// With Window == 0 (unbounded) the source is materialized and runs the
+// legacy whole-trace path — byte-identical to RunTrace by construction.
+// A positive window requires the engine to implement StreamEngine.
+func RunSource(src trace.Source, spec Spec) (*Result, error) {
+	spec = spec.WithDefaults()
+	e, err := Lookup(spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Window <= 0 {
+		tr, err := trace.Materialize(src)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s on %s: %w", e.Name(), src.Name(), err)
+		}
+		res, err := e.Run(tr, spec)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s on %s: %w", e.Name(), tr.Name, err)
+		}
+		res.Engine = e.Name()
+		if res.Workload == "" {
+			res.Workload = tr.Name
+		}
+		return res, nil
+	}
+	se, ok := e.(StreamEngine)
+	if !ok {
+		return nil, fmt.Errorf("sim: engine %s cannot stream (window %d set, but it does not implement StreamEngine)",
+			e.Name(), spec.Window)
+	}
+	res, err := se.RunStream(src, spec)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", e.Name(), src.Name(), err)
+	}
+	res.Engine = e.Name()
+	if res.Workload == "" {
+		res.Workload = src.Name()
 	}
 	return res, nil
 }

@@ -78,6 +78,20 @@ type Spec struct {
 	NewQDepth int `json:"newq_depth,omitempty"`
 	RunAhead  int `json:"run_ahead,omitempty"`
 
+	// Window bounds streaming workload ingestion: the maximum number of
+	// created-but-unretired task descriptors the engine keeps live at
+	// once (the paper's prototype consumes a bounded descriptor stream,
+	// never a whole graph). 0 means unbounded — the workload is
+	// materialized and runs the legacy whole-trace path, byte-identical
+	// to a run before the streaming layer existed. A positive window
+	// streams the workload through trace.Source in O(window) heap;
+	// results can legitimately differ from the unbounded run because the
+	// window is modeled backpressure on creation, composing with
+	// NewQDepth (the accelerator's submission buffer) and RunAhead (the
+	// Full-system master's creation window). At the same window value the
+	// fast and reference loops remain byte-identical.
+	Window int `json:"window,omitempty"`
+
 	// Watchdog bounds the simulated cycle count (0: engine default).
 	Watchdog uint64 `json:"watchdog,omitempty"`
 

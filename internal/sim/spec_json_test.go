@@ -36,6 +36,7 @@ func fullSpec() sim.Spec {
 		ShardHop:      3,
 		NewQDepth:     16,
 		RunAhead:      -1,
+		Window:        256,
 		Watchdog:      1 << 30,
 		Faults:        "axi:drop=0.01@seed7+worker:failstop=2@cycle50000",
 		Recovery:      "retry=3:backoff200+regrant",

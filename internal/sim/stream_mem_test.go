@@ -1,0 +1,91 @@
+//go:build !race
+
+// Memory-bound lock for streaming ingestion: a 2^20-task pattern grid
+// replayed under a 256-descriptor window must run in O(window) live
+// heap. The race detector inflates allocation behaviour, so this only
+// builds without it.
+
+package sim_test
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+
+	_ "repro/internal/engines"
+)
+
+// TestStreamMemoryBound drives a million-task stencil grid through the
+// picos-hw streaming driver and asserts the live heap never approaches
+// the materialized footprint. Materializing this workload costs >=56 MB
+// for the Tasks array alone (2^20 tasks x ~56 B) before counting the
+// dependence slices and the engine's schedule arrays; the streamed run
+// holds at most Window descriptors plus O(width) generator state, so a
+// 48 MB ceiling on sampled heap growth cleanly separates the two
+// regimes while leaving room for GC lag (GOGC is pinned low during the
+// run so the sampled heap tracks live data closely).
+func TestStreamMemoryBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-task replay")
+	}
+	const (
+		tasks       = 1 << 20
+		heapCeiling = 48 << 20
+	)
+	spec := sim.Spec{
+		Engine:   "picos-hw",
+		Workload: "pattern:stencil_1d?width=1024&steps=1024",
+		Window:   256,
+	}
+
+	old := debug.SetGCPercent(20)
+	defer debug.SetGCPercent(old)
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	// Sample the heap while the run is in flight: the bound is about the
+	// peak live set during the replay, which no post-run measurement can
+	// see.
+	var (
+		peak atomic.Uint64
+		stop = make(chan struct{})
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak.Load() {
+					peak.Store(m.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	res, err := sim.Run(spec)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.TasksCompleted != tasks {
+		t.Fatalf("streamed run completed %+v tasks, want %d", res.Stats, tasks)
+	}
+	if res.Start != nil || res.Finish != nil || res.Order != nil {
+		t.Fatal("streamed result carries O(tasks) schedule arrays")
+	}
+	if grew := peak.Load() - base.HeapAlloc; peak.Load() > base.HeapAlloc && grew > heapCeiling {
+		t.Fatalf("peak live heap grew %d MB during the streamed replay; ceiling %d MB (O(window) bound broken)",
+			grew>>20, heapCeiling>>20)
+	}
+}

@@ -94,6 +94,34 @@ func BuildWorkload(spec Spec) (*trace.Trace, error) {
 	return tr, nil
 }
 
+// BuildWorkloadSource resolves the spec's workload as a streaming
+// trace.Source. Pattern workloads generate lazily (internal/patterns
+// never materializes the grid; the dagfile family streams its JSON node
+// array under a Spec.Window retention bound). Trace files and registry
+// workloads — which are materialized by nature (a serialized file, a
+// generator that builds whole benchmark traces) — are built whole and
+// wrapped, keeping the Source contract uniform for callers even where
+// the memory bound cannot apply.
+func BuildWorkloadSource(spec Spec) (trace.Source, error) {
+	name := spec.Workload
+	if rest, ok := strings.CutPrefix(name, PatternPrefix); ok {
+		p, err := patterns.Parse(rest)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		src, err := patterns.Generate(p, spec.Window)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		return src, nil
+	}
+	tr, err := BuildWorkload(spec)
+	if err != nil {
+		return nil, err
+	}
+	return trace.FromTrace(tr), nil
+}
+
 func readTraceFile(path string) (*trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -1,0 +1,78 @@
+package taskgraph
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestIncrementalMatchesBuild locks the streaming analysis to the
+// whole-trace oracle: feeding every task of a trace through Incremental
+// in creation order must reproduce Build's Pred lists entry for entry —
+// same edges, same dedup, same ascending order.
+func TestIncrementalMatchesBuild(t *testing.T) {
+	var traces []*trace.Trace
+	for n := 1; n <= 7; n++ {
+		tr, err := synth.Case(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	for _, app := range []apps.App{apps.Cholesky, apps.SparseLu} {
+		res, err := apps.Generate(app, 1024, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, res.Trace)
+	}
+
+	inc := NewIncremental()
+	for _, tr := range traces {
+		g := Build(tr)
+		inc.Reset()
+		for i := range tr.Tasks {
+			got := inc.Preds(int32(i), tr.Tasks[i].Deps)
+			want := g.Pred[i]
+			if len(got) != len(want) {
+				t.Fatalf("%s task %d: preds %v, want %v", tr.Name, i, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s task %d: preds %v, want %v", tr.Name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalReset checks that a reused analysis carries no address
+// state across Reset: the same trace analyzed twice gives the same
+// answer both times.
+func TestIncrementalReset(t *testing.T) {
+	tr, err := synth.Case(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncremental()
+	var firstRun [][]int32
+	for i := range tr.Tasks {
+		p := inc.Preds(int32(i), tr.Tasks[i].Deps)
+		firstRun = append(firstRun, append([]int32(nil), p...))
+	}
+	inc.Reset()
+	for i := range tr.Tasks {
+		got := inc.Preds(int32(i), tr.Tasks[i].Deps)
+		want := firstRun[i]
+		if len(got) != len(want) {
+			t.Fatalf("task %d after Reset: preds %v, want %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("task %d after Reset: preds %v, want %v", i, got, want)
+			}
+		}
+	}
+}

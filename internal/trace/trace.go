@@ -212,26 +212,8 @@ func (t *Trace) Validate() error {
 		}
 	}
 	for i := range t.Tasks {
-		task := &t.Tasks[i]
-		if task.ID != uint32(i) {
-			return fmt.Errorf("%w: task %d has ID %d", ErrBadID, i, task.ID)
-		}
-		if len(task.Deps) > MaxDeps {
-			return fmt.Errorf("%w: task %d has %d", ErrTooManyDeps, i, len(task.Deps))
-		}
-		if task.Duration == 0 {
-			return fmt.Errorf("%w: task %d", ErrZeroDuration, i)
-		}
-		if int(task.Kind) > len(t.Kinds) {
-			return fmt.Errorf("%w: task %d kind %d exceeds kind table (%d entries)",
-				ErrBadKind, i, task.Kind, len(t.Kinds))
-		}
-		for a := 0; a < len(task.Deps); a++ {
-			for b := a + 1; b < len(task.Deps); b++ {
-				if task.Deps[a].Addr == task.Deps[b].Addr {
-					return fmt.Errorf("%w: task %d addr %#x", ErrDupAddr, i, task.Deps[a].Addr)
-				}
-			}
+		if err := ValidateTask(&t.Tasks[i], i, len(t.Kinds)); err != nil {
+			return err
 		}
 	}
 	return nil
